@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures: results directory and table persistence."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_show(results_dir, name, table):
+    """Persist a figure's table and echo it to the terminal."""
+    (results_dir / f"{name}.txt").write_text(table + "\n")
+    print("\n" + table)

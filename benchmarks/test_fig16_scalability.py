@@ -1,0 +1,27 @@
+"""Fig. 16: scalability with GPU count on webbase."""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+
+def test_fig16_gpu_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.fig16_scalability, rounds=1, iterations=1
+    )
+    save_and_show(results_dir, "fig16", result["table"])
+
+    for algo, series in result["series"].items():
+        for engine, times in series.items():
+            # Times stay bounded as GPUs grow: no pathological blow-up
+            # (more GPUs means more cross-GPU staleness, so perfect
+            # scaling is not expected at this scale).
+            assert max(times) < 20 * min(times), (algo, engine)
+
+    # The paper's relative claim: DiGraph handles extra GPUs best. At
+    # laptop scale extra GPUs mostly add staleness, so the check is on
+    # degradation: DiGraph's 4-GPU/1-GPU ratio is the smallest.
+    for algo, eff in result["efficiency"].items():
+        digraph = eff["digraph"][-1]
+        assert digraph <= eff["bulk-sync"][-1] + 1e-9, algo
+        assert digraph <= eff["async"][-1] * 1.3, algo

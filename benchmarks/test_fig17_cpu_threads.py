@@ -1,0 +1,16 @@
+"""Fig. 17: total time vs CPU preprocessing workers and GPU count."""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+
+def test_fig17_preprocessing_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.fig17_cpu_threads, rounds=1, iterations=1
+    )
+    save_and_show(results_dir, "fig17", result["table"])
+
+    for key, times in result["series"].items():
+        # More CPU workers shrink the preprocessing share of total time.
+        assert times[-1] <= times[0] * 1.05, key

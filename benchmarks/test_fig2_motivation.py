@@ -1,0 +1,24 @@
+"""Fig. 2: motivation — async partition reprocessing and the
+sequential-oracle update counts."""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+
+def test_fig2_partition_reprocessing_and_oracle(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.fig2_motivation, rounds=1, iterations=1
+    )
+    save_and_show(results_dir, "fig2", result["table"])
+
+    # Fig 2(a/b): the async engine re-processes partitions.
+    for _, rounds, reprocessed, active_fraction in result["rows_abc"]:
+        assert reprocessed > 0
+        # Fig 2(c): most vertices of processed partitions are inactive.
+        assert active_fraction < 0.5
+
+    # Fig 2(d): a meaningful fraction of vertices needs only one update.
+    for _, updates, one_update_fraction, giant in result["rows_d"]:
+        assert updates > 0
+        assert one_update_fraction > 0.05

@@ -1,0 +1,19 @@
+"""Fig. 8: preprocessing time normalized to the bulk-sync baseline."""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+
+def test_fig8_preprocessing_premium(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.fig8_preprocessing, rounds=1, iterations=1
+    )
+    save_and_show(results_dir, "fig8", result["table"])
+
+    for graph, per_engine in result["matrix"].items():
+        # DiGraph pays a preprocessing premium (path decomposition + DAG
+        # sketch), but bounded — "slightly more preprocessing time".
+        assert 1.0 < per_engine["digraph"] < 2.0, graph
+        # async sits between the two.
+        assert 1.0 <= per_engine["async"] <= per_engine["digraph"], graph

@@ -1,0 +1,25 @@
+"""Fig. 9: execution-time breakdown (preprocess / compute / comm)."""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+
+def test_fig9_time_breakdown(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.fig9_breakdown, rounds=1, iterations=1
+    )
+    save_and_show(results_dir, "fig9", result["table"])
+
+    # Every engine reports all three phases; DiGraph's preprocessing
+    # premium is repaid at the processing stage on at least some graphs
+    # (the paper's "brings significant benefits" claim).
+    repaid = 0
+    for graph, per_engine in result["results"].items():
+        digraph = per_engine["digraph"]
+        bulk = per_engine["bulk-sync"]
+        assert digraph.preprocess_time_s > 0
+        assert digraph.stats.compute_time_s > 0
+        if digraph.total_time_s < bulk.total_time_s:
+            repaid += 1
+    assert repaid >= 2

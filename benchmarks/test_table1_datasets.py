@@ -1,0 +1,20 @@
+"""Table 1: dataset properties of the six stand-ins."""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+
+def test_table1_dataset_properties(benchmark, results_dir):
+    result = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
+    save_and_show(results_dir, "table1", result["table"])
+    rows = {row[0]: row for row in result["rows"]}
+    # Table 1 shape: dblp has the lowest degree, twitter the highest;
+    # social graphs (twitter, ljournal) have the shortest distances.
+    degrees = {name: row[3] for name, row in rows.items()}
+    distances = {name: row[4] for name, row in rows.items()}
+    two_lowest = sorted(degrees, key=degrees.get)[:2]
+    assert "dblp" in two_lowest  # cnr's small SCC window can dip below
+    assert max(degrees, key=degrees.get) == "twitter"
+    assert distances["twitter"] < distances["cnr"]
+    assert distances["ljournal"] < distances["webbase"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Power-user tour: drive the preprocessing pipeline on your own graph.
+
+Builds a custom directed graph, walks through DiGraph's preprocessing
+artifacts explicitly — path decomposition (Algorithm 1), the path
+dependency DAG with layers, partitions and the Fig. 4 storage arrays —
+then reuses the preprocessed state across two algorithm runs.
+
+Usage::
+
+    python examples/custom_pipeline.py
+"""
+
+from repro import DiGraphEngine, from_edges, make_program
+from repro.core.dependency import build_dependency_dag
+from repro.core.partitioning import decompose_into_paths
+from repro.graph.generators import scc_profile_graph
+from repro.gpu.config import SCALED_MACHINE
+
+
+def main() -> None:
+    # Any edge list works; here a seeded synthetic with a 50% giant SCC.
+    graph = scc_profile_graph(
+        n=800, avg_degree=6.0, giant_scc_fraction=0.5,
+        avg_distance=8.0, seed=7,
+    )
+    print(f"custom graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 1. Path decomposition (Algorithm 1 + merging + hot classification).
+    paths = decompose_into_paths(graph, d_max=16, hot_fraction=0.1)
+    paths.validate()
+    print(
+        f"paths: {paths.num_paths} (avg length "
+        f"{paths.average_length():.2f}, {len(paths.hot_path_ids)} hot)"
+    )
+
+    # 2. The dependency DAG the dispatcher schedules by.
+    dag = build_dependency_dag(paths)
+    print(
+        f"dependency DAG: {dag.num_scc_vertices} SCC-vertices in "
+        f"{dag.num_layers()} layers; giant SCC-vertex holds "
+        f"{dag.giant_scc_path_fraction():.0%} of paths"
+    )
+
+    # 3. Preprocess once, run twice (the engine reuses the artifacts).
+    engine = DiGraphEngine(SCALED_MACHINE)
+    pre = engine.preprocess(graph)
+    print(
+        f"partitions: {pre.storage.num_partitions}, storage "
+        f"{pre.storage.total_bytes() / 1024:.0f} KiB, modeled preprocess "
+        f"{pre.modeled_seconds * 1e3:.3f} ms"
+    )
+    for algo in ("pagerank", "bfs"):
+        result = engine.run(
+            graph, make_program(algo, graph),
+            preprocessed=pre, graph_name="custom",
+        )
+        print(" ", result.summary())
+
+
+if __name__ == "__main__":
+    main()

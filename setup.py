@@ -1,0 +1,5 @@
+"""Setup shim for offline editable installs (no wheel package available)."""
+
+from setuptools import setup
+
+setup()

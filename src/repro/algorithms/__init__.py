@@ -1,0 +1,69 @@
+"""GAS vertex programs.
+
+The paper's four benchmarks — PageRank, adsorption, SSSP, and k-core — plus
+BFS and weakly-connected components as extensions. Each is a
+:class:`~repro.model.gas.VertexProgram`, so every engine runs them
+unchanged.
+"""
+
+from repro.algorithms.adsorption import Adsorption
+from repro.algorithms.bfs import BFSLevels
+from repro.algorithms.kcore import KCore
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.ppr import PersonalizedPageRank
+from repro.algorithms.reachability import Reachability
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WeaklyConnectedComponents
+
+#: The paper's benchmark suite in Section 4 order, as factories taking a
+#: graph (some programs need graph-derived parameters such as SSSP source).
+PAPER_BENCHMARKS = ("pagerank", "adsorption", "sssp", "kcore")
+
+__all__ = [
+    "PageRank",
+    "Adsorption",
+    "SSSP",
+    "KCore",
+    "BFSLevels",
+    "PersonalizedPageRank",
+    "Reachability",
+    "WeaklyConnectedComponents",
+    "PAPER_BENCHMARKS",
+    "make_program",
+]
+
+
+def make_program(name: str, graph, **kwargs):
+    """Build a benchmark program by name for a given graph.
+
+    Centralizes the per-algorithm setup the harness needs: SSSP and BFS
+    pick a deterministic high-out-degree source unless one is given.
+    """
+    import numpy as np
+
+    name = name.lower()
+    if name == "pagerank":
+        return PageRank(**kwargs)
+    if name == "adsorption":
+        return Adsorption(**kwargs)
+    if name == "sssp":
+        if "source" not in kwargs:
+            kwargs["source"] = int(np.argmax(graph.out_degree()))
+        return SSSP(**kwargs)
+    if name == "kcore":
+        return KCore(**kwargs)
+    if name == "bfs":
+        if "source" not in kwargs:
+            kwargs["source"] = int(np.argmax(graph.out_degree()))
+        return BFSLevels(**kwargs)
+    if name == "wcc":
+        return WeaklyConnectedComponents(**kwargs)
+    if name == "ppr":
+        if "seeds" not in kwargs:
+            kwargs["seeds"] = [int(np.argmax(graph.out_degree()))]
+        return PersonalizedPageRank(**kwargs)
+    if name == "reachability":
+        if "sources" not in kwargs:
+            kwargs["sources"] = [int(np.argmax(graph.out_degree()))]
+        return Reachability(**kwargs)
+    raise ValueError(f"unknown algorithm {name!r}")

@@ -1,0 +1,21 @@
+"""Comparator engines.
+
+- :class:`~repro.baselines.bulk_sync.BulkSyncEngine` — Gunrock-like
+  bulk-synchronous vertex-centric engine (frontier per round, global
+  barrier);
+- :class:`~repro.baselines.async_engine.AsyncEngine` — Groute-like
+  asynchronous engine (per-partition worklists, no inter-round barrier,
+  no dependency ordering);
+- :func:`~repro.baselines.sequential.sequential_topological_run` — the
+  single-thread topological-order reference of Fig. 2(d).
+
+All run the same :class:`~repro.model.gas.VertexProgram` on the same
+simulated machine as DiGraph, so every comparison in the evaluation is
+semantics- and cost-model-matched.
+"""
+
+from repro.baselines.async_engine import AsyncEngine
+from repro.baselines.bulk_sync import BulkSyncEngine
+from repro.baselines.sequential import sequential_topological_run
+
+__all__ = ["BulkSyncEngine", "AsyncEngine", "sequential_topological_run"]

@@ -1,0 +1,230 @@
+"""Groute-like asynchronous baseline engine.
+
+Per-partition worklists, no inter-round barrier, immediate state
+visibility — but **no dependency ordering**: every partition with a
+non-empty worklist is processed each round, in partition order, each
+vertex once per pass against the freshest available states. Activations
+land in the next pass, so a state still needs one pass per hop inside a
+partition's dependency chains, and partitions are re-processed whenever
+any neighbor partition feeds them a new state — the reprocessing behavior
+Fig. 2(a)/(b) measures and DiGraph's dependency-aware dispatch removes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.digraph import DiGraphCSR
+from repro.gpu.config import MachineSpec
+from repro.gpu.machine import Machine
+from repro.model.gas import VertexProgram
+from repro.model.state import StalenessView, VertexStates
+from repro.bench.results import ExecutionResult, RoundRecord
+from repro.core.storage import BYTES_PER_MESSAGE
+from repro.baselines.common import (
+    resolve_partition_target,
+    VertexRangePartition,
+    modeled_baseline_preprocess_seconds,
+    partition_of_vertex,
+    vertex_range_partitions,
+)
+
+
+@dataclass(frozen=True)
+class AsyncConfig:
+    """Tunables of the asynchronous baseline."""
+
+    #: ``None`` sizes partitions adaptively (~64 per graph).
+    target_edges_per_partition: Optional[int] = None
+    max_rounds: int = 100000
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+class AsyncEngine:
+    """Asynchronous per-partition worklist engine (the Groute-like
+    comparator)."""
+
+    name = "async"
+
+    def __init__(
+        self,
+        machine_spec: Optional[MachineSpec] = None,
+        config: Optional[AsyncConfig] = None,
+    ) -> None:
+        self.spec = machine_spec or MachineSpec()
+        self.config = config or AsyncConfig()
+
+    def run(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        graph_name: str = "graph",
+        strict_convergence: bool = True,
+    ) -> ExecutionResult:
+        started = time.perf_counter()
+        machine = Machine(self.spec)
+        stats = machine.stats
+        stats.preprocess_time_s = modeled_baseline_preprocess_seconds(
+            graph, overhead_factor=1.04, n_workers=self.config.n_workers
+        )
+        partitions = vertex_range_partitions(
+            graph,
+            machine.num_gpus,
+            resolve_partition_target(
+                graph, self.config.target_edges_per_partition
+            ),
+        )
+        for partition in partitions:
+            machine.batched_transfer_to_gpu(partition.gpu, partition.nbytes)
+
+        states = VertexStates(graph, program)
+        round_records: List[RoundRecord] = []
+        converged = False
+        # GPU residency per vertex, for the per-round staleness views.
+        gpu_of_vertex = np.empty(graph.num_vertices, dtype=np.int64)
+        for partition in partitions:
+            gpu_of_vertex[partition.lo : partition.hi] = partition.gpu
+        local_masks = [
+            gpu_of_vertex == gpu for gpu in range(machine.num_gpus)
+        ]
+
+        for round_index in range(self.config.max_rounds):
+            if not states.any_active():
+                converged = True
+                break
+
+            # Snapshot which partitions have active vertices at round start.
+            active_by_partition: Dict[int, List[int]] = {}
+            for v in states.active_vertices():
+                pid = partition_of_vertex(partitions, int(v)).partition_id
+                active_by_partition.setdefault(pid, []).append(int(v))
+
+            work: Dict[int, List[int]] = {g: [] for g in range(machine.num_gpus)}
+            atomics: Dict[int, List[int]] = {
+                g: [] for g in range(machine.num_gpus)
+            }
+            updates_this_round = 0
+            active_snapshot_total = 0
+            touched_vertex_total = 0
+            messages_between: Dict[tuple, int] = {}
+            # Cross-GPU activations deliver with the end-of-round push:
+            # activating them instantly would let them consume the stale
+            # snapshot of the change that activated them and converge
+            # incorrectly.
+            deferred_activations: List[int] = []
+
+            # Multi-GPU staleness: a GPU reads fresh states for its own
+            # vertices but only round-start snapshots of remote ones (new
+            # remote states arrive with the next transfer) — the paper's
+            # Fig. 1/2 one-hop-per-round propagation across partitions.
+            snapshot = states.copy_values()
+            views = [
+                StalenessView(states.values, snapshot, mask)
+                for mask in local_masks
+            ]
+
+            for pid, worklist in sorted(active_by_partition.items()):
+                partition = partitions[pid]
+                stats.note_partition_processed(pid)
+                machine.load_global(
+                    partition.gpu,
+                    nbytes=partition.nbytes,
+                    vertices=partition.num_vertices,
+                )
+                active_snapshot_total += len(worklist)
+                touched_vertex_total += partition.num_vertices
+
+                for v in worklist:
+                    if not states.active[v]:
+                        continue
+                    states.deactivate(v)
+                    new, changed = program.update_vertex(
+                        graph,
+                        v,
+                        views[partition.gpu],
+                        old_state=float(states.values[v]),
+                    )
+                    degree = program.gather_degree(graph, v)
+                    stats.apply_calls += 1
+                    stats.edge_traversals += degree
+                    # Demand fetches: gather reads pull each predecessor's
+                    # record into cores individually (random access).
+                    machine.load_global(
+                        partition.gpu, nbytes=8 * degree, vertices=degree
+                    )
+                    machine.note_vertex_uses(1 + degree)
+                    states.values[v] = new
+                    work[partition.gpu].append(degree)
+                    atomics[partition.gpu].append(1 if changed else 0)
+                    if not changed:
+                        continue
+                    updates_this_round += 1
+                    stats.vertex_updates += 1
+                    # No proxy vertices: every changed write is an atomic.
+                    stats.atomic_updates += 1
+                    remote: Set[int] = set()
+                    for u in program.dependents(graph, v):
+                        dst = partition_of_vertex(partitions, int(u))
+                        if dst.gpu != partition.gpu:
+                            remote.add(dst.gpu)
+                            deferred_activations.append(int(u))
+                        else:
+                            states.activate([u])
+                    for dst_gpu in remote:
+                        key = (partition.gpu, dst_gpu)
+                        messages_between[key] = (
+                            messages_between.get(key, 0) + 1
+                        )
+
+            for (src_gpu, dst_gpu), count in messages_between.items():
+                # Groute pushes worklist messages asynchronously over the
+                # ring; they overlap with compute (no barrier).
+                machine.transfer_async(
+                    src_gpu, dst_gpu, count * BYTES_PER_MESSAGE
+                )
+            machine.compute_round(work, atomics, barrier=False)
+            states.activate(deferred_activations)
+
+            stats.rounds += 1
+            round_records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    partitions_processed=len(active_by_partition),
+                    partitions_convergent=(
+                        len(partitions) - len(active_by_partition)
+                    ),
+                    active_fraction_nonconvergent=(
+                        active_snapshot_total / touched_vertex_total
+                        if touched_vertex_total
+                        else 0.0
+                    ),
+                    vertex_updates=updates_this_round,
+                )
+            )
+
+        if not converged and strict_convergence:
+            raise ConvergenceError(
+                f"{program.name} did not converge within "
+                f"{self.config.max_rounds} rounds"
+            )
+        return ExecutionResult(
+            engine=self.name,
+            algorithm=program.name,
+            graph_name=graph_name,
+            converged=converged,
+            rounds=stats.rounds,
+            states=states.values.copy(),
+            stats=stats,
+            round_records=round_records,
+            wall_seconds=time.perf_counter() - started,
+            extras={"num_partitions": float(len(partitions))},
+        )

@@ -1,0 +1,213 @@
+"""Gunrock-like bulk-synchronous baseline engine.
+
+Frontier-centric BSP: each round consumes the active-vertex frontier,
+computes every update against a **snapshot of round-start states**
+(Jacobi), commits behind a global barrier, and builds the next frontier
+from the changed vertices' dependents. This is the execution-model class
+the paper compares against: one hop of state propagation per round, a
+barrier every round (idle waiting on the slowest GPU), and whole-partition
+loads regardless of how few vertices are active.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.digraph import DiGraphCSR
+from repro.gpu.config import MachineSpec
+from repro.gpu.machine import Machine
+from repro.model.frontier import Frontier
+from repro.model.gas import VertexProgram
+from repro.model.state import VertexStates
+from repro.bench.results import ExecutionResult, RoundRecord
+from repro.core.storage import BYTES_PER_MESSAGE
+from repro.baselines.common import (
+    resolve_partition_target,
+    VertexRangePartition,
+    modeled_baseline_preprocess_seconds,
+    partition_of_vertex,
+    vertex_range_partitions,
+)
+
+#: Per-round barrier/allreduce payload per GPU pair (frontier sizes etc.).
+BARRIER_SYNC_BYTES = 64
+
+
+@dataclass(frozen=True)
+class BulkSyncConfig:
+    """Tunables of the bulk-synchronous baseline."""
+
+    #: ``None`` sizes partitions adaptively (~64 per graph).
+    target_edges_per_partition: Optional[int] = None
+    max_rounds: int = 100000
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+class BulkSyncEngine:
+    """Vertex-centric BSP engine (the Gunrock-like comparator)."""
+
+    name = "bulk-sync"
+
+    def __init__(
+        self,
+        machine_spec: Optional[MachineSpec] = None,
+        config: Optional[BulkSyncConfig] = None,
+    ) -> None:
+        self.spec = machine_spec or MachineSpec()
+        self.config = config or BulkSyncConfig()
+
+    def run(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        graph_name: str = "graph",
+        strict_convergence: bool = True,
+    ) -> ExecutionResult:
+        started = time.perf_counter()
+        machine = Machine(self.spec)
+        stats = machine.stats
+        stats.preprocess_time_s = modeled_baseline_preprocess_seconds(
+            graph, overhead_factor=1.0, n_workers=self.config.n_workers
+        )
+        partitions = vertex_range_partitions(
+            graph,
+            machine.num_gpus,
+            resolve_partition_target(
+                graph, self.config.target_edges_per_partition
+            ),
+        )
+        # Initial distribution of the graph to the GPUs.
+        for partition in partitions:
+            machine.batched_transfer_to_gpu(partition.gpu, partition.nbytes)
+
+        states = VertexStates(graph, program)
+        round_records: List[RoundRecord] = []
+        converged = False
+
+        for round_index in range(self.config.max_rounds):
+            frontier = Frontier.from_mask(states.active)
+            if not frontier:
+                converged = True
+                break
+
+            snapshot = states.copy_values()
+            work: Dict[int, List[int]] = {g: [] for g in range(machine.num_gpus)}
+            atomics: Dict[int, List[int]] = {
+                g: [] for g in range(machine.num_gpus)
+            }
+            pending: List = []  # (v, new_state, changed)
+            touched_partitions: Set[int] = set()
+
+            for v in frontier:
+                partition = partition_of_vertex(partitions, v)
+                touched_partitions.add(partition.partition_id)
+                acc = program.identity
+                degree = 0
+                for src, weight in program.gather_edges(graph, v):
+                    acc = program.accumulate(
+                        acc, program.gather(float(snapshot[src]), weight, src, v)
+                    )
+                    degree += 1
+                old = float(snapshot[v])
+                new = program.apply(v, old, acc)
+                changed = not program.has_converged(old, new)
+                pending.append((v, new, changed))
+                stats.apply_calls += 1
+                stats.edge_traversals += degree
+                # Demand fetches for gather reads (random access).
+                machine.load_global(
+                    partition.gpu, nbytes=8 * degree, vertices=degree
+                )
+                machine.note_vertex_uses(1 + degree)
+                work[partition.gpu].append(degree)
+                atomics[partition.gpu].append(1 if changed else 0)
+
+            # Whole-partition loads for every touched partition (Fig. 13's
+            # denominator: many loaded vertices, few used).
+            convergent = 0
+            for partition in partitions:
+                if partition.partition_id in touched_partitions:
+                    machine.load_global(
+                        partition.gpu,
+                        nbytes=partition.nbytes,
+                        vertices=partition.num_vertices,
+                    )
+                    stats.note_partition_processed(partition.partition_id)
+                else:
+                    convergent += 1
+
+            machine.compute_round(work, atomics, barrier=True)
+
+            # Barrier + state synchronization: changed vertices whose
+            # dependents live on another GPU are broadcast there.
+            updates_this_round = 0
+            messages_between: Dict[tuple, int] = {}
+            for v, new, changed in pending:
+                states.deactivate(v)
+            for v, new, changed in pending:
+                states.values[v] = new
+                if not changed:
+                    continue
+                updates_this_round += 1
+                stats.vertex_updates += 1
+                src_gpu = partition_of_vertex(partitions, v).gpu
+                remote_gpus: Set[int] = set()
+                for u in program.dependents(graph, v):
+                    states.activate([u])
+                    dst_gpu = partition_of_vertex(partitions, int(u)).gpu
+                    if dst_gpu != src_gpu:
+                        remote_gpus.add(dst_gpu)
+                for dst_gpu in remote_gpus:
+                    key = (src_gpu, dst_gpu)
+                    messages_between[key] = messages_between.get(key, 0) + 1
+            for (src_gpu, dst_gpu), count in messages_between.items():
+                machine.transfer(src_gpu, dst_gpu, count * BYTES_PER_MESSAGE)
+            # The barrier itself: an all-to-all control exchange.
+            for gpu in range(machine.num_gpus):
+                machine.transfer(gpu, "host", BARRIER_SYNC_BYTES)
+
+            stats.rounds += 1
+            active_vertices = len(frontier)
+            touched_vertex_total = sum(
+                partitions[pid].num_vertices for pid in touched_partitions
+            )
+            round_records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    partitions_processed=len(touched_partitions),
+                    partitions_convergent=convergent,
+                    active_fraction_nonconvergent=(
+                        active_vertices / touched_vertex_total
+                        if touched_vertex_total
+                        else 0.0
+                    ),
+                    vertex_updates=updates_this_round,
+                )
+            )
+
+        if not converged and strict_convergence:
+            raise ConvergenceError(
+                f"{program.name} did not converge within "
+                f"{self.config.max_rounds} rounds"
+            )
+        return ExecutionResult(
+            engine=self.name,
+            algorithm=program.name,
+            graph_name=graph_name,
+            converged=converged,
+            rounds=stats.rounds,
+            states=states.values.copy(),
+            stats=stats,
+            round_records=round_records,
+            wall_seconds=time.perf_counter() - started,
+            extras={"num_partitions": float(len(partitions))},
+        )

@@ -1,0 +1,138 @@
+"""Shared pieces of the vertex-centric baseline engines.
+
+Both baselines shard vertices into contiguous ranges balanced by edge
+count (the standard 1-D partitioning Gunrock and Groute use), assign them
+round-robin to GPUs, and load whole partitions when any of their vertices
+is active — the low loaded-data utilization the paper measures in Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraphCSR
+from repro.core.partitioning import CPU_SECONDS_PER_EDGE
+from repro.core.storage import (
+    BYTES_PER_EDGE_VALUE,
+    BYTES_PER_INDEX,
+    BYTES_PER_STATE,
+)
+
+
+#: Default partition count when sizing adaptively: enough partitions for
+#: dependency structure (DiGraph) and per-GPU parallelism (baselines) to be
+#: visible on scaled-down graphs, matching the paper's many-partitions-per-
+#: GPU regime.
+DEFAULT_PARTITION_COUNT = 64
+
+
+def resolve_partition_target(
+    graph: DiGraphCSR, target_edges_per_partition: Optional[int]
+) -> int:
+    """Resolve an adaptive partition size: ``None`` means aim for
+    :data:`DEFAULT_PARTITION_COUNT` partitions (minimum 32 edges each)."""
+    if target_edges_per_partition is not None:
+        if target_edges_per_partition < 1:
+            raise ConfigurationError(
+                "target_edges_per_partition must be >= 1"
+            )
+        return target_edges_per_partition
+    return max(32, graph.num_edges // DEFAULT_PARTITION_COUNT)
+
+
+@dataclass(frozen=True)
+class VertexRangePartition:
+    """A contiguous vertex range [lo, hi) owned by one GPU."""
+
+    partition_id: int
+    lo: int
+    hi: int
+    gpu: int
+    num_edges: int
+
+    @property
+    def num_vertices(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def nbytes(self) -> int:
+        """CSR slice size: offsets + destinations + weights + states."""
+        return (
+            self.num_vertices * (BYTES_PER_INDEX + BYTES_PER_STATE)
+            + self.num_edges * (BYTES_PER_INDEX + BYTES_PER_EDGE_VALUE)
+        )
+
+    def __contains__(self, v: int) -> bool:
+        return self.lo <= v < self.hi
+
+
+def vertex_range_partitions(
+    graph: DiGraphCSR,
+    num_gpus: int,
+    target_edges_per_partition: int = 2048,
+) -> List[VertexRangePartition]:
+    """Cut the vertex range into edge-balanced partitions, round-robin
+    assigned to GPUs."""
+    if num_gpus < 1:
+        raise ConfigurationError("num_gpus must be >= 1")
+    if target_edges_per_partition < 1:
+        raise ConfigurationError("target_edges_per_partition must be >= 1")
+    partitions: List[VertexRangePartition] = []
+    n = graph.num_vertices
+    lo = 0
+    edges = 0
+    degrees = graph.out_degree()
+    for v in range(n):
+        edges += int(degrees[v])
+        last = v == n - 1
+        if edges >= target_edges_per_partition or last:
+            pid = len(partitions)
+            partitions.append(
+                VertexRangePartition(
+                    partition_id=pid,
+                    lo=lo,
+                    hi=v + 1,
+                    gpu=pid % num_gpus,
+                    num_edges=edges,
+                )
+            )
+            lo = v + 1
+            edges = 0
+    if not partitions:
+        partitions.append(
+            VertexRangePartition(
+                partition_id=0, lo=0, hi=n, gpu=0, num_edges=graph.num_edges
+            )
+        )
+    return partitions
+
+
+def partition_of_vertex(
+    partitions: List[VertexRangePartition], v: int
+) -> VertexRangePartition:
+    """Binary-search the partition owning vertex ``v``."""
+    los = [p.lo for p in partitions]
+    idx = int(np.searchsorted(los, v, side="right") - 1)
+    return partitions[idx]
+
+
+def modeled_baseline_preprocess_seconds(
+    graph: DiGraphCSR, overhead_factor: float, n_workers: int = 1
+) -> float:
+    """Preprocessing-time model for the baselines (Fig. 8's denominator).
+
+    One pass over the edges times an engine-specific constant:
+    ``1.0`` for the bulk-synchronous engine (plain CSR sharding), ``1.04``
+    for the async engine (worklist setup and ring registration) — the
+    paper measures Groute slightly above Gunrock and DiGraph above both.
+    """
+    return (
+        CPU_SECONDS_PER_EDGE
+        * overhead_factor
+        * graph.num_edges
+        / max(n_workers, 1)
+    )

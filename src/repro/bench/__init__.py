@@ -1,0 +1,5 @@
+"""Benchmark harness: result records, runners, per-figure experiments."""
+
+from repro.bench.results import ExecutionResult, RoundRecord
+
+__all__ = ["ExecutionResult", "RoundRecord"]

@@ -1,0 +1,110 @@
+"""Experiment runner: one entry point for every engine/algorithm/graph cell.
+
+Every figure of the evaluation is a sweep over (engine, algorithm, graph,
+machine) cells; :func:`run_cell` executes one cell and memoizes it so
+figures sharing cells (e.g. Figs. 10-13 all need pagerank on all six
+graphs) do not recompute them within a process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.algorithms import make_program
+from repro.baselines.async_engine import AsyncConfig, AsyncEngine
+from repro.baselines.bulk_sync import BulkSyncConfig, BulkSyncEngine
+from repro.bench.results import ExecutionResult
+from repro.core.engine import DiGraphConfig, DiGraphEngine
+from repro.core.variants import digraph_t, digraph_w
+from repro.errors import ConfigurationError
+from repro.gpu.config import SCALED_MACHINE, MachineSpec
+from repro.graph import datasets
+
+#: Engine names in the order the paper's figures list them.
+ENGINE_NAMES = ("bulk-sync", "async", "digraph-t", "digraph-w", "digraph")
+
+#: Default benchmark scale; override with the REPRO_BENCH_SCALE env var.
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+_CACHE: Dict[Tuple, ExecutionResult] = {}
+
+
+def make_engine(
+    name: str,
+    machine: Optional[MachineSpec] = None,
+    n_workers: int = 1,
+):
+    """Build an engine by figure-legend name."""
+    machine = machine or SCALED_MACHINE
+    if name == "bulk-sync":
+        return BulkSyncEngine(machine, BulkSyncConfig(n_workers=n_workers))
+    if name == "async":
+        return AsyncEngine(machine, AsyncConfig(n_workers=n_workers))
+    if name == "digraph":
+        return DiGraphEngine(machine, DiGraphConfig(n_workers=n_workers))
+    if name == "digraph-t":
+        return digraph_t(machine, DiGraphConfig(n_workers=n_workers))
+    if name == "digraph-w":
+        return digraph_w(machine, DiGraphConfig(n_workers=n_workers))
+    raise ConfigurationError(f"unknown engine {name!r}")
+
+
+_GRAPH_CACHE: Dict[Tuple, object] = {}
+
+
+def load_graph(graph_name: str, algo: str, scale: float):
+    """Dataset stand-in; SSSP gets the weighted variant. Cached — the
+    generators are deterministic but their distance calibration is not
+    free, and every figure reuses the same graphs."""
+    key = (graph_name, scale, algo == "sssp")
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = datasets.load(
+            graph_name, scale=scale, weighted=(algo == "sssp")
+        )
+    return _GRAPH_CACHE[key]
+
+
+def run_cell(
+    engine_name: str,
+    algo: str,
+    graph_name: str,
+    scale: float = DEFAULT_SCALE,
+    num_gpus: Optional[int] = None,
+    n_workers: int = 1,
+    machine: Optional[MachineSpec] = None,
+    use_cache: bool = True,
+    graph=None,
+    engine_factory: Optional[Callable] = None,
+) -> ExecutionResult:
+    """Run one (engine, algorithm, graph) cell, memoized per process.
+
+    ``num_gpus`` overrides the GPU count of the (scaled) default machine —
+    the Fig. 16 sweep. ``graph`` / ``engine_factory`` bypass the standard
+    dataset / engine construction for custom sweeps (those cells are not
+    cached).
+    """
+    custom = graph is not None or engine_factory is not None
+    key = (engine_name, algo, graph_name, scale, num_gpus, n_workers)
+    if use_cache and not custom and key in _CACHE:
+        return _CACHE[key]
+
+    spec = machine or SCALED_MACHINE
+    if num_gpus is not None:
+        spec = spec.scaled(num_gpus)
+    if graph is None:
+        graph = load_graph(graph_name, algo, scale)
+    if engine_factory is not None:
+        engine = engine_factory(spec)
+    else:
+        engine = make_engine(engine_name, spec, n_workers=n_workers)
+    program = make_program(algo, graph)
+    result = engine.run(graph, program, graph_name=graph_name)
+    if use_cache and not custom:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Forget memoized cells (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands:
+
+- ``run`` — execute one algorithm on one engine over a built-in dataset
+  stand-in or an edge-list file, and print the result summary;
+- ``compare`` — run all engines on one workload and print the comparison
+  rows (the Fig. 10/11 view for a single cell);
+- ``datasets`` — print the Table-1 properties of the stand-ins;
+- ``experiment`` — regenerate one paper figure's table by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms import make_program
+from repro.bench.runner import ENGINE_NAMES, make_engine
+from repro.graph import datasets
+from repro.graph.io import read_edge_list
+from repro.gpu.config import SCALED_MACHINE
+
+ALGORITHMS = ("pagerank", "adsorption", "sssp", "kcore", "bfs", "wcc")
+
+
+def _load(args) -> object:
+    if args.edge_list:
+        return read_edge_list(args.edge_list)
+    return datasets.load(
+        args.dataset, scale=args.scale, weighted=(args.algorithm == "sssp")
+    )
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=datasets.DATASET_NAMES,
+        default="cnr",
+        help="built-in dataset stand-in (default: cnr)",
+    )
+    parser.add_argument(
+        "--edge-list",
+        help="path to a 'src dst [weight]' file (overrides --dataset)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="pagerank",
+        help="vertex program to run (default: pagerank)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=None, help="override simulated GPU count"
+    )
+
+
+def cmd_run(args) -> int:
+    graph = _load(args)
+    spec = SCALED_MACHINE
+    if args.gpus:
+        spec = spec.scaled(args.gpus)
+    engine = make_engine(args.engine, spec)
+    program = make_program(args.algorithm, graph)
+    result = engine.run(
+        graph, program, graph_name=args.edge_list or args.dataset
+    )
+    print(result.summary())
+    breakdown = result.breakdown()
+    print(
+        f"breakdown: preprocess={breakdown['preprocess_s'] * 1e3:.3f}ms "
+        f"compute={breakdown['compute_s'] * 1e3:.3f}ms "
+        f"communication={breakdown['communication_s'] * 1e3:.3f}ms"
+    )
+    if getattr(args, "trace", False):
+        from repro.bench.trace import round_trace_summary
+
+        print(round_trace_summary(result))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = _load(args)
+    spec = SCALED_MACHINE
+    if args.gpus:
+        spec = spec.scaled(args.gpus)
+    baseline_time = None
+    for name in ENGINE_NAMES:
+        engine = make_engine(name, spec)
+        program = make_program(args.algorithm, graph)
+        result = engine.run(
+            graph, program, graph_name=args.edge_list or args.dataset
+        )
+        if baseline_time is None:
+            baseline_time = result.processing_time_s
+        speedup = baseline_time / result.processing_time_s
+        print(f"{result.summary()}  speedup=x{speedup:5.2f}")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    print(f"{'dataset':<10}{'#V':>10}{'#E':>12}{'A_Deg':>8}{'A_Dis':>8}")
+    for props in datasets.table1(scale=args.scale):
+        print(props.as_row())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.bench import experiments
+
+    function = getattr(experiments, args.name, None)
+    if function is None:
+        names = [
+            name
+            for name in dir(experiments)
+            if name.startswith(("fig", "table", "ablation"))
+        ]
+        print(
+            f"unknown experiment {args.name!r}; available: "
+            + ", ".join(sorted(names)),
+            file=sys.stderr,
+        )
+        return 2
+    result = function(scale=args.scale)
+    print(result["table"])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiGraph (ASPLOS 2019) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one engine on one workload")
+    _add_workload_args(run)
+    run.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="digraph",
+        help="engine to run (default: digraph)",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="print per-round sparklines (Fig. 2-style view)",
+    )
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="run every engine on a workload")
+    _add_workload_args(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    ds = sub.add_parser("datasets", help="print Table-1 dataset properties")
+    ds.add_argument("--scale", type=float, default=1.0)
+    ds.set_defaults(func=cmd_datasets)
+
+    exp = sub.add_parser("experiment", help="regenerate one figure's table")
+    exp.add_argument("name", help="e.g. fig11_updates, table1, ablation_dmax")
+    exp.add_argument("--scale", type=float, default=0.5)
+    exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Path dependency graph, DAG sketch, and layers (Sections 3.1-3.2.2).
+
+Two paths are dependent when one *writes* a vertex the other *reads*:
+``p_i -> p_j`` iff some vertex ``v`` lies on both, ``v`` has an in-edge on
+``p_i`` (so ``p_i`` produces a new state for ``v``) and an out-edge on
+``p_j`` (so ``p_j`` propagates ``v``'s state). Contracting the SCCs of this
+dependency graph yields the *DAG sketch* whose nodes — **SCC-vertices** —
+are sets of mutually-dependent paths; processing SCC-vertices in
+topological layer order means a path is handled only after all paths it
+depends on have converged, so most paths are processed exactly once
+(Observation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraphCSR
+from repro.graph.scc import condensation
+from repro.graph.traversal import dag_layers
+from repro.core.paths import PathSet
+
+
+@dataclass(frozen=True)
+class DependencyDAG:
+    """The dependency graph of paths and its contracted DAG sketch.
+
+    Attributes
+    ----------
+    dependency_graph:
+        Directed graph over path ids (``p_i -> p_j`` as defined above).
+    scc_of_path:
+        SCC-vertex id of each path.
+    dag:
+        The DAG sketch: one node per SCC-vertex, deduplicated edges.
+    members:
+        Path ids per SCC-vertex.
+    layer_of_scc:
+        Layer number per SCC-vertex (sources = 0; an SCC-vertex only
+        depends on strictly lower layers).
+    """
+
+    dependency_graph: DiGraphCSR
+    scc_of_path: np.ndarray
+    dag: DiGraphCSR
+    members: Tuple[Tuple[int, ...], ...]
+    layer_of_scc: np.ndarray
+
+    @property
+    def num_paths(self) -> int:
+        return self.dependency_graph.num_vertices
+
+    @property
+    def num_scc_vertices(self) -> int:
+        return self.dag.num_vertices
+
+    def layer_of_path(self, path_id: int) -> int:
+        """Layer number of the SCC-vertex containing ``path_id`` — the
+        ``L(p)`` term of the Pri(p) scheduling formula."""
+        return int(self.layer_of_scc[self.scc_of_path[path_id]])
+
+    def giant_scc_vertex(self) -> int:
+        """SCC-vertex with the most paths (the paper's *giant* one, which
+        may hold 3.5%-89% of all paths)."""
+        sizes = [len(m) for m in self.members]
+        return int(np.argmax(sizes))
+
+    def giant_scc_path_fraction(self) -> float:
+        """Fraction of all paths inside the giant SCC-vertex."""
+        if self.num_paths == 0:
+            return 0.0
+        return len(self.members[self.giant_scc_vertex()]) / self.num_paths
+
+    def scc_successors(self, scc: int) -> np.ndarray:
+        return self.dag.successors(scc)
+
+    def scc_predecessors(self, scc: int) -> np.ndarray:
+        return self.dag.predecessors(scc)
+
+    def num_layers(self) -> int:
+        if self.layer_of_scc.size == 0:
+            return 0
+        return int(self.layer_of_scc.max()) + 1
+
+
+def build_dependency_dag(path_set: PathSet) -> DependencyDAG:
+    """Construct the dependency graph, DAG sketch, and layers for a
+    path decomposition."""
+    num_paths = path_set.num_paths
+    writers = path_set.writer_paths()
+    readers = path_set.reader_paths()
+
+    edges: Set[Tuple[int, int]] = set()
+    for v, writing in writers.items():
+        reading = readers.get(v)
+        if not reading:
+            continue
+        for pi in writing:
+            for pj in reading:
+                if pi != pj:
+                    edges.add((pi, pj))
+
+    builder = GraphBuilder(num_vertices=num_paths)
+    builder.add_edges(sorted(edges))
+    dependency_graph = builder.build()
+
+    cond = condensation(dependency_graph)
+    layers = dag_layers(cond.dag)
+    return DependencyDAG(
+        dependency_graph=dependency_graph,
+        scc_of_path=cond.labels,
+        dag=cond.dag,
+        members=cond.members,
+        layer_of_scc=layers,
+    )
+
+
+def scc_vertices_by_layer(dag: DependencyDAG) -> List[List[int]]:
+    """SCC-vertex ids grouped by layer, ascending.
+
+    Within a layer, SCC-vertices are ordered by descending total path
+    count of their *successor* SCC-vertices — the paper's tie-break so
+    that finishing an SCC-vertex unlocks the most downstream work
+    (Section 3.2.2, "descending order according to the total number of
+    paths in their successive active SCC-vertices").
+    """
+    layers: Dict[int, List[int]] = {}
+    for scc in range(dag.num_scc_vertices):
+        layers.setdefault(int(dag.layer_of_scc[scc]), []).append(scc)
+
+    def successor_path_count(scc: int) -> int:
+        return sum(
+            len(dag.members[int(succ)]) for succ in dag.scc_successors(scc)
+        )
+
+    result = []
+    for layer in sorted(layers):
+        members = layers[layer]
+        members.sort(key=lambda s: (-successor_path_count(s), s))
+        result.append(members)
+    return result

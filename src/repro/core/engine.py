@@ -1,0 +1,909 @@
+"""The DiGraph engine: path-based asynchronous execution on multiple GPUs.
+
+Execution follows Section 3 end to end:
+
+1. **Preprocess** (CPU, ``n_workers`` shards): Algorithm-1 path
+   decomposition, head-to-tail merging, the path dependency DAG with
+   layers, partition formation, the Fig. 4 storage arrays, and the replica
+   table. Modeled CPU time is charged per the paper's one-traversal
+   argument.
+2. **Dispatch**: partitions are grouped by mutual dependency and layered;
+   each round runs the *frontier groups* (active groups whose predecessor
+   groups have all converged), plus advance-execution work when GPUs would
+   idle. Partitions transfer host->GPU in batches, prefetched on streams;
+   idle GPUs steal runnable partitions.
+3. **Process**: on each SMX, paths are ordered by ``Pri(p)`` and packed
+   onto threads with balanced edge counts; one thread walks one path
+   sequentially, so a vertex's new state reaches its in-path successors
+   within the same round (Observation 1). Gather always reads the current
+   master states, so the result is a Gauss-Seidel-style relaxation whose
+   fixed point matches every other engine.
+4. **Synchronize**: changed vertices push replica updates, batched per
+   destination partition; proxy vertices absorb same-SMX write contention.
+
+Variant flags reproduce the paper's ablations: ``use_path_execution=False``
+is DiGraph-t (traditional per-vertex async on the same partitions, no
+dependency ordering), ``use_priority_scheduling=False`` is DiGraph-w.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.digraph import DiGraphCSR
+from repro.gpu.config import MachineSpec
+from repro.gpu.machine import Machine
+from repro.model.gas import VertexProgram
+from repro.model.state import StalenessView, VertexStates
+from repro.bench.results import ExecutionResult, RoundRecord
+from repro.core.dependency import DependencyDAG, build_dependency_dag
+from repro.core.dispatch import Dispatcher
+from repro.core.partitioning import (
+    D_MAX,
+    decompose_into_paths,
+    modeled_preprocess_seconds,
+)
+from repro.core.paths import PathSet
+from repro.core.replicas import ReplicaTable
+from repro.core.scheduling import PathScheduler, balance_paths_to_threads
+from repro.core.storage import (
+    BYTES_PER_MESSAGE,
+    PathStorage,
+    build_partitions,
+)
+from repro.baselines.common import resolve_partition_target
+
+#: Bound on SMX-local path iterations within one partition pass.
+_MAX_LOCAL_ITERATIONS = 1000
+
+
+@dataclass(frozen=True)
+class DiGraphConfig:
+    """Tunables of the DiGraph engine (paper defaults)."""
+
+    d_max: int = D_MAX
+    n_workers: int = 1
+    #: ``None`` sizes partitions adaptively (~64 per graph).
+    target_edges_per_partition: Optional[int] = None
+    hot_fraction: float = 0.1
+    proxy_in_degree_threshold: int = 8
+    merge_short_paths: bool = True
+    degree_greedy: bool = True
+    #: False -> DiGraph-t: traditional async processing, no path walks,
+    #: no dependency-ordered dispatch.
+    use_path_execution: bool = True
+    #: False -> DiGraph-w: round-robin path order instead of Pri(p).
+    use_priority_scheduling: bool = True
+    prefetch: bool = True
+    max_rounds: int = 100000
+    #: Extra runnable partitions admitted per round beyond the frontier
+    #: when GPUs would otherwise idle (advance execution), as a multiple
+    #: of the GPU count. Off by default: on scaled-down workloads the
+    #: stale-input updates it admits outweigh the utilization gain (the
+    #: ablation bench sweeps it).
+    advance_factor: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        if self.advance_factor < 0:
+            raise ConfigurationError("advance_factor must be >= 0")
+
+
+@dataclass
+class Preprocessed:
+    """Everything the CPU produces before GPU execution starts."""
+
+    path_set: PathSet
+    dag: DependencyDAG
+    storage: PathStorage
+    replicas: ReplicaTable
+    modeled_seconds: float
+    wall_seconds: float
+
+
+class DiGraphEngine:
+    """Path-based iterative directed graph processing (the paper's system)."""
+
+    name = "digraph"
+
+    def __init__(
+        self,
+        machine_spec: Optional[MachineSpec] = None,
+        config: Optional[DiGraphConfig] = None,
+    ) -> None:
+        self.spec = machine_spec or MachineSpec()
+        self.config = config or DiGraphConfig()
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def preprocess(self, graph: DiGraphCSR) -> Preprocessed:
+        """CPU preprocessing: paths, DAG, partitions, storage, replicas."""
+        cfg = self.config
+        started = time.perf_counter()
+        target = resolve_partition_target(
+            graph, cfg.target_edges_per_partition
+        )
+        path_set = decompose_into_paths(
+            graph,
+            d_max=cfg.d_max,
+            n_workers=cfg.n_workers,
+            merge_short_paths=cfg.merge_short_paths,
+            hot_fraction=cfg.hot_fraction,
+            degree_greedy=cfg.degree_greedy,
+        )
+        dag = build_dependency_dag(path_set)
+        partitions = build_partitions(path_set, dag, target)
+        storage = PathStorage(path_set, partitions)
+        gpu_spec = self.spec.gpu
+        proxy_capacity = gpu_spec.shared_memory_per_smx_bytes // 16
+        replicas = ReplicaTable(
+            path_set,
+            storage,
+            proxy_in_degree_threshold=cfg.proxy_in_degree_threshold,
+            proxy_capacity=proxy_capacity,
+        )
+        wall = time.perf_counter() - started
+        modeled = modeled_preprocess_seconds(
+            graph, cfg.n_workers, dependency_vertices=dag.num_paths
+        )
+        return Preprocessed(
+            path_set=path_set,
+            dag=dag,
+            storage=storage,
+            replicas=replicas,
+            modeled_seconds=modeled,
+            wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        preprocessed: Optional[Preprocessed] = None,
+        graph_name: str = "graph",
+        strict_convergence: bool = True,
+    ) -> ExecutionResult:
+        """Run ``program`` to convergence and return the result record."""
+        cfg = self.config
+        started = time.perf_counter()
+        pre = preprocessed or self.preprocess(graph)
+        machine = Machine(self.spec)
+        machine.stats.preprocess_time_s = pre.modeled_seconds
+
+        run = _Run(self, machine, graph, program, pre)
+        converged = run.execute()
+        if not converged and strict_convergence:
+            raise ConvergenceError(
+                f"{program.name} did not converge within "
+                f"{cfg.max_rounds} rounds"
+            )
+        return ExecutionResult(
+            engine=self.engine_label(),
+            algorithm=program.name,
+            graph_name=graph_name,
+            converged=converged,
+            rounds=machine.stats.rounds,
+            states=run.states.values.copy(),
+            stats=machine.stats,
+            round_records=run.round_records,
+            wall_seconds=time.perf_counter() - started,
+            extras={
+                "num_paths": float(pre.path_set.num_paths),
+                "avg_path_length": pre.path_set.average_length(),
+                "num_partitions": float(pre.storage.num_partitions),
+                "num_scc_vertices": float(pre.dag.num_scc_vertices),
+                "giant_scc_path_fraction": pre.dag.giant_scc_path_fraction(),
+                "steals": float(run.dispatcher.steal_count),
+            },
+        )
+
+    def engine_label(self) -> str:
+        """The paper's name for this configuration."""
+        if not self.config.use_path_execution:
+            return "digraph-t"
+        if not self.config.use_priority_scheduling:
+            return "digraph-w"
+        return "digraph"
+
+
+class _Run:
+    """Mutable state of one engine execution (keeps ``run`` readable)."""
+
+    def __init__(
+        self,
+        engine: DiGraphEngine,
+        machine: Machine,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        pre: Preprocessed,
+    ) -> None:
+        self.engine = engine
+        self.cfg = engine.config
+        self.machine = machine
+        self.graph = graph
+        self.program = program
+        self.pre = pre
+        self.states = VertexStates(graph, program)
+        self.scheduler = PathScheduler(
+            pre.path_set,
+            pre.dag,
+            enabled=self.cfg.use_priority_scheduling,
+        )
+        self.dispatcher = Dispatcher(
+            pre.storage, pre.dag, machine, prefetch=self.cfg.prefetch
+        )
+        self.round_records: List[RoundRecord] = []
+
+        # Per-partition active-vertex counters (a vertex counts once per
+        # partition that replicates it).
+        self.partition_active = np.zeros(
+            pre.storage.num_partitions, dtype=np.int64
+        )
+        # Per-group active-partition counters.
+        self.groups = self.dispatcher.groups_in_layer_order()
+        self.group_active = np.zeros(len(self.dispatcher.groups), dtype=np.int64)
+        self._partition_was_active = np.zeros(
+            pre.storage.num_partitions, dtype=bool
+        )
+        # Per-round replica-sync accumulator: (src_gpu, dst_gpu) -> bytes.
+        self._pending_sync_bytes: Dict[Tuple[int, int], int] = {}
+        # GPU currently processing (None outside partition processing)
+        # and activations waiting for the next wave boundary.
+        self._processing_gpu: Optional[int] = None
+        self._deferred_activations: List[int] = []
+        self._path_work_cache: Dict[int, int] = {}
+        # Round stamp per vertex: a vertex is updated at most once per
+        # round (the paper walks each path once per round; replica
+        # occurrences re-use the master state instead of recomputing).
+        self._processed_stamp = np.zeros(graph.num_vertices, dtype=np.int64)
+        self._sweep_stamp = np.zeros(graph.num_vertices, dtype=np.int64)
+        # Which GPU last wrote each vertex, and during which wave — a
+        # value is fresh on its writer's GPU even before replica sync.
+        self._written_gpu = np.full(graph.num_vertices, -1, dtype=np.int64)
+        self._written_stamp = np.zeros(graph.num_vertices, dtype=np.int64)
+        self._wave_counter = 0
+        self._current_round = 0
+        self._stamp_counter = 0
+        self._apply_layer_aware_owners()
+        self.scheduler.reset_counts(self.states.active)
+        for v in self.states.active_vertices():
+            self._bump_partitions(int(v), +1)
+
+    def _apply_layer_aware_owners(self) -> None:
+        """Pin each vertex's activity to its downstream-most writer.
+
+        Among the partitions where a vertex receives in-path updates, the
+        one whose dispatch group has the highest layer computes the
+        vertex's final value. Tracking activity anywhere earlier would
+        keep upstream groups flagged active while a downstream SCC
+        iterates, permanently blocking the dependency frontier.
+        """
+        replicas = self.pre.replicas
+        overrides: Dict[int, int] = {}
+        for v in range(self.graph.num_vertices):
+            writers = replicas.writer_partitions(v)
+            if not writers:
+                continue
+            best_pid = None
+            best_key = None
+            for pid, weight in writers.items():
+                group = self.dispatcher.group_of_partition(pid)
+                layer = self.dispatcher.groups[group].layer
+                key = (layer, weight, -pid)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_pid = pid
+            overrides[v] = int(best_pid)
+        replicas.set_owner_overrides(overrides)
+
+    # ------------------------------------------------------------------
+    # activity bookkeeping
+    # ------------------------------------------------------------------
+    def _bump_partitions(self, v: int, delta: int) -> None:
+        # Activity is tracked at the vertex's owner partition only:
+        # counting every replica partition would keep upstream groups
+        # flickering active (any downstream activation re-marks them),
+        # permanently blocking the dependency frontier.
+        pid = self.pre.replicas.owner_partition(v)
+        if pid is None:
+            return
+        before = self.partition_active[pid]
+        self.partition_active[pid] = max(0, before + delta)
+        after = self.partition_active[pid]
+        group = self.dispatcher.group_of_partition(pid)
+        if before == 0 and after > 0:
+            self.group_active[group] += 1
+            self._partition_was_active[pid] = True
+        elif before > 0 and after == 0:
+            self.group_active[group] -= 1
+            self._partition_was_active[pid] = False
+
+    def activate(self, vertices: Sequence[int]) -> None:
+        """Activate vertices, honoring message-delivery timing.
+
+        A changed state is visible immediately on the GPU that produced
+        it, but reaches other GPUs only with the end-of-wave replica
+        synchronization — so activations of remote-owned vertices are
+        deferred to the wave boundary. Activating them instantly would
+        let them process the *stale* snapshot of the very change that
+        activated them and then deactivate, losing the update.
+        """
+        producing_gpu = self._processing_gpu
+        for v in vertices:
+            v = int(v)
+            owner = self.pre.replicas.owner_partition(v)
+            if (
+                producing_gpu is not None
+                and owner is not None
+                and self.dispatcher.current_gpu[owner] != producing_gpu
+            ):
+                # Always queued — even if currently active: the target may
+                # be processed later this wave against the stale snapshot
+                # and deactivate, which would drop this change's message.
+                self._deferred_activations.append(v)
+                continue
+            self._activate_now(v)
+
+    def _activate_now(self, v: int) -> None:
+        if not self.states.active[v]:
+            self.states.active[v] = True
+            self.scheduler.vertex_activated(v)
+            self._bump_partitions(v, +1)
+
+    def _apply_deferred_activations(self) -> None:
+        """Deliver cross-GPU activations at the wave boundary."""
+        pending, self._deferred_activations = self._deferred_activations, []
+        for v in pending:
+            self._activate_now(v)
+
+    def deactivate(self, v: int) -> None:
+        if self.states.active[v]:
+            self.states.active[v] = False
+            self.scheduler.vertex_deactivated(v)
+            self._bump_partitions(int(v), -1)
+
+    def partition_is_active(self, pid: int) -> bool:
+        return self.partition_active[pid] > 0
+
+    def active_successor_partitions(self, pid: int) -> int:
+        """Eviction-policy input: active direct successor partitions."""
+        return sum(
+            1
+            for succ in self.dispatcher.partition_successors(pid)
+            if self.partition_is_active(succ)
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def execute(self) -> bool:
+        """Run topological sweeps until no vertex is active.
+
+        One *round* is one sweep: the dependency frontier is processed,
+        which may converge groups and unblock their successors — those
+        run within the **same** sweep (the paper dispatches SCC-vertices
+        asynchronously as SMXs free up, with no global barrier between
+        layers). A partition runs at most once per sweep; a group that
+        stays active (an iterating SCC) waits for the next sweep.
+        """
+        self._process_isolated_vertices()
+        stats = self.machine.stats
+        for _ in range(self.cfg.max_rounds):
+            if not self.states.any_active():
+                return True
+            self._current_round += 1
+            processed_this_sweep: Set[int] = set()
+            self._sweep_work = {g: [] for g in range(self.machine.num_gpus)}
+            self._sweep_atomics = {
+                g: [] for g in range(self.machine.num_gpus)
+            }
+            swept_any = False
+            while True:
+                runnable = [
+                    pid
+                    for pid in self._select_runnable_partitions()
+                    if pid not in processed_this_sweep
+                ]
+                if not runnable:
+                    break
+                swept_any = True
+                processed_this_sweep.update(runnable)
+                self._run_wave(runnable)
+            # One kernel timeline per sweep: the waves above are
+            # bookkeeping boundaries for staleness and activation
+            # delivery, but the SMXs run continuously (no global barrier
+            # in the asynchronous model) — charging each wave as its own
+            # launch would serialize warp-quantization costs that the
+            # real system pipelines away.
+            self.machine.compute_round(self._sweep_work, self._sweep_atomics)
+            stats.rounds += 1
+            if not swept_any:
+                # Active vertices exist only outside any partition —
+                # impossible once isolated vertices were handled.
+                return True
+        return not self.states.any_active()
+
+    def _run_wave(self, runnable: List[int]) -> None:
+        """Process one set of runnable partitions concurrently.
+
+        Gather reads go through a per-GPU staleness view: vertices owned
+        by another GPU are read at their wave-start snapshot (their new
+        states arrive with the next replica synchronization). Thanks to
+        dependency-ordered dispatch, a runnable partition's upstream
+        inputs are already *converged*, so for them snapshot == fresh —
+        the ordering removes the staleness penalty the async baseline
+        pays. Inside an iterating multi-GPU SCC the penalty remains,
+        matching the paper's observations.
+        """
+        assignment = self.dispatcher.balance_assignments(runnable)
+        self._record_round_start(runnable)
+        views = self._wave_views()
+        for gpu_id, pids in assignment.items():
+            gpu_work: List[int] = []
+            gpu_atomics: List[int] = []
+            self._processing_gpu = gpu_id
+            for pid in pids:
+                self.dispatcher.ensure_resident(
+                    pid, self.active_successor_partitions
+                )
+                items, item_atomics = self._process_partition(
+                    pid, gpu_id, views[gpu_id]
+                )
+                gpu_work.extend(items)
+                gpu_atomics.extend(item_atomics)
+            self._processing_gpu = None
+            self._sweep_work[gpu_id].extend(gpu_work)
+            self._sweep_atomics[gpu_id].extend(gpu_atomics)
+        self._prefetch_next(runnable)
+        self._flush_replica_sync()
+        self._apply_deferred_activations()
+
+    def _wave_views(self) -> List[StalenessView]:
+        """Per-GPU read views for one wave (fresh local, snapshot remote)."""
+        snapshot = self.states.copy_values()
+        owner_gpu = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+        replicas = self.pre.replicas
+        current_gpu = self.dispatcher.current_gpu
+        for v in range(self.graph.num_vertices):
+            pid = replicas.owner_partition(v)
+            if pid is not None:
+                owner_gpu[v] = current_gpu[pid]
+        self._owner_gpu = owner_gpu
+        self._wave_counter += 1
+        return [
+            StalenessView(
+                self.states.values,
+                snapshot,
+                owner_gpu == gpu,
+                written_gpu=self._written_gpu,
+                written_stamp=self._written_stamp,
+                wave_stamp=self._wave_counter,
+                gpu_id=gpu,
+            )
+            for gpu in range(self.machine.num_gpus)
+        ]
+
+    def _path_gather_work(self, path_id: int) -> int:
+        """Expected gather work of one path (cached)."""
+        cached = self._path_work_cache.get(path_id)
+        if cached is None:
+            cached = sum(
+                self.program.gather_degree(self.graph, int(v))
+                for v in self.pre.path_set[path_id].vertices
+            )
+            self._path_work_cache[path_id] = cached
+        return cached
+
+    def _process_isolated_vertices(self) -> None:
+        """Vertices on no path (no edges at all) get one apply up front."""
+        for v in self.states.active_vertices():
+            v = int(v)
+            if self.pre.replicas.mirror_partitions(v):
+                continue
+            new, changed = self.program.update_vertex(
+                self.graph, v, self.states.values
+            )
+            self.machine.stats.apply_calls += 1
+            if changed:
+                self.machine.stats.vertex_updates += 1
+            self.states.values[v] = new
+            self.deactivate(v)
+            if changed:
+                self.activate(list(self.program.dependents(self.graph, v)))
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _select_runnable_partitions(self) -> List[int]:
+        """Frontier groups in layer order, plus advance execution."""
+        if not self.cfg.use_path_execution:
+            # DiGraph-t: no dependency ordering — every active partition.
+            return [
+                pid
+                for pid in range(self.pre.storage.num_partitions)
+                if self.partition_is_active(pid)
+            ]
+        runnable: List[int] = []
+        advance_candidates: List[Tuple[int, List[int]]] = []
+        for group in self.groups:
+            if self.group_active[group.group_id] == 0:
+                continue
+            active_pids = [
+                pid
+                for pid in group.partition_ids
+                if self.partition_is_active(pid)
+            ]
+            blockers = self._active_predecessor_groups(group.group_id)
+            if blockers == 0:
+                runnable.extend(active_pids)
+            else:
+                advance_candidates.append((blockers, active_pids))
+        # Advance execution: fill idle capacity with the active groups
+        # that have the fewest active precursors (Section 3.1).
+        capacity = self.machine.num_gpus * max(self.cfg.advance_factor, 0)
+        if len(runnable) < capacity and advance_candidates:
+            advance_candidates.sort(key=lambda item: item[0])
+            for _, pids in advance_candidates:
+                if len(runnable) >= capacity:
+                    break
+                runnable.extend(pids[: capacity - len(runnable)])
+        return runnable
+
+    def _active_predecessor_groups(self, group_id: int) -> int:
+        group = self.dispatcher.groups[group_id]
+        pred_groups: Set[int] = set()
+        for pid in group.partition_ids:
+            for pred in self.dispatcher.partition_predecessors(pid):
+                pred_group = self.dispatcher.group_of_partition(pred)
+                if pred_group != group_id:
+                    pred_groups.add(pred_group)
+        return sum(
+            1 for g in pred_groups if self.group_active[g] > 0
+        )
+
+    def _prefetch_next(self, runnable: Sequence[int]) -> None:
+        """Queue the successor partitions' transfers behind this round."""
+        if not self.cfg.prefetch:
+            return
+        queued: Set[int] = set(runnable)
+        for pid in runnable:
+            for succ in self.dispatcher.partition_successors(pid):
+                if succ not in queued and self.partition_is_active(succ):
+                    queued.add(succ)
+                    self.dispatcher.ensure_resident(
+                        succ,
+                        self.active_successor_partitions,
+                        overlap=True,
+                    )
+
+    def _record_round_start(self, runnable: Sequence[int]) -> None:
+        storage = self.pre.storage
+        num_partitions = storage.num_partitions
+        convergent = sum(
+            1
+            for pid in range(num_partitions)
+            if not self.partition_is_active(pid)
+        )
+        active_slots = 0
+        total_slots = 0
+        for pid in runnable:
+            active_slots += int(self.partition_active[pid])
+            total_slots += storage.partitions[pid].num_vertex_slots
+        self.round_records.append(
+            RoundRecord(
+                round_index=len(self.round_records),
+                partitions_processed=len(runnable),
+                partitions_convergent=convergent,
+                active_fraction_nonconvergent=(
+                    active_slots / total_slots if total_slots else 0.0
+                ),
+                vertex_updates=self.machine.stats.vertex_updates,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # partition processing
+    # ------------------------------------------------------------------
+    def _process_partition(
+        self, pid: int, gpu_id: int, view: StalenessView
+    ) -> Tuple[List[int], List[int]]:
+        """Process one partition; returns per-thread (edges, atomics)."""
+        storage = self.pre.storage
+        partition = storage.partitions[pid]
+        path_set = self.pre.path_set
+        stats = self.machine.stats
+        stats.note_partition_processed(pid)
+
+        changed_vertices: Set[int] = set()
+        write_counts: Dict[int, int] = {}
+        work_items: List[int] = []
+        atomic_items: List[int] = []
+        if self.cfg.use_path_execution:
+            # The SMX's warp scheduler keeps re-running its active paths
+            # until the partition settles (Section 3.2.3): one partition
+            # pass iterates to *local quiescence* — cross-partition
+            # effects wait for the next wave. Each iteration schedules
+            # and loads only the paths holding an active vertex this GPU
+            # owns ("only needs to access a few paths"), the mechanism
+            # behind DiGraph's loaded-data utilization (Fig. 13).
+            active = self.states.active
+            owner_gpu = self._owner_gpu
+            # Iterating to local quiescence is only productive when the
+            # pass computes *final* values: the partition must form its
+            # own dispatch group (no mutual dependence with other
+            # partitions) and every upstream group must have converged.
+            # Inside a multi-partition SCC group, or with live upstream
+            # inputs, iterating would churn against a stale snapshot, so
+            # the pass runs once and waits for the next delivery.
+            group_id = self.dispatcher.group_of_partition(pid)
+            group = self.dispatcher.groups[group_id]
+            inputs_final = len(group.partition_ids) == 1 and all(
+                not self.partition_is_active(pred)
+                for pred in self.dispatcher.partition_predecessors(pid)
+            )
+            max_iterations = _MAX_LOCAL_ITERATIONS if inputs_final else 1
+            for _iteration in range(max_iterations):
+                scheduled = []
+                for p in partition.path_ids:
+                    if self.scheduler.active_count[p] == 0:
+                        continue
+                    for v in path_set[p].vertices:
+                        if active[v] and owner_gpu[v] == gpu_id:
+                            scheduled.append(p)
+                            break
+                if not scheduled:
+                    break
+                self._stamp_counter += 1
+                loaded_vertices = sum(
+                    path_set[p].num_vertices for p in scheduled
+                )
+                loaded_edges = sum(
+                    path_set[p].num_edges for p in scheduled
+                )
+                self.machine.load_global(
+                    gpu_id,
+                    nbytes=loaded_vertices * 16 + loaded_edges * 8,
+                    vertices=loaded_vertices,
+                )
+                ordered = self.scheduler.order_paths(scheduled)
+                # Balance by expected gather work (sum of gather degrees
+                # along the path), the pull-model analog of the paper's
+                # equal edges-per-thread rule.
+                path_work = {
+                    p: self._path_gather_work(p) for p in ordered
+                }
+                buckets = balance_paths_to_threads(
+                    ordered,
+                    path_work,
+                    self.engine.spec.gpu.threads_per_smx,
+                )
+                for bucket in buckets:
+                    edges = 0
+                    for path_id in bucket:
+                        edges += self._walk_path(
+                            path_id,
+                            gpu_id,
+                            view,
+                            changed_vertices,
+                            write_counts,
+                            quiesce=inputs_final,
+                        )
+                    work_items.append(edges)
+                    atomic_items.append(0)
+            # Contention is accounted once per partition pass (proxies
+            # flush at pass end); the atomic pushes are issued by the
+            # threads that produced the writes, so spread them evenly
+            # over the pass's threads.
+            contention = self.pre.replicas.contention(write_counts)
+            stats.atomic_updates += contention.atomic_updates
+            stats.proxy_absorbed += contention.proxy_absorbed
+            if work_items and contention.atomic_updates:
+                share, remainder = divmod(
+                    contention.atomic_updates, len(atomic_items)
+                )
+                for i in range(len(atomic_items)):
+                    atomic_items[i] += share + (1 if i < remainder else 0)
+        else:
+            # DiGraph-t: traditional execution loads the whole partition
+            # and runs one worklist pass over its vertices.
+            self.machine.load_global(
+                gpu_id,
+                nbytes=partition.nbytes,
+                vertices=partition.num_vertex_slots,
+            )
+            per_vertex_items = self._process_vertex_centric(
+                partition, gpu_id, view, changed_vertices, write_counts
+            )
+            contention = self.pre.replicas.contention(write_counts)
+            stats.atomic_updates += contention.atomic_updates
+            stats.proxy_absorbed += contention.proxy_absorbed
+            # Traditional execution: one thread per processed vertex,
+            # same as the async baseline.
+            work_items.extend(per_vertex_items)
+            atomic_items.extend([0] * len(per_vertex_items))
+            if atomic_items and contention.atomic_updates:
+                share, remainder = divmod(
+                    contention.atomic_updates, len(atomic_items)
+                )
+                for i in range(len(atomic_items)):
+                    atomic_items[i] += share + (1 if i < remainder else 0)
+
+        self._synchronize_replicas(pid, gpu_id, changed_vertices)
+        return work_items, atomic_items
+
+    def _walk_path(
+        self,
+        path_id: int,
+        gpu_id: int,
+        view: StalenessView,
+        changed_vertices: Set[int],
+        write_counts: Dict[int, int],
+        quiesce: bool = False,
+    ) -> int:
+        """Sequential in-path walk with immediate state reuse.
+
+        A vertex's *active* flag may only be consumed by the GPU owning
+        it: its pending activation encodes "new gather input has arrived
+        here". A non-owner replica walking the same vertex on another GPU
+        still refines it through the in-path chain (``upstream_changed``)
+        but must not deactivate it — doing so would cancel a delivery the
+        stale remote pass never saw. Returns the number of gather edges
+        traversed (thread work).
+        """
+        path = self.pre.path_set[path_id]
+        graph, program, states = self.graph, self.program, self.states
+        stats = self.machine.stats
+        # The walk streams every loaded slot of the path sequentially
+        # (it must, to follow the chain) — each streamed record is a use
+        # of loaded data, the coalescing win Fig. 13 measures.
+        self.machine.note_vertex_uses(path.num_vertices)
+        edges_walked = 0
+        upstream_changed = False
+        for position, v in enumerate(path.vertices):
+            v = int(v)
+            owner_local = self._owner_gpu[v] == gpu_id
+            consumes_active = states.active[v] and owner_local
+            if not (consumes_active or upstream_changed):
+                upstream_changed = False
+                continue
+            if self._processed_stamp[v] == self._stamp_counter:
+                # Already updated this local iteration (another path
+                # occurrence); its master state is fresh — reuse.
+                upstream_changed = False
+                continue
+            if (
+                not quiesce
+                and self._sweep_stamp[v] == self._current_round
+            ):
+                # Outside quiescence mode a vertex updates at most once
+                # per sweep: recomputing it again before the next replica
+                # delivery would just churn on the same stale inputs. If
+                # it was re-activated meanwhile it stays active and is
+                # picked up next sweep.
+                upstream_changed = False
+                continue
+            self._processed_stamp[v] = self._stamp_counter
+            self._sweep_stamp[v] = self._current_round
+            new, changed = program.update_vertex(
+                graph, v, view, old_state=float(states.values[v])
+            )
+            degree = program.gather_degree(graph, v)
+            edges_walked += degree
+            stats.apply_calls += 1
+            stats.edge_traversals += degree
+            # Data-use accounting (Fig. 13): the vertex record plus each
+            # neighbor read. One gather input — the in-path predecessor —
+            # sits in the already-loaded path block (the coalescing win);
+            # the rest are demand fetches of master records.
+            demand = degree - 1 if position > 0 else degree
+            if demand > 0:
+                self.machine.load_global(
+                    gpu_id, nbytes=8 * demand, vertices=demand
+                )
+            self.machine.note_vertex_uses(degree)
+            states.values[v] = new
+            self._written_gpu[v] = gpu_id
+            self._written_stamp[v] = self._wave_counter
+            if consumes_active:
+                self.deactivate(v)
+            if changed:
+                stats.vertex_updates += 1
+                changed_vertices.add(v)
+                write_counts[v] = write_counts.get(v, 0) + 1
+                self.activate(list(program.dependents(graph, v)))
+            upstream_changed = changed
+        return edges_walked
+
+    def _process_vertex_centric(
+        self,
+        partition,
+        gpu_id: int,
+        view: StalenessView,
+        changed_vertices: Set[int],
+        write_counts: Dict[int, int],
+    ) -> int:
+        """DiGraph-t: active vertices in id order, immediate visibility.
+
+        Like the path walk, only the owner GPU consumes a vertex's active
+        flag (see :meth:`_walk_path`). Returns per-vertex work items
+        (gather degrees)."""
+        graph, program, states = self.graph, self.program, self.states
+        stats = self.machine.stats
+        vertices: Set[int] = set()
+        for path_id in partition.path_ids:
+            vertices.update(
+                int(v) for v in self.pre.path_set[path_id].vertices
+            )
+        items: List[int] = []
+        for v in sorted(vertices):
+            if not (states.active[v] and self._owner_gpu[v] == gpu_id):
+                continue
+            new, changed = program.update_vertex(
+                graph, v, view, old_state=float(states.values[v])
+            )
+            degree = program.gather_degree(graph, v)
+            items.append(degree)
+            stats.apply_calls += 1
+            stats.edge_traversals += degree
+            # Demand fetches: no path block to amortize gather reads.
+            if degree > 0:
+                self.machine.load_global(
+                    gpu_id, nbytes=8 * degree, vertices=degree
+                )
+            self.machine.note_vertex_uses(1 + degree)
+            states.values[v] = new
+            self._written_gpu[v] = gpu_id
+            self._written_stamp[v] = self._wave_counter
+            self.deactivate(v)
+            if changed:
+                stats.vertex_updates += 1
+                changed_vertices.add(v)
+                write_counts[v] = write_counts.get(v, 0) + 1
+                self.activate(list(program.dependents(graph, v)))
+        return items
+
+    def _synchronize_replicas(
+        self, pid: int, gpu_id: int, changed_vertices: Set[int]
+    ) -> None:
+        """Batched replica-update messages to remote mirror partitions.
+
+        Messages are grouped per destination partition (Section 3.2.2's
+        arrangement "according to the IDs of the destination partitions")
+        and accumulated per GPU pair; the NCCL ring moves each pair's
+        accumulated batch once per round (flushed by the main loop).
+        """
+        if not changed_vertices:
+            return
+        outcome = self.pre.replicas.sync_after_partition(
+            pid, changed_vertices
+        )
+        if outcome.messages == 0:
+            return
+        per_batch = max(1, outcome.messages // max(outcome.batches, 1))
+        for dest in outcome.destinations:
+            dest_gpu = self.dispatcher.current_gpu[dest]
+            if dest_gpu == gpu_id:
+                continue  # same-GPU sync stays in global memory
+            key = (gpu_id, dest_gpu)
+            self._pending_sync_bytes[key] = (
+                self._pending_sync_bytes.get(key, 0)
+                + per_batch * BYTES_PER_MESSAGE
+            )
+
+    def _flush_replica_sync(self) -> None:
+        """Send each GPU pair's accumulated replica batch for this round."""
+        for (src_gpu, dst_gpu), nbytes in sorted(
+            self._pending_sync_bytes.items()
+        ):
+            self.machine.transfer_async(src_gpu, dst_gpu, nbytes)
+        self._pending_sync_bytes.clear()

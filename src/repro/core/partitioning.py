@@ -1,0 +1,427 @@
+"""Path-based graph partitioning — Algorithm 1 of the paper.
+
+The directed graph is decomposed into disjoint hot/cold paths by a
+bounded-depth, degree-greedy DFS:
+
+- each worker repeatedly takes a vertex of its shard with unvisited local
+  out-edges as the root and walks unvisited edges depth-first, appending
+  them to the current path;
+- the traversal depth is bounded by ``D_MAX`` (default 16, the paper's
+  value) so path lengths are not too skewed;
+- among unvisited successors the **highest-degree** one is chosen first, so
+  edges between high-degree vertices line up in the same *hot* path;
+- a path ends when the walk reaches an already-visited vertex, an exhausted
+  vertex, a non-local vertex, or the depth bound.
+
+A second pass merges short paths head-to-tail to raise the average path
+length, honoring the paper's constraint: if both the in-degree and the
+out-degree of the junction vertex exceed one, the merge is allowed only
+when the junction is not an *inner* vertex of another path (keeping paths
+intersecting at endpoints only, so fewer paths depend on each other).
+
+``n_workers`` shards the vertex set into contiguous ranges, each worker
+owning its vertices' out-edges — the paper's "each thread only divides its
+local subgraph" parallelization. The result is deterministic for a given
+``(graph, n_workers)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.digraph import DiGraphCSR
+from repro.core.paths import Path, PathSet, renumber
+
+#: The paper's default traversal-depth bound.
+D_MAX = 16
+
+#: Modeled CPU cost per edge for preprocessing-time accounting (Fig. 8/17):
+#: a tuned CPU path-partitioner touches each edge a small constant number
+#: of times; 20 ns/edge per thread is in line with the paper's seconds-level
+#: preprocessing on billion-edge graphs.
+CPU_SECONDS_PER_EDGE = 2e-8
+
+
+def decompose_into_paths(
+    graph: DiGraphCSR,
+    d_max: int = D_MAX,
+    n_workers: int = 1,
+    merge_short_paths: bool = True,
+    hot_fraction: float = 0.1,
+    degree_greedy: bool = True,
+    scc_aware: bool = True,
+) -> PathSet:
+    """Run Algorithm 1 (+ merging + hot classification) on ``graph``.
+
+    Parameters
+    ----------
+    d_max:
+        Traversal-depth bound (paper default 16).
+    n_workers:
+        CPU shards; each worker owns the out-edges of a contiguous vertex
+        range (Fig. 17 sweeps this).
+    merge_short_paths:
+        Enable the head-to-tail merge pass.
+    hot_fraction:
+        Fraction of paths (by average vertex degree) classified hot.
+    degree_greedy:
+        Visit highest-degree successors first (disable for the hot-path
+        ablation benchmark).
+    scc_aware:
+        End every path at SCC-region boundaries of the vertex graph. Two
+        long paths interleaving inside an *acyclic* region would otherwise
+        read and write each other's vertices mutually, welding the path
+        dependency graph into one giant SCC-vertex and erasing the
+        topological order that Observation 2's one-update savings rest on.
+        Confining each path to one vertex-SCC region keeps path-level
+        cycles inside vertex-level cycles, matching the paper's reported
+        giant-SCC-vertex range (3.5%-89% of paths, tracking the graph's
+        own SCC structure).
+    """
+    if d_max < 1:
+        raise PartitioningError("d_max must be >= 1")
+    if n_workers < 1:
+        raise PartitioningError("n_workers must be >= 1")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise PartitioningError("hot_fraction must be in [0, 1]")
+
+    region = _walk_regions(graph, d_max) if scc_aware else None
+
+    segments: List[List[int]] = []  # edge-id lists
+    n = graph.num_vertices
+    bounds = np.linspace(0, n, n_workers + 1).astype(np.int64)
+    # Stamp 0 means "never visited"; each traversal uses a fresh stamp, and
+    # each shard gets a disjoint stamp range (shards touch disjoint vertex
+    # ranges anyway, but disjoint stamps keep the invariant obvious).
+    visit_stamp = np.zeros(n, dtype=np.int64)
+    visited_edge = np.zeros(graph.num_edges, dtype=bool)
+
+    stamp_base = 0
+    for w in range(n_workers):
+        lo, hi = int(bounds[w]), int(bounds[w + 1])
+        stamp_base = _decompose_shard(
+            graph,
+            lo,
+            hi,
+            d_max,
+            visit_stamp,
+            visited_edge,
+            segments,
+            degree_greedy,
+            stamp_base,
+            region,
+        )
+
+    if int(visited_edge.sum()) != graph.num_edges:
+        raise PartitioningError("decomposition failed to cover all edges")
+
+    vertex_paths = [_segment_vertices(graph, seg) for seg in segments]
+    if merge_short_paths:
+        vertex_paths, segments = _merge_head_to_tail(
+            graph, vertex_paths, segments, region
+        )
+
+    paths = renumber(
+        [
+            Path(path_id=0, vertices=tuple(vs), edge_ids=tuple(seg))
+            for vs, seg in zip(vertex_paths, segments)
+        ]
+    )
+    hot_ids = _classify_hot(graph, paths, hot_fraction)
+    return PathSet(graph=graph, paths=paths, hot_path_ids=hot_ids)
+
+
+def modeled_preprocess_seconds(
+    graph: DiGraphCSR, n_workers: int, dependency_vertices: int = 0
+) -> float:
+    """Model CPU preprocessing time for Fig. 8 / Fig. 17.
+
+    One full traversal of the original graph (sharded over workers) plus
+    one traversal of the much smaller path dependency graph, per the
+    paper's cost argument ("traversing the original graph for exactly once
+    ... and the dependency graph once").
+    """
+    per_worker_edges = graph.num_edges / max(n_workers, 1)
+    # One pass over the dependency graph (its vertex count is a small
+    # fraction of the original graph's — the paper reports 3.4%-9.1%).
+    dependency_cost = dependency_vertices / max(n_workers, 1)
+    return CPU_SECONDS_PER_EDGE * (per_worker_edges + dependency_cost)
+
+
+def _walk_regions(graph: DiGraphCSR, d_max: int) -> np.ndarray:
+    """Region labels that bound path-level dependency cycles.
+
+    Two long paths interleaving through a region can read and write each
+    other's vertices mutually, welding the path dependency graph into one
+    giant SCC-vertex regardless of the underlying graph's structure. To
+    bound that, walks never cross region boundaries, where a region is:
+
+    - one multi-vertex SCC of the vertex graph (its cycles weld paths
+      anyway — confining them there is free), or
+    - a *band* of consecutive condensation layers of singleton SCCs.
+      Within a band, paths still grow up to the band width; across bands
+      all dependencies follow the layer order, so the path DAG sketch
+      keeps at least ``layers / band`` topological levels.
+
+    The band width is half the traversal depth bound: deep enough for the
+    paper's path lengths, narrow enough to retain layered structure.
+    """
+    from repro.graph.scc import condensation
+    from repro.graph.traversal import dag_layers
+
+    cond = condensation(graph)
+    layers = dag_layers(cond.dag)
+    band_width = max(2, d_max // 2)
+    sizes = cond.component_sizes()
+    num_components = cond.num_components
+    region = np.empty(graph.num_vertices, dtype=np.int64)
+    # Multi-vertex SCCs keep their own region ids; singleton layers band
+    # together. Offset bands past the component-id space so ids never
+    # collide.
+    for comp in range(num_components):
+        members = cond.members[comp]
+        if sizes[comp] > 1:
+            label = comp
+        else:
+            label = num_components + int(layers[comp]) // band_width
+        for v in members:
+            region[v] = label
+    return region
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 core
+# ----------------------------------------------------------------------
+def _decompose_shard(
+    graph: DiGraphCSR,
+    lo: int,
+    hi: int,
+    d_max: int,
+    visit_stamp: np.ndarray,
+    visited_edge: np.ndarray,
+    segments: List[List[int]],
+    degree_greedy: bool,
+    stamp_base: int,
+    region,
+) -> int:
+    """Decompose the out-edges owned by vertices ``[lo, hi)``.
+
+    Returns the last traversal stamp used (callers pass it on as the next
+    shard's ``stamp_base``).
+
+    Vertex *visited* marks are **per traversal** (one root invocation of
+    GRAPHP): they only prevent a single traversal from looping, so later
+    traversals may pass through the same vertices along different
+    (still edge-disjoint) paths. This is what lets walks keep consuming
+    unvisited edges and is required to reach the paper's reported average
+    path lengths (3.5-10.9) — with a single global visited mark every
+    edge into an already-seen vertex would become its own length-1 path.
+    Implemented with traversal-id stamps so no clearing is needed.
+    """
+    degrees = graph.degree()
+    # Roots in descending degree order: hot vertices start hot paths.
+    shard = np.arange(lo, hi, dtype=np.int64)
+    if degree_greedy:
+        shard = shard[np.argsort(-degrees[shard], kind="stable")]
+
+    current: List[int] = []
+    # The active traversal's stamp, readable by the successor sort (walks
+    # prefer successors that are not already on the current path).
+    current_stamp = [0]
+
+    def new_path() -> None:
+        if current:
+            segments.append(current.copy())
+            current.clear()
+
+    def sorted_successor_edges(v: int) -> List[Tuple[int, int]]:
+        """Unvisited local out-edges of ``v`` as (dst, edge_id), hottest
+        destination first (Algorithm 1 lines 4-5).
+
+        Successors that still have unvisited out-edges of their own rank
+        before exhausted ones: hub vertices attract every walk and drain
+        their out-edges quickly, so without this dead-end avoidance most
+        walks funnel into a drained hub after one hop and the average
+        path length collapses (far below the paper's 3.5-10.9).
+        """
+        pairs = [
+            (int(graph.indices[eid]), eid)
+            for eid in graph.out_edge_ids(v)
+            if not visited_edge[eid]
+        ]
+        if degree_greedy:
+            pairs.sort(
+                key=lambda p: (
+                    visit_stamp[p[0]] == current_stamp[0],
+                    not has_unvisited_local_edges(p[0]),
+                    -degrees[p[0]],
+                    p[0],
+                )
+            )
+        else:
+            pairs.sort(
+                key=lambda p: (
+                    visit_stamp[p[0]] == current_stamp[0],
+                    not has_unvisited_local_edges(p[0]),
+                    p[0],
+                )
+            )
+        return pairs
+
+    def has_unvisited_local_edges(v: int) -> bool:
+        return any(
+            not visited_edge[eid] for eid in graph.out_edge_ids(v)
+        )
+
+    def traverse(root: int, stamp: int) -> None:
+        """Grow one path from ``root``: GRAPHP(root, p, 0).
+
+        The walk follows the hottest unvisited out-edge (lines 4-9),
+        bounded by ``d_max`` (line 3). The visited marks (this traversal's
+        ``stamp``) only stop the *current path* from looping: a walk that
+        reaches an on-path vertex takes that closing edge and ends there
+        (lines 12-14 — the junction becomes the path's tail, possibly
+        closing a cycle). Walks also end at non-local vertices (line 4's
+        local-subgraph restriction) and at vertices with no unvisited
+        out-edges.
+        """
+        visit_stamp[root] = stamp
+        current_stamp[0] = stamp
+        v = root
+        depth = 0
+        while depth < d_max:
+            candidates = sorted_successor_edges(v)
+            if not candidates:
+                break
+            u, eid = candidates[0]
+            visited_edge[eid] = True
+            current.append(eid)
+            if visit_stamp[u] == stamp or not lo <= u < hi:
+                break  # path ends at an on-path or non-local vertex
+            if region is not None and region[u] != region[v]:
+                break  # SCC-region boundary: the crossing edge ends the path
+            visit_stamp[u] = stamp
+            v = u
+            depth += 1
+        new_path()
+
+    stamp = stamp_base
+    for root in shard:
+        root = int(root)
+        while has_unvisited_local_edges(root):
+            stamp += 1
+            traverse(root, stamp)
+    return stamp
+
+
+def _segment_vertices(graph: DiGraphCSR, segment: Sequence[int]) -> List[int]:
+    """Vertex sequence of a connected edge-id segment."""
+    if not segment:
+        raise PartitioningError("empty path segment")
+    first_src, first_dst = graph.edge_endpoints(int(segment[0]))
+    vertices = [first_src, first_dst]
+    for eid in segment[1:]:
+        src, dst = graph.edge_endpoints(int(eid))
+        if src != vertices[-1]:
+            raise PartitioningError(
+                f"segment not connected: edge {eid} starts at {src}, "
+                f"previous vertex is {vertices[-1]}"
+            )
+        vertices.append(dst)
+    return vertices
+
+
+# ----------------------------------------------------------------------
+# head-to-tail merging
+# ----------------------------------------------------------------------
+def _merge_head_to_tail(
+    graph: DiGraphCSR,
+    vertex_paths: List[List[int]],
+    segments: List[List[int]],
+    region=None,
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Merge short paths head-to-tail for a larger average length.
+
+    Maintains the paper's constraint: a junction vertex with in-degree > 1
+    and out-degree > 1 may only join two paths if it is not an inner
+    vertex of any (other) path.
+    """
+    k = len(vertex_paths)
+    inner_count: Dict[int, int] = defaultdict(int)
+    for vs in vertex_paths:
+        for v in vs[1:-1]:
+            inner_count[v] += 1
+
+    by_head: Dict[int, List[int]] = defaultdict(list)
+    for i, vs in enumerate(vertex_paths):
+        by_head[vs[0]].append(i)
+    consumed = [False] * k
+
+    in_deg = graph.in_degree()
+    out_deg = graph.out_degree()
+
+    def may_join(junction: int) -> bool:
+        if in_deg[junction] > 1 and out_deg[junction] > 1:
+            return inner_count[junction] == 0
+        return True
+
+    def same_region(a: List[int], b: List[int]) -> bool:
+        # SCC-aware mode: never re-join what the walk kept apart — a
+        # merge across region boundaries would recreate the cross-region
+        # dependency cycles the decomposition avoided.
+        if region is None:
+            return True
+        return region[a[0]] == region[b[-2 if len(b) > 1 else 0]]
+
+    merged_vertices: List[List[int]] = []
+    merged_segments: List[List[int]] = []
+    # Shorter paths first so fragments chain up before long paths lock
+    # junction vertices as inner vertices.
+    order = sorted(range(k), key=lambda i: len(segments[i]))
+    for start in order:
+        if consumed[start]:
+            continue
+        consumed[start] = True
+        chain_vs = list(vertex_paths[start])
+        chain_seg = list(segments[start])
+        while True:
+            tail = chain_vs[-1]
+            candidates = by_head.get(tail, ())
+            nxt = None
+            for j in candidates:
+                if (
+                    not consumed[j]
+                    and may_join(tail)
+                    and same_region(vertex_paths[j], chain_vs)
+                ):
+                    nxt = j
+                    break
+            if nxt is None:
+                break
+            consumed[nxt] = True
+            # The junction becomes an inner vertex of the merged path.
+            inner_count[tail] += 1
+            chain_vs.extend(vertex_paths[nxt][1:])
+            chain_seg.extend(segments[nxt])
+        merged_vertices.append(chain_vs)
+        merged_segments.append(chain_seg)
+    return merged_vertices, merged_segments
+
+
+# ----------------------------------------------------------------------
+# hot/cold classification
+# ----------------------------------------------------------------------
+def _classify_hot(
+    graph: DiGraphCSR, paths: List[Path], hot_fraction: float
+) -> frozenset:
+    """Mark the top ``hot_fraction`` of paths by average vertex degree."""
+    if not paths or hot_fraction == 0.0:
+        return frozenset()
+    avg_degrees = np.asarray([p.average_degree(graph) for p in paths])
+    count = max(1, int(round(hot_fraction * len(paths))))
+    hot = np.argsort(-avg_degrees, kind="stable")[:count]
+    return frozenset(int(i) for i in hot)

@@ -1,0 +1,217 @@
+"""Vertex replicas: masters, mirrors, proxy vertices, message batching.
+
+Section 3.2.2: a vertex replicated across paths has one *master* (its
+``V_val`` slot) and *mirrors* (its ``S_val`` occurrences). Mirrors push new
+states to the master; other mirrors pull from it. Two cost problems and the
+paper's fixes, both modeled here:
+
+- **Write contention** — many threads atomically updating one hot master.
+  Fix: a *proxy vertex* in each SMX's shared memory accumulates the local
+  mirrors' pushes; only the accumulated result hits the master. We count
+  an ``atomic`` per master write and credit ``proxy_absorbed`` for writes
+  a proxy soaked up.
+- **Interleaved messages** — replica-update messages scattered across
+  destination partitions force repeated partition loads. Fix: after a
+  partition is processed, messages are grouped by destination partition
+  and sent in batches; we count messages, batches, and bytes, and the
+  dispatcher charges one transfer per batch instead of per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.core.paths import PathSet
+from repro.core.storage import BYTES_PER_MESSAGE, PathStorage
+
+
+@dataclass(frozen=True)
+class SyncOutcome:
+    """Replica synchronization cost of one partition processing pass."""
+
+    messages: int           #: replica-update messages generated
+    batches: int            #: distinct destination partitions (one batch each)
+    nbytes: int             #: total message payload
+    destinations: Tuple[int, ...]  #: destination partition ids
+
+
+@dataclass(frozen=True)
+class ContentionOutcome:
+    """Master write contention of one partition processing pass."""
+
+    atomic_updates: int     #: atomic writes that reached masters
+    proxy_absorbed: int     #: writes absorbed by shared-memory proxies
+
+
+class ReplicaTable:
+    """Replica locations and proxy-vertex selection for a path layout.
+
+    Parameters
+    ----------
+    proxy_in_degree_threshold:
+        Vertices with in-degree at or above this get a proxy slot,
+        capacity permitting (the paper proxies "each vertex with high
+        in-degree").
+    proxy_capacity:
+        Maximum proxy slots per SMX, derived from shared-memory size by
+        the caller (``shared_bytes // slot_bytes``).
+    """
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        storage: PathStorage,
+        proxy_in_degree_threshold: int = 8,
+        proxy_capacity: int = 4096,
+    ) -> None:
+        if proxy_in_degree_threshold < 1:
+            raise StorageError("proxy threshold must be >= 1")
+        if proxy_capacity < 0:
+            raise StorageError("proxy capacity must be >= 0")
+        self._path_set = path_set
+        self._storage = storage
+        graph = path_set.graph
+
+        # vertex -> sorted partition ids holding a mirror of it, plus how
+        # many *writer* occurrences (non-head positions, where the vertex
+        # receives in-path updates) each partition holds.
+        partitions_of_vertex: Dict[int, set] = {}
+        writer_weight: Dict[Tuple[int, int], int] = {}
+        for path in path_set:
+            partition = storage.partition_of_path(path.path_id)
+            for position, v in enumerate(path.vertices):
+                v = int(v)
+                partitions_of_vertex.setdefault(v, set()).add(partition)
+                if position > 0:
+                    key = (v, partition)
+                    writer_weight[key] = writer_weight.get(key, 0) + 1
+        self._mirror_partitions: Dict[int, Tuple[int, ...]] = {
+            v: tuple(sorted(parts))
+            for v, parts in partitions_of_vertex.items()
+        }
+        self._writer_weight = writer_weight
+        # Default owner: the partition with the most writer occurrences
+        # (its gather inputs land there), falling back to the first
+        # partition holding the vertex at all (head-only vertices). The
+        # engine refines this with dispatch-group layers (see
+        # :meth:`set_owner_overrides`): activity of a vertex must be
+        # tracked where its *final* value is computed, or upstream groups
+        # flicker active forever and block the dependency frontier.
+        self._owner_partition: Dict[int, int] = {}
+        for v, parts in self._mirror_partitions.items():
+            best = parts[0]
+            best_weight = writer_weight.get((v, best), 0)
+            for pid in parts[1:]:
+                weight = writer_weight.get((v, pid), 0)
+                if weight > best_weight:
+                    best, best_weight = pid, weight
+            self._owner_partition[v] = best
+
+        # Proxy vertices: hottest in-degrees first, up to capacity.
+        in_degrees = graph.in_degree()
+        hot = np.flatnonzero(in_degrees >= proxy_in_degree_threshold)
+        hot = hot[np.argsort(-in_degrees[hot], kind="stable")]
+        self._proxied = frozenset(int(v) for v in hot[:proxy_capacity])
+
+    def writer_partitions(self, v: int) -> Dict[int, int]:
+        """Partitions where ``v`` receives in-path updates -> occurrence
+        count."""
+        return {
+            pid: self._writer_weight[(v, pid)]
+            for pid in self.mirror_partitions(v)
+            if (v, pid) in self._writer_weight
+        }
+
+    def set_owner_overrides(self, owners: Mapping[int, int]) -> None:
+        """Replace owner partitions (engine applies layer-aware owners)."""
+        for v, pid in owners.items():
+            if pid not in self.mirror_partitions(v):
+                raise StorageError(
+                    f"owner partition {pid} holds no replica of vertex {v}"
+                )
+            self._owner_partition[v] = pid
+
+    # ------------------------------------------------------------------
+    def mirror_partitions(self, v: int) -> Tuple[int, ...]:
+        """Partitions holding a replica of ``v`` (empty if isolated)."""
+        return self._mirror_partitions.get(v, ())
+
+    def replica_count(self, v: int) -> int:
+        """Number of partitions carrying ``v``."""
+        return len(self.mirror_partitions(v))
+
+    def owner_partition(self, v: int) -> Optional[int]:
+        """Partition tracking ``v``'s activity (None if ``v`` is isolated)."""
+        return self._owner_partition.get(v)
+
+    def has_proxy(self, v: int) -> bool:
+        """Whether ``v`` gets a shared-memory proxy accumulator."""
+        return v in self._proxied
+
+    @property
+    def num_proxied(self) -> int:
+        return len(self._proxied)
+
+    # ------------------------------------------------------------------
+    def sync_after_partition(
+        self, partition_id: int, changed_vertices: Iterable[int]
+    ) -> SyncOutcome:
+        """Replica-update messages for a partition pass's changed vertices.
+
+        One message per (changed vertex, remote mirror partition); messages
+        to the same destination form one batch.
+        """
+        per_destination: Dict[int, int] = {}
+        for v in changed_vertices:
+            for dest in self.mirror_partitions(int(v)):
+                if dest != partition_id:
+                    per_destination[dest] = per_destination.get(dest, 0) + 1
+        messages = sum(per_destination.values())
+        return SyncOutcome(
+            messages=messages,
+            batches=len(per_destination),
+            nbytes=messages * BYTES_PER_MESSAGE,
+            destinations=tuple(sorted(per_destination)),
+        )
+
+    def contention(
+        self, write_counts: Mapping[int, int]
+    ) -> ContentionOutcome:
+        """Atomic-vs-proxy accounting for one partition pass.
+
+        ``write_counts`` maps vertex -> number of master writes produced
+        while processing the partition. A proxied vertex folds all its
+        local writes into one atomic push at pass end; an unproxied vertex
+        pays one atomic per write.
+        """
+        atomics = 0
+        absorbed = 0
+        for v, count in write_counts.items():
+            if count <= 0:
+                continue
+            if self.has_proxy(int(v)):
+                atomics += 1
+                absorbed += count - 1
+            else:
+                atomics += count
+        return ContentionOutcome(
+            atomic_updates=atomics, proxy_absorbed=absorbed
+        )
+
+
+def replication_factor(table: ReplicaTable, path_set: PathSet) -> float:
+    """Mean replicas per vertex that occurs on at least one path."""
+    counts: List[int] = []
+    seen = set()
+    for path in path_set:
+        for v in path.vertices:
+            if v not in seen:
+                seen.add(v)
+                counts.append(table.replica_count(int(v)))
+    if not counts:
+        return 0.0
+    return float(np.mean(counts))

@@ -1,0 +1,46 @@
+"""The paper's ablation variants (Section 4.1).
+
+- **DiGraph-t** — "employs the traditional asynchronous execution model
+  instead of our path-based asynchronous execution model": vertices of a
+  partition are processed individually in arbitrary order with immediate
+  state visibility (Groute-style), on DiGraph's partitions, without
+  dependency-ordered dispatch or path scheduling. Compared in Fig. 6.
+- **DiGraph-w** — "uses our asynchronous execution model yet without using
+  our path scheduling strategy": full path walking and dependency-aware
+  dispatch, but the SMX processes its paths in the warp scheduler's
+  default round-robin order instead of by ``Pri(p)``. Compared in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.gpu.config import MachineSpec
+from repro.core.engine import DiGraphConfig, DiGraphEngine
+
+
+def digraph_t(
+    machine_spec: Optional[MachineSpec] = None,
+    config: Optional[DiGraphConfig] = None,
+) -> DiGraphEngine:
+    """DiGraph with the traditional asynchronous execution model."""
+    base = config or DiGraphConfig()
+    return DiGraphEngine(
+        machine_spec=machine_spec,
+        config=replace(
+            base, use_path_execution=False, use_priority_scheduling=False
+        ),
+    )
+
+
+def digraph_w(
+    machine_spec: Optional[MachineSpec] = None,
+    config: Optional[DiGraphConfig] = None,
+) -> DiGraphEngine:
+    """DiGraph without the Pri(p) path scheduling strategy."""
+    base = config or DiGraphConfig()
+    return DiGraphEngine(
+        machine_spec=machine_spec,
+        config=replace(base, use_priority_scheduling=False),
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph-query arguments."""
+
+
+class PartitioningError(ReproError):
+    """Path-based partitioning produced or received inconsistent data."""
+
+
+class StorageError(ReproError):
+    """The path storage arrays (Fig. 4 layout) are inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """Path scheduling or dispatch received an impossible request."""
+
+
+class SimulationError(ReproError):
+    """The simulated GPU machine was driven into an invalid state."""
+
+
+class MemoryCapacityError(SimulationError):
+    """A simulated GPU ran out of global or shared memory."""
+
+
+class InterconnectFault(SimulationError):
+    """A fault injector failed a transfer (robustness testing)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its round budget."""
+
+
+class ConfigurationError(ReproError):
+    """An engine or machine was configured with invalid parameters."""

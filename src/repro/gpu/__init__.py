@@ -1,0 +1,21 @@
+"""Simulated multi-GPU machine.
+
+The paper's testbed is a host with four NVIDIA TESLA K80 GPUs connected
+over PCIe, programmed with CUDA and NCCL. This package substitutes a
+deterministic simulator with the same *shape*: a :class:`Machine` owns
+GPUs; each :class:`GPU` owns SMXs with warps of lock-step threads, a global
+memory with finite capacity, and shared memory per SMX; GPUs talk to each
+other and the host over a ring :class:`Interconnect` with bandwidth/latency
+costs; Hyper-Q :class:`StreamPool` models copy/compute overlap.
+
+Engines drive the simulator with *work* (edge-steps per thread) and
+*transfers* (bytes between endpoints); the simulator returns elapsed model
+time and accumulates the counters every figure of the evaluation reads
+(traffic volume, loaded-vs-used data, busy/idle thread cycles).
+"""
+
+from repro.gpu.config import GPUSpec, MachineSpec
+from repro.gpu.machine import GPU, Machine
+from repro.gpu.stats import MachineStats
+
+__all__ = ["GPUSpec", "MachineSpec", "Machine", "GPU", "MachineStats"]

@@ -1,0 +1,142 @@
+"""PCIe ring interconnect with NCCL-style batched transfers.
+
+The paper (Section 3.2) uses NCCL to build a ring topology over the PCIe
+bus; GPU<->GPU messages traverse ring hops, and host<->GPU transfers cross
+one link. Costs are ``latency + bytes / bandwidth`` per hop; batching
+amortizes the latency term, which is why the paper sends replica-update
+messages "in batches" per destination partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.errors import SimulationError
+from repro.gpu.config import MachineSpec
+from repro.gpu.stats import MachineStats
+
+#: Endpoint constant for the host.
+HOST = "host"
+
+Endpoint = Union[str, int]
+
+
+@dataclass
+class TransferRecord:
+    """One completed transfer, for inspection in tests."""
+
+    src: Endpoint
+    dst: Endpoint
+    nbytes: int
+    hops: int
+    time_s: float
+
+
+#: A fault injector inspects (src, dst, nbytes) before each transfer. It
+#: may raise :class:`~repro.errors.InterconnectFault` to fail the
+#: transfer, or return a non-negative delay factor (1.0 = nominal) to
+#: model link degradation. Returning None means nominal behavior.
+FaultInjector = Callable[[Endpoint, Endpoint, int], Optional[float]]
+
+
+class Interconnect:
+    """Ring of ``num_gpus`` GPUs, each also linked to the host.
+
+    All traffic is recorded into the shared :class:`MachineStats`:
+    host->GPU as ``h2d``, GPU->host as ``d2h``, GPU->GPU as ``p2p``
+    (counted once per ring hop, matching measured bus traffic).
+
+    A :data:`FaultInjector` can degrade or fail individual transfers —
+    the robustness tests drive engines through flaky links and assert
+    either clean failure or unchanged results with inflated time.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        stats: MachineStats,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self._spec = spec
+        self._stats = stats
+        self.fault_injector = fault_injector
+        self.faults_injected = 0
+        self.records: list[TransferRecord] = []
+
+    def _check_endpoint(self, endpoint: Endpoint) -> None:
+        if endpoint == HOST:
+            return
+        if isinstance(endpoint, int) and 0 <= endpoint < self._spec.num_gpus:
+            return
+        raise SimulationError(f"invalid endpoint {endpoint!r}")
+
+    def ring_hops(self, src: int, dst: int) -> int:
+        """Ring hops between two GPUs (unidirectional NCCL ring)."""
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return 0
+        return (dst - src) % self._spec.num_gpus
+
+    def transfer_time(self, nbytes: int, hops: int = 1) -> float:
+        """Model time for one transfer across ``hops`` links."""
+        if nbytes < 0:
+            raise SimulationError("nbytes must be non-negative")
+        per_hop = (
+            self._spec.pcie_latency_s
+            + nbytes / self._spec.pcie_bandwidth_bytes_per_s
+        )
+        return per_hop * max(hops, 0)
+
+    def transfer(self, src: Endpoint, dst: Endpoint, nbytes: int) -> float:
+        """Perform a transfer; records traffic and returns the model time."""
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if nbytes < 0:
+            raise SimulationError("nbytes must be non-negative")
+        if src == dst:
+            return 0.0
+        delay_factor = 1.0
+        if self.fault_injector is not None:
+            outcome = self.fault_injector(src, dst, nbytes)
+            if outcome is not None:
+                if outcome < 0:
+                    raise SimulationError(
+                        "fault injector returned a negative delay factor"
+                    )
+                delay_factor = outcome
+                self.faults_injected += 1
+        if src == HOST:
+            hops = 1
+            self._stats.h2d_bytes += nbytes
+        elif dst == HOST:
+            hops = 1
+            self._stats.d2h_bytes += nbytes
+        else:
+            hops = self.ring_hops(int(src), int(dst))
+            self._stats.p2p_bytes += nbytes * hops
+        time_s = self.transfer_time(nbytes, hops) * delay_factor
+        self.records.append(TransferRecord(src, dst, nbytes, hops, time_s))
+        return time_s
+
+    def broadcast_from_host(self, nbytes_per_gpu: int) -> float:
+        """Host sends ``nbytes_per_gpu`` to every GPU; returns total time."""
+        total = 0.0
+        for gpu in range(self._spec.num_gpus):
+            total += self.transfer(HOST, gpu, nbytes_per_gpu)
+        return total
+
+    def batched_transfer(
+        self, src: Endpoint, dst: Endpoint, nbytes: int, batch_bytes: int
+    ) -> float:
+        """Transfer in fixed-size batches (one latency charge per batch)."""
+        if batch_bytes <= 0:
+            raise SimulationError("batch_bytes must be positive")
+        total = 0.0
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(batch_bytes, remaining)
+            total += self.transfer(src, dst, chunk)
+            remaining -= chunk
+        return total

@@ -1,0 +1,259 @@
+"""The simulated machine: host + GPUs + ring interconnect.
+
+Engines drive the machine with three verbs:
+
+- :meth:`Machine.transfer` — move bytes between the host and GPUs (or GPU
+  to GPU over the ring), optionally overlapped with upcoming compute via a
+  GPU's Hyper-Q streams;
+- :meth:`Machine.compute_round` — run one parallel kernel wave: per-GPU
+  lists of per-thread work items, executed concurrently across GPUs (wall
+  time = the slowest GPU);
+- :meth:`Machine.load_global` — account global-memory loads into GPU cores
+  (the "volume of data loaded into GPU core" half of Fig. 12's traffic).
+
+All counters land in one shared :class:`~repro.gpu.stats.MachineStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.gpu.config import GPUSpec, MachineSpec
+from repro.gpu.interconnect import HOST, Endpoint, Interconnect
+from repro.gpu.memory import BoundedMemory
+from repro.gpu.smx import SMX
+from repro.gpu.stats import MachineStats
+from repro.gpu.stream import StreamPool
+
+#: Per-thread work: (edge_steps, atomic_updates).
+WorkItem = Tuple[int, int]
+
+
+class GPU:
+    """One simulated GPU: SMXs, global memory, a Hyper-Q stream pool."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        gpu_id: int,
+        stats: MachineStats,
+        num_streams: int,
+    ) -> None:
+        self.spec = spec
+        self.gpu_id = gpu_id
+        self._stats = stats
+        self.global_memory = BoundedMemory(
+            spec.global_memory_bytes, name=f"gpu{gpu_id}.global"
+        )
+        self.streams = StreamPool(num_streams)
+        self.smxs = [SMX(spec, stats, smx_id=i) for i in range(spec.num_smxs)]
+
+    def seconds(self, cycles: int) -> float:
+        """Convert SMX cycles to model seconds."""
+        return cycles / self.spec.clock_hz
+
+    def execute_balanced(
+        self,
+        work_items: Sequence[int],
+        atomic_counts: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Run one kernel, spreading threads across SMXs evenly.
+
+        Work items keep their relative order inside each SMX chunk so
+        callers control warp composition (Section 3.2.2 assigns paths to
+        threads so each thread's edge count is almost equal *before*
+        launching). Returns the elapsed model seconds, with any queued
+        stream transfers overlapped against the compute interval.
+        """
+        if not work_items:
+            # Still resolve pending transfers (nothing hides them).
+            return self.streams.flush()
+        if atomic_counts is not None and len(atomic_counts) != len(work_items):
+            raise SimulationError("atomic_counts must parallel work_items")
+
+        # Load-balanced advance: split oversized items across threads (a
+        # hub's gather is processed by many lanes, not one), then sort by
+        # cost so warps are cost-homogeneous (lock-step warps pay their
+        # max member). All engines get this — it models the standard
+        # load-balancing of GPU graph kernels.
+        threshold = self.spec.work_split_threshold
+        split_items: List[int] = []
+        split_atomics: List[int] = []
+        for i, item in enumerate(work_items):
+            item = int(item)
+            atomics_here = (
+                int(atomic_counts[i]) if atomic_counts is not None else 0
+            )
+            while item > threshold:
+                split_items.append(threshold)
+                split_atomics.append(0)
+                item -= threshold
+            split_items.append(item)
+            split_atomics.append(atomics_here)
+        work_items = split_items
+        atomic_counts = split_atomics
+        order = sorted(
+            range(len(work_items)), key=lambda i: -int(work_items[i])
+        )
+        work_items = [work_items[i] for i in order]
+        atomic_counts = [atomic_counts[i] for i in order]
+
+        chunks = self._chunk_round_robin(len(work_items))
+        max_cycles = 0
+        for smx, chunk in zip(self.smxs, chunks):
+            if not chunk:
+                continue
+            items = [int(work_items[i]) for i in chunk]
+            atomics = (
+                [int(atomic_counts[i]) for i in chunk]
+                if atomic_counts is not None
+                else None
+            )
+            cost = smx.execute(items, atomics)
+            max_cycles = max(max_cycles, cost.cycles)
+        compute_s = self.seconds(max_cycles)
+        overlap = self.streams.overlap_with_compute(compute_s)
+        return overlap.elapsed_s
+
+    def _chunk_round_robin(self, count: int) -> List[List[int]]:
+        """Deal thread indices across SMXs in contiguous blocks.
+
+        Blocks are at least one warp wide: scattering a handful of threads
+        across many SMXs would fragment them into near-empty warps, which
+        no real block scheduler does."""
+        num_smxs = len(self.smxs)
+        block = max(self.spec.threads_per_warp, -(-count // num_smxs))
+        return [
+            list(range(start, min(start + block, count)))
+            for start in range(0, count, block)
+        ]
+
+
+class Machine:
+    """Host + ``spec.num_gpus`` GPUs + ring interconnect + shared stats."""
+
+    def __init__(self, spec: MachineSpec, fault_injector=None) -> None:
+        self.spec = spec
+        self.stats = MachineStats()
+        self.interconnect = Interconnect(
+            spec, self.stats, fault_injector=fault_injector
+        )
+        self.gpus = [
+            GPU(spec.gpu, gpu_id, self.stats, spec.num_streams)
+            for gpu_id in range(spec.num_gpus)
+        ]
+
+    @property
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        nbytes: int,
+        overlap_with: Optional[int] = None,
+    ) -> float:
+        """Move bytes between endpoints (``'host'`` or a GPU id).
+
+        If ``overlap_with`` names a GPU, the transfer is queued on that
+        GPU's streams and hidden behind its next kernel; otherwise its time
+        is charged to :attr:`MachineStats.transfer_time_s` immediately.
+        """
+        time_s = self.interconnect.transfer(src, dst, nbytes)
+        if overlap_with is not None:
+            self.gpus[overlap_with].streams.queue_transfer(time_s)
+            return 0.0
+        self.stats.transfer_time_s += time_s
+        return time_s
+
+    def transfer_async(
+        self, src: Endpoint, dst: Endpoint, nbytes: int
+    ) -> float:
+        """Asynchronous transfer: traffic is recorded normally but the
+        time lands on the machine's communication channel, which runs
+        concurrently with compute (NCCL-style pipelined pushes with no
+        barrier)."""
+        time_s = self.interconnect.transfer(src, dst, nbytes)
+        self.stats.async_comm_time_s += time_s
+        return time_s
+
+    def batched_transfer_to_gpu(self, gpu_id: int, nbytes: int) -> float:
+        """Host->GPU transfer split into `S_b`-sized batches (Section 3.2.2)."""
+        time_s = self.interconnect.batched_transfer(
+            HOST, gpu_id, nbytes, self.spec.transfer_batch_bytes
+        )
+        self.stats.transfer_time_s += time_s
+        return time_s
+
+    def flush_streams(self) -> float:
+        """Resolve any still-pending stream transfers at full cost."""
+        total = sum(gpu.streams.flush() for gpu in self.gpus)
+        self.stats.transfer_time_s += total
+        return total
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def compute_round(
+        self,
+        work: Dict[int, Sequence[int]],
+        atomics: Optional[Dict[int, Sequence[int]]] = None,
+        barrier: bool = False,
+    ) -> float:
+        """Run one concurrent kernel wave across GPUs.
+
+        ``work[gpu_id]`` is that GPU's per-thread edge-step list. Wall time
+        is the slowest GPU's elapsed time and is charged to
+        :attr:`MachineStats.compute_time_s`.
+
+        With ``barrier`` (the bulk-synchronous engines), GPUs that finish
+        early wait for the slowest one; their wait is charged as idle
+        thread-cycles, which is what depresses Fig. 15's utilization for
+        the synchronous baseline.
+        """
+        elapsed_by_gpu: Dict[int, float] = {}
+        wall = 0.0
+        for gpu_id, items in work.items():
+            if not 0 <= gpu_id < self.num_gpus:
+                raise SimulationError(f"no GPU {gpu_id}")
+            gpu_atomics = atomics.get(gpu_id) if atomics else None
+            elapsed = self.gpus[gpu_id].execute_balanced(items, gpu_atomics)
+            elapsed_by_gpu[gpu_id] = elapsed
+            wall = max(wall, elapsed)
+        if barrier and wall > 0:
+            for gpu in self.gpus:
+                waited = wall - elapsed_by_gpu.get(gpu.gpu_id, 0.0)
+                if waited > 0:
+                    idle_cycles = int(waited * gpu.spec.clock_hz)
+                    self.stats.total_thread_cycles += (
+                        idle_cycles
+                        * gpu.spec.threads_per_smx
+                        * gpu.spec.num_smxs
+                    )
+        self.stats.compute_time_s += wall
+        return wall
+
+    # ------------------------------------------------------------------
+    # memory-system accounting
+    # ------------------------------------------------------------------
+    def load_global(
+        self, gpu_id: int, nbytes: int, vertices: int = 0
+    ) -> None:
+        """Account a global-memory load into GPU cores."""
+        if not 0 <= gpu_id < self.num_gpus:
+            raise SimulationError(f"no GPU {gpu_id}")
+        if nbytes < 0 or vertices < 0:
+            raise SimulationError("load sizes must be non-negative")
+        self.stats.global_load_bytes += nbytes
+        self.stats.vertices_loaded += vertices
+
+    def note_vertex_uses(self, count: int) -> None:
+        """Account uses of already-loaded vertex records (Fig. 13)."""
+        if count < 0:
+            raise SimulationError("count must be non-negative")
+        self.stats.vertex_uses += count

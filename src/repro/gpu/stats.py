@@ -1,0 +1,132 @@
+"""Counters accumulated by the simulated machine.
+
+Every figure of the paper's evaluation reads one of these quantities:
+
+- Fig. 6/7/10/16/17 — model execution time (busy cycles / clock + transfer
+  time not hidden by streams),
+- Fig. 11 — ``vertex_updates``,
+- Fig. 12 — traffic volume (host<->GPU + GPU<->GPU + global-memory loads),
+- Fig. 13 — ``vertex_uses / vertices_loaded``,
+- Fig. 15 — ``busy_thread_cycles / total_thread_cycles``,
+- Fig. 2 / Fig. 9 — per-partition processing counts and phase breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MachineStats:
+    """Mutable counter bundle shared by a :class:`~repro.gpu.machine.Machine`."""
+
+    # Work counters.
+    vertex_updates: int = 0          #: apply() calls that changed a state
+    apply_calls: int = 0             #: all apply() calls
+    edge_traversals: int = 0         #: gather steps executed
+    rounds: int = 0                  #: engine-level rounds completed
+    atomic_updates: int = 0          #: contended master updates
+    proxy_absorbed: int = 0          #: atomics absorbed by proxy vertices
+
+    # Traffic counters (bytes).
+    h2d_bytes: int = 0               #: host -> GPU transfers
+    d2h_bytes: int = 0               #: GPU -> host transfers
+    p2p_bytes: int = 0               #: GPU -> GPU transfers
+    global_load_bytes: int = 0       #: global-memory loads into GPU cores
+
+    # Data-utilization counters (Fig. 13).
+    vertices_loaded: int = 0         #: vertex records loaded into cores
+    vertex_uses: int = 0             #: times a loaded vertex was used
+
+    # Utilization counters (Fig. 15).
+    busy_thread_cycles: int = 0      #: cycles threads spent doing work
+    total_thread_cycles: int = 0     #: cycles threads were resident
+
+    # Time accounting (model seconds).
+    compute_time_s: float = 0.0
+    transfer_time_s: float = 0.0     #: blocking transfers (serialize)
+    #: Asynchronous communication (replica pushes, worklist messages):
+    #: runs on its own channel concurrently with compute, so it only
+    #: extends the run when it exceeds the compute timeline.
+    async_comm_time_s: float = 0.0
+    preprocess_time_s: float = 0.0
+
+    # Per-partition processing counts (Fig. 2a/2b).
+    partition_processed: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def note_partition_processed(self, partition_id: int) -> None:
+        """Record one processing pass over a partition."""
+        self.partition_processed[partition_id] = (
+            self.partition_processed.get(partition_id, 0) + 1
+        )
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total traffic volume as defined for Fig. 12."""
+        return (
+            self.h2d_bytes + self.d2h_bytes + self.p2p_bytes
+            + self.global_load_bytes
+        )
+
+    @property
+    def data_utilization(self) -> float:
+        """Used/loaded vertex ratio (Fig. 13); 0 when nothing was loaded."""
+        if self.vertices_loaded == 0:
+            return 0.0
+        return self.vertex_uses / self.vertices_loaded
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Busy/total thread-cycle ratio (Fig. 15)."""
+        if self.total_thread_cycles == 0:
+            return 0.0
+        return self.busy_thread_cycles / self.total_thread_cycles
+
+    @property
+    def total_time_s(self) -> float:
+        """Processing time (no preprocessing): blocking transfers
+        serialize with compute; the async communication channel overlaps
+        compute and only its excess extends the run."""
+        return (
+            max(self.compute_time_s, self.async_comm_time_s)
+            + self.transfer_time_s
+        )
+
+    @property
+    def total_time_with_preprocess_s(self) -> float:
+        """End-to-end time including CPU preprocessing (Fig. 9 / 17)."""
+        return self.total_time_s + self.preprocess_time_s
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MachineStats") -> None:
+        """Add another stats bundle into this one."""
+        self.vertex_updates += other.vertex_updates
+        self.apply_calls += other.apply_calls
+        self.edge_traversals += other.edge_traversals
+        self.rounds += other.rounds
+        self.atomic_updates += other.atomic_updates
+        self.proxy_absorbed += other.proxy_absorbed
+        self.h2d_bytes += other.h2d_bytes
+        self.d2h_bytes += other.d2h_bytes
+        self.p2p_bytes += other.p2p_bytes
+        self.global_load_bytes += other.global_load_bytes
+        self.vertices_loaded += other.vertices_loaded
+        self.vertex_uses += other.vertex_uses
+        self.busy_thread_cycles += other.busy_thread_cycles
+        self.total_thread_cycles += other.total_thread_cycles
+        self.compute_time_s += other.compute_time_s
+        self.transfer_time_s += other.transfer_time_s
+        self.async_comm_time_s += other.async_comm_time_s
+        self.preprocess_time_s += other.preprocess_time_s
+        for pid, count in other.partition_processed.items():
+            self.partition_processed[pid] = (
+                self.partition_processed.get(pid, 0) + count
+            )
+
+    def snapshot(self) -> "MachineStats":
+        """Deep copy for before/after deltas."""
+        copy = MachineStats()
+        copy.merge(self)
+        return copy

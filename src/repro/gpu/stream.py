@@ -1,0 +1,87 @@
+"""Hyper-Q stream model: overlap of memory copies with kernel execution.
+
+Section 3.2.2: "To overlap memory copy and kernel execution, multiple
+streams are created for the transfer of paths using Hyper-Q of GPU", with
+``N_m = M_G / S_b`` streams, and successor paths are prefetched while their
+predecessors run. We model the effect, not the mechanics: given a compute
+interval and the transfers issued alongside it, the *unhidden* transfer
+time is ``max(0, transfer_time - compute_time)`` when more than one stream
+exists, and the full serial sum with a single stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class OverlapResult:
+    """Outcome of overlapping transfers with a compute interval."""
+
+    compute_time_s: float
+    transfer_time_s: float
+    unhidden_transfer_s: float
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall model time of the overlapped interval."""
+        return self.compute_time_s + self.unhidden_transfer_s
+
+
+class StreamPool:
+    """A pool of ``num_streams`` streams shared by one GPU.
+
+    With one stream, copies and kernels serialize; with more, copies hide
+    behind compute up to the compute interval's length. Transfers queued
+    with :meth:`queue_transfer` are resolved against the next
+    :meth:`overlap_with_compute` call.
+    """
+
+    def __init__(self, num_streams: int) -> None:
+        if num_streams < 1:
+            raise SimulationError("num_streams must be >= 1")
+        self._num_streams = num_streams
+        self._pending: List[float] = []
+
+    @property
+    def num_streams(self) -> int:
+        return self._num_streams
+
+    @property
+    def pending_transfer_s(self) -> float:
+        """Transfer time queued but not yet resolved."""
+        return sum(self._pending)
+
+    def queue_transfer(self, time_s: float) -> None:
+        """Queue a transfer to be overlapped with upcoming compute."""
+        if time_s < 0:
+            raise SimulationError("transfer time must be non-negative")
+        self._pending.append(time_s)
+
+    def overlap_with_compute(self, compute_time_s: float) -> OverlapResult:
+        """Resolve pending transfers against a compute interval.
+
+        Returns the unhidden remainder; the pending queue is drained.
+        """
+        if compute_time_s < 0:
+            raise SimulationError("compute time must be non-negative")
+        transfer = self.pending_transfer_s
+        self._pending.clear()
+        if self._num_streams <= 1:
+            unhidden = transfer
+        else:
+            unhidden = max(0.0, transfer - compute_time_s)
+        return OverlapResult(
+            compute_time_s=compute_time_s,
+            transfer_time_s=transfer,
+            unhidden_transfer_s=unhidden,
+        )
+
+    def flush(self) -> float:
+        """Drain pending transfers with no compute to hide them behind."""
+        transfer = self.pending_transfer_s
+        self._pending.clear()
+        return transfer

@@ -1,0 +1,24 @@
+"""Directed-graph substrate: representation, generators, datasets, metrics.
+
+The classes here are the foundation everything else builds on: an immutable
+CSR/CSC directed graph (:class:`~repro.graph.digraph.DiGraphCSR`), a builder
+from edge lists, seeded synthetic generators, the six paper-dataset
+stand-ins, SCC machinery, and graph metrics matching Table 1 of the paper.
+"""
+
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.digraph import DiGraphCSR
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graph.scc import condensation, strongly_connected_components
+
+__all__ = [
+    "DiGraphCSR",
+    "GraphBuilder",
+    "from_edges",
+    "strongly_connected_components",
+    "condensation",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+]

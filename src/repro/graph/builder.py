@@ -1,0 +1,116 @@
+"""Build :class:`~repro.graph.digraph.DiGraphCSR` objects from edge lists.
+
+:class:`GraphBuilder` is the mutable staging area; :func:`from_edges` is the
+one-shot convenience used throughout the tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraphCSR
+
+Edge = Union[Tuple[int, int], Tuple[int, int, float]]
+
+
+class GraphBuilder:
+    """Accumulates directed edges and finalizes them into a CSR graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Fixed vertex count, or ``None`` to infer ``max endpoint + 1``.
+    deduplicate:
+        Collapse parallel edges, keeping the first weight seen.
+    """
+
+    def __init__(
+        self, num_vertices: Optional[int] = None, deduplicate: bool = False
+    ) -> None:
+        if num_vertices is not None and num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._num_vertices = num_vertices
+        self._deduplicate = deduplicate
+        self._srcs: List[int] = []
+        self._dsts: List[int] = []
+        self._wts: List[float] = []
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> "GraphBuilder":
+        """Add one directed edge ``src -> dst``; returns self for chaining."""
+        if src < 0 or dst < 0:
+            raise GraphError("vertex ids must be non-negative")
+        if self._num_vertices is not None and (
+            src >= self._num_vertices or dst >= self._num_vertices
+        ):
+            raise GraphError(
+                f"edge ({src}, {dst}) outside fixed vertex count "
+                f"{self._num_vertices}"
+            )
+        self._srcs.append(int(src))
+        self._dsts.append(int(dst))
+        self._wts.append(float(weight))
+        return self
+
+    def add_edges(self, edges: Iterable[Edge]) -> "GraphBuilder":
+        """Add many edges; each is ``(src, dst)`` or ``(src, dst, weight)``."""
+        for edge in edges:
+            if len(edge) == 2:
+                self.add_edge(edge[0], edge[1])
+            elif len(edge) == 3:
+                self.add_edge(edge[0], edge[1], edge[2])
+            else:
+                raise GraphError(f"malformed edge tuple of length {len(edge)}")
+        return self
+
+    @property
+    def num_staged_edges(self) -> int:
+        """Number of edges added so far (before deduplication)."""
+        return len(self._srcs)
+
+    def build(self) -> DiGraphCSR:
+        """Finalize into an immutable :class:`DiGraphCSR`.
+
+        Out-edges of each vertex appear in insertion order, which keeps
+        edge ids deterministic for a given edge sequence.
+        """
+        srcs = np.asarray(self._srcs, dtype=np.int64)
+        dsts = np.asarray(self._dsts, dtype=np.int64)
+        wts = np.asarray(self._wts, dtype=np.float64)
+
+        if self._num_vertices is not None:
+            n = self._num_vertices
+        else:
+            n = int(max(srcs.max(initial=-1), dsts.max(initial=-1)) + 1)
+
+        if self._deduplicate and srcs.size:
+            seen = set()
+            keep = np.zeros(srcs.size, dtype=bool)
+            for i in range(srcs.size):
+                key = (int(srcs[i]), int(dsts[i]))
+                if key not in seen:
+                    seen.add(key)
+                    keep[i] = True
+            srcs, dsts, wts = srcs[keep], dsts[keep], wts[keep]
+
+        order = np.argsort(srcs, kind="stable")
+        srcs, dsts, wts = srcs[order], dsts[order], wts[order]
+        counts = np.bincount(srcs, minlength=n) if srcs.size else np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return DiGraphCSR(indptr, dsts, wts)
+
+
+def from_edges(
+    edges: Sequence[Edge],
+    num_vertices: Optional[int] = None,
+    deduplicate: bool = False,
+) -> DiGraphCSR:
+    """Build a graph from an edge sequence in one call."""
+    return (
+        GraphBuilder(num_vertices=num_vertices, deduplicate=deduplicate)
+        .add_edges(edges)
+        .build()
+    )

@@ -1,0 +1,66 @@
+"""NetworkX interoperability.
+
+Downstream users often already hold a ``networkx.DiGraph``; these
+converters move graphs (with weights) between the two representations so
+the engines can run on them directly, and so results can be inspected
+with NetworkX's toolbox. NetworkX is an optional dependency — import
+errors surface only when these functions are called.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraphCSR
+
+
+def _networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - depends on env
+        raise GraphError(
+            "networkx is required for interop conversions"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph, weight_attribute: str = "weight"
+) -> DiGraphCSR:
+    """Convert a ``networkx.DiGraph`` (or Graph) to :class:`DiGraphCSR`.
+
+    Node labels are mapped to dense ids in sorted label order; undirected
+    graphs contribute both edge directions. Missing weight attributes
+    default to 1.0.
+    """
+    nx = _networkx()
+    nodes = sorted(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    builder = GraphBuilder(num_vertices=len(nodes))
+    directed = nx_graph.is_directed()
+    for u, v, data in nx_graph.edges(data=True):
+        weight = float(data.get(weight_attribute, 1.0))
+        builder.add_edge(index[u], index[v], weight)
+        if not directed:
+            builder.add_edge(index[v], index[u], weight)
+    return builder.build()
+
+
+def to_networkx(graph: DiGraphCSR, states: Optional[np.ndarray] = None):
+    """Convert to ``networkx.DiGraph``; optionally attach per-vertex
+    ``state`` attributes (e.g. an engine's final states)."""
+    nx = _networkx()
+    if states is not None and states.shape != (graph.num_vertices,):
+        raise GraphError("states must have one entry per vertex")
+    out = nx.DiGraph()
+    out.add_nodes_from(range(graph.num_vertices))
+    for src, dst, weight in graph.edges():
+        out.add_edge(src, dst, weight=weight)
+    if states is not None:
+        for v in range(graph.num_vertices):
+            out.nodes[v]["state"] = float(states[v])
+    return out

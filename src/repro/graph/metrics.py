@@ -1,0 +1,121 @@
+"""Graph metrics matching Table 1 of the paper.
+
+Table 1 reports, per dataset: vertex count, edge count, ``A_Deg`` (average
+degree of all vertices) and ``A_Dis`` (average distance between any two
+vertices). For large graphs the average distance is estimated by sampled
+BFS, the standard technique; the sample size is a parameter so tests can
+make it exact on small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraphCSR
+from repro.graph.traversal import UNREACHED, bfs_levels, sample_sources
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """One row of Table 1."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    average_distance: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<10} {self.num_vertices:>10,} {self.num_edges:>12,} "
+            f"{self.average_degree:>7.3f} {self.average_distance:>7.2f}"
+        )
+
+
+def average_degree(graph: DiGraphCSR) -> float:
+    """Average out-degree (= edges / vertices), Table 1's ``A_Deg``."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return graph.num_edges / graph.num_vertices
+
+
+def average_distance(
+    graph: DiGraphCSR,
+    sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Average finite directed distance between vertex pairs (``A_Dis``).
+
+    Runs BFS from ``sample`` sources (all vertices if ``None``) and averages
+    the finite non-zero distances. Unreachable pairs are excluded, as is
+    conventional for disconnected web graphs.
+    """
+    n = graph.num_vertices
+    if n <= 1:
+        return 0.0
+    if sample is None or sample >= n:
+        sources = np.arange(n)
+    else:
+        sources = sample_sources(graph, sample, rng=rng)
+    total = 0.0
+    count = 0
+    for s in sources:
+        levels = bfs_levels(graph, int(s))
+        finite = levels[(levels != UNREACHED) & (levels > 0)]
+        total += float(finite.sum())
+        count += int(finite.size)
+    return total / count if count else 0.0
+
+
+def effective_diameter(
+    graph: DiGraphCSR,
+    quantile: float = 0.9,
+    sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Distance within which ``quantile`` of reachable pairs fall."""
+    n = graph.num_vertices
+    if n <= 1:
+        return 0
+    if sample is None or sample >= n:
+        sources = np.arange(n)
+    else:
+        sources = sample_sources(graph, sample, rng=rng)
+    distances = []
+    for s in sources:
+        levels = bfs_levels(graph, int(s))
+        distances.append(levels[(levels != UNREACHED) & (levels > 0)])
+    if not distances:
+        return 0
+    merged = np.concatenate(distances)
+    if merged.size == 0:
+        return 0
+    return int(np.quantile(merged, quantile, method="higher"))
+
+
+def graph_properties(
+    graph: DiGraphCSR,
+    name: str = "graph",
+    distance_sample: Optional[int] = 64,
+    rng: Optional[np.random.Generator] = None,
+) -> GraphProperties:
+    """Compute a Table-1 row for ``graph``."""
+    return GraphProperties(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average_degree=average_degree(graph),
+        average_distance=average_distance(graph, sample=distance_sample, rng=rng),
+    )
+
+
+def degree_skew(graph: DiGraphCSR) -> float:
+    """Max degree / mean degree; >> 1 signals a power-law-ish graph."""
+    degrees = graph.degree()
+    mean = degrees.mean() if degrees.size else 0.0
+    if mean == 0:
+        return 0.0
+    return float(degrees.max() / mean)

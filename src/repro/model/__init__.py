@@ -1,0 +1,22 @@
+"""Programming model shared by every engine.
+
+Graph algorithms are written once against the Gather-Apply-Scatter
+:class:`~repro.model.gas.VertexProgram` API (the paper implements its
+benchmarks "by the APIs of the popular Gather-Apply-Scatter programming
+model") and then executed unchanged by the DiGraph engine, the
+bulk-synchronous baseline, the asynchronous baseline, and the sequential
+reference — which is what makes the cross-engine comparisons of Section 4
+apples-to-apples.
+"""
+
+from repro.model.gas import VertexProgram
+from repro.model.state import StalenessView, VertexStates
+from repro.model.validate import check_fixed_point, residuals
+
+__all__ = [
+    "VertexProgram",
+    "VertexStates",
+    "StalenessView",
+    "check_fixed_point",
+    "residuals",
+]

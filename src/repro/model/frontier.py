@@ -1,0 +1,73 @@
+"""Frontier abstraction for the bulk-synchronous baseline.
+
+Gunrock's programming model is frontier-centric: each round consumes the
+current frontier of active vertices and produces the next one behind a
+global barrier. The async engines do not use this class — they work from
+per-partition worklists — which is exactly the structural difference the
+paper contrasts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class Frontier:
+    """A deduplicated, ordered set of active vertex ids."""
+
+    def __init__(self, num_vertices: int, vertices: Iterable[int] = ()) -> None:
+        if num_vertices < 0:
+            raise SimulationError("num_vertices must be non-negative")
+        self._num_vertices = num_vertices
+        self._member = np.zeros(num_vertices, dtype=bool)
+        self._order: List[int] = []
+        for v in vertices:
+            self.add(int(v))
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Frontier":
+        """Build from a boolean membership mask."""
+        frontier = cls(mask.size)
+        for v in np.flatnonzero(mask):
+            frontier.add(int(v))
+        return frontier
+
+    def add(self, v: int) -> bool:
+        """Add a vertex; returns True if it was not already present."""
+        if not 0 <= v < self._num_vertices:
+            raise SimulationError(f"vertex {v} out of range")
+        if self._member[v]:
+            return False
+        self._member[v] = True
+        self._order.append(v)
+        return True
+
+    def __contains__(self, v: int) -> bool:
+        return bool(0 <= v < self._num_vertices and self._member[v])
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __bool__(self) -> bool:
+        return bool(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def vertices(self) -> List[int]:
+        """Members in insertion order."""
+        return list(self._order)
+
+    def split(self, parts: int) -> List[List[int]]:
+        """Partition into ``parts`` contiguous slices (multi-GPU sharding)."""
+        if parts < 1:
+            raise SimulationError("parts must be >= 1")
+        size = len(self._order)
+        bounds = np.linspace(0, size, parts + 1).astype(int)
+        return [
+            self._order[bounds[i] : bounds[i + 1]] for i in range(parts)
+        ]

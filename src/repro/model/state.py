@@ -1,0 +1,132 @@
+"""Vertex state container shared by all engines.
+
+:class:`VertexStates` couples the per-vertex state array (the paper's
+``V_val`` master array) with active flags, and centralizes the
+commit-an-update bookkeeping so every engine counts ``vertex_updates`` and
+activations identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.digraph import DiGraphCSR
+from repro.model.gas import VertexProgram
+
+
+class VertexStates:
+    """State values + active flags for one algorithm run."""
+
+    def __init__(self, graph: DiGraphCSR, program: VertexProgram) -> None:
+        self.graph = graph
+        self.program = program
+        self.values = np.asarray(
+            program.initial_states(graph), dtype=np.float64
+        )
+        if self.values.shape != (graph.num_vertices,):
+            raise SimulationError(
+                "initial_states must return one float per vertex"
+            )
+        self.active = np.asarray(program.initial_active(graph), dtype=bool)
+        if self.active.shape != (graph.num_vertices,):
+            raise SimulationError(
+                "initial_active must return one flag per vertex"
+            )
+
+    @property
+    def num_active(self) -> int:
+        """Count of currently active vertices."""
+        return int(self.active.sum())
+
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    def active_vertices(self) -> np.ndarray:
+        """Ids of active vertices, ascending."""
+        return np.flatnonzero(self.active)
+
+    def deactivate(self, v: int) -> None:
+        self.active[v] = False
+
+    def activate(self, vertices: Iterable[int]) -> List[int]:
+        """Mark vertices active; returns those newly activated."""
+        newly = []
+        for v in vertices:
+            if not self.active[v]:
+                self.active[v] = True
+                newly.append(v)
+        return newly
+
+    def commit(self, v: int, new_state: float, changed: bool) -> List[int]:
+        """Write a computed update and propagate activation.
+
+        Returns the list of newly-activated dependents (empty when the
+        update converged). The caller accounts the update in the machine
+        stats — state bookkeeping and cost accounting stay separate.
+        """
+        self.values[v] = new_state
+        if not changed:
+            return []
+        return self.activate(self.program.dependents(self.graph, v))
+
+    def copy_values(self) -> np.ndarray:
+        """Snapshot of the state array (used by the Jacobi BSP engine)."""
+        return self.values.copy()
+
+
+class StalenessView:
+    """Read view modeling multi-GPU staleness within one round.
+
+    A GPU sees its *own* vertices' freshest states (global-memory reads on
+    the same device) but only the **round-start snapshot** of vertices
+    resident on other GPUs — their new states arrive with the next
+    replica synchronization. This is the mechanism behind the paper's
+    Fig. 1/2 observation that asynchronous engines still propagate one
+    hop per round across partitions, and why it "is more serious on the
+    platform with more GPUs".
+
+    The view is indexable like a state array, so
+    :meth:`VertexProgram.update_vertex` works on it unchanged.
+    """
+
+    def __init__(
+        self,
+        fresh: np.ndarray,
+        snapshot: np.ndarray,
+        local_mask: np.ndarray,
+        written_gpu: Optional[np.ndarray] = None,
+        written_stamp: Optional[np.ndarray] = None,
+        wave_stamp: int = 0,
+        gpu_id: int = -1,
+    ) -> None:
+        if fresh.shape != snapshot.shape or fresh.shape != local_mask.shape:
+            raise SimulationError(
+                "fresh, snapshot, and local_mask must be parallel arrays"
+            )
+        self._fresh = fresh
+        self._snapshot = snapshot
+        self._local = local_mask
+        # A value produced on this GPU during this wave is fresh here even
+        # if the vertex's master lives elsewhere (the mirror copy is in
+        # this GPU's memory).
+        self._written_gpu = written_gpu
+        self._written_stamp = written_stamp
+        self._wave_stamp = wave_stamp
+        self._gpu_id = gpu_id
+
+    def __getitem__(self, v: int) -> float:
+        if self._local[v]:
+            return float(self._fresh[v])
+        if (
+            self._written_gpu is not None
+            and self._written_stamp[v] == self._wave_stamp
+            and self._written_gpu[v] == self._gpu_id
+        ):
+            return float(self._fresh[v])
+        return float(self._snapshot[v])
+
+    def __len__(self) -> int:
+        return len(self._fresh)

@@ -1,0 +1,63 @@
+"""Unit tests for the adsorption vertex program."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.adsorption import Adsorption
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_cycle
+
+
+class TestAdsorption:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            Adsorption(p_inj=0.0)
+        with pytest.raises(ConfigurationError):
+            Adsorption(p_inj=1.0)
+        with pytest.raises(ConfigurationError):
+            Adsorption(tolerance=-1)
+
+    def test_initial_states_are_injections(self):
+        g = directed_cycle(5)
+        prog = Adsorption(injection_seed=3)
+        states = prog.initial_states(g)
+        assert states.shape == (5,)
+        assert np.all((0 <= states) & (states <= 1))
+
+    def test_deterministic_injection(self):
+        g = directed_cycle(5)
+        a = Adsorption(injection_seed=3).initial_states(g)
+        b = Adsorption(injection_seed=3).initial_states(g)
+        assert np.array_equal(a, b)
+
+    def test_gather_normalizes_weights(self):
+        g = from_edges([(0, 2, 1.0), (1, 2, 3.0)])
+        prog = Adsorption()
+        prog.initial_states(g)
+        # weight 3 of 4 total -> 0.75 share
+        assert prog.gather(1.0, 3.0, 1, 2) == pytest.approx(0.75)
+
+    def test_no_in_edges_gather_zero(self):
+        g = from_edges([(0, 1)])
+        prog = Adsorption()
+        prog.initial_states(g)
+        assert prog.gather(1.0, 1.0, 1, 0) == 0.0
+
+    def test_apply_blends_injection(self):
+        g = directed_cycle(3)
+        prog = Adsorption(p_inj=0.25)
+        states = prog.initial_states(g)
+        new = prog.apply(0, float(states[0]), 0.8)
+        expected = 0.25 * prog._injection[0] + 0.75 * 0.8
+        assert new == pytest.approx(expected)
+
+    def test_fixed_point_bounded(self):
+        g = directed_cycle(6)
+        prog = Adsorption()
+        states = prog.initial_states(g)
+        for _ in range(200):
+            for v in range(6):
+                acc = prog.full_gather(g, v, states)
+                states[v] = prog.apply(v, float(states[v]), acc)
+        assert np.all((0 <= states) & (states <= 1))

@@ -1,0 +1,40 @@
+"""Unit tests for the BFS-levels vertex program."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import INFINITY, BFSLevels
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_path
+from repro.graph.traversal import bfs_levels
+
+
+class TestBFSLevels:
+    def test_initial(self):
+        g = directed_path(4)
+        states = BFSLevels(source=2).initial_states(g)
+        assert states[2] == 0.0
+        assert states[0] == INFINITY
+
+    def test_source_validation(self):
+        with pytest.raises(ConfigurationError):
+            BFSLevels(source=-1)
+        with pytest.raises(ConfigurationError):
+            BFSLevels(source=10).initial_states(directed_path(3))
+
+    def test_gather_increments(self):
+        prog = BFSLevels()
+        assert prog.gather(2.0, 99.0, 0, 1) == 3.0  # weight ignored
+        assert prog.gather(INFINITY, 1.0, 0, 1) == INFINITY
+
+    def test_matches_traversal_oracle(self):
+        g = from_edges([(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)])
+        prog = BFSLevels(source=0)
+        states = prog.initial_states(g)
+        for _ in range(6):
+            for v in range(g.num_vertices):
+                acc = prog.full_gather(g, v, states)
+                states[v] = prog.apply(v, float(states[v]), acc)
+        oracle = bfs_levels(g, 0).astype(float)
+        assert np.array_equal(states, oracle)

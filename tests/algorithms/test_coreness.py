@@ -1,0 +1,51 @@
+"""Tests for the coreness decomposition extension."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.coreness import compute_coreness, peeling_coreness
+from repro.core.engine import DiGraphEngine
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_cycle, directed_path, scc_profile_graph
+
+
+class TestPeelingOracle:
+    def test_chain(self):
+        # undirected chain: everyone has coreness 1
+        assert peeling_coreness(directed_path(5)).tolist() == [1] * 5
+
+    def test_cycle(self):
+        # undirected cycle: coreness 2 everywhere
+        assert peeling_coreness(directed_cycle(5)).tolist() == [2] * 5
+
+    def test_clique_with_tail(self):
+        edges = [(a, b) for a in range(4) for b in range(4) if a != b]
+        edges.append((0, 4))
+        g = from_edges(edges)
+        cores = peeling_coreness(g)
+        assert cores[4] == 1
+        assert all(cores[v] == 6 for v in range(4))  # mutual edges count twice
+
+    def test_empty(self):
+        g = from_edges([], num_vertices=3)
+        assert peeling_coreness(g).tolist() == [0, 0, 0]
+
+
+class TestEngineSweep:
+    def test_matches_oracle(self, test_machine):
+        g = scc_profile_graph(80, 4.0, 0.5, 4.0, seed=91)
+        engine = DiGraphEngine(test_machine)
+        sweep = compute_coreness(g, engine, graph_name="coreness")
+        oracle = peeling_coreness(g)
+        assert np.array_equal(sweep, oracle)
+
+    def test_max_k_caps_sweep(self, test_machine):
+        g = directed_cycle(6)
+        engine = DiGraphEngine(test_machine)
+        capped = compute_coreness(g, engine, max_k=1)
+        assert capped.max() == 1
+
+    def test_empty_graph(self, test_machine):
+        g = from_edges([], num_vertices=0)
+        engine = DiGraphEngine(test_machine)
+        assert compute_coreness(g, engine).size == 0

@@ -1,0 +1,61 @@
+"""Unit tests for the k-core vertex program."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.kcore import KCore
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_cycle, directed_path
+
+
+def run_to_fixpoint(graph, prog, iterations=50):
+    states = prog.initial_states(graph)
+    for _ in range(iterations):
+        for v in range(graph.num_vertices):
+            acc = prog.full_gather(graph, v, states)
+            states[v] = prog.apply(v, float(states[v]), acc)
+    return states
+
+
+class TestKCore:
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            KCore(k=0)
+
+    def test_gather_counts_alive_both_directions(self):
+        g = directed_path(3)
+        prog = KCore(k=1)
+        states = prog.initial_states(g)
+        # middle vertex has one in- and one out-neighbor
+        assert prog.full_gather(g, 1, states) == 2.0
+
+    def test_chain_peels_under_k2(self):
+        # undirected chain degree <= 2; ends have degree 1 -> cascade
+        states = run_to_fixpoint(directed_path(5), KCore(k=2))
+        assert np.all(states == 0.0)
+
+    def test_cycle_survives_k2(self):
+        states = run_to_fixpoint(directed_cycle(5), KCore(k=2))
+        assert np.all(states == 1.0)
+
+    def test_peeling_permanent(self):
+        prog = KCore(k=2)
+        assert prog.apply(0, 0.0, 10.0) == 0.0
+
+    def test_dependents_symmetric(self):
+        g = directed_path(3)
+        prog = KCore()
+        deps = sorted(prog.dependents(g, 1))
+        assert deps == [0, 2]
+
+    def test_clique_core(self):
+        # 4-clique (directed both ways) survives k=3
+        edges = [
+            (a, b) for a in range(4) for b in range(4) if a != b
+        ]
+        g = from_edges(edges)
+        states = run_to_fixpoint(g, KCore(k=3))
+        assert np.all(states == 1.0)
+        states4 = run_to_fixpoint(g, KCore(k=7))
+        assert np.all(states4 == 0.0)

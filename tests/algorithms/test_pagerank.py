@@ -1,0 +1,61 @@
+"""Unit tests for the PageRank vertex program."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_cycle, directed_path
+
+
+def jacobi_fixed_point(graph, prog, iterations=300):
+    states = prog.initial_states(graph)
+    for _ in range(iterations):
+        new = states.copy()
+        for v in range(graph.num_vertices):
+            acc = prog.full_gather(graph, v, states)
+            new[v] = prog.apply(v, float(states[v]), acc)
+        states = new
+    return states
+
+
+class TestPageRank:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PageRank(damping=1.0)
+        with pytest.raises(ConfigurationError):
+            PageRank(damping=0.0)
+        with pytest.raises(ConfigurationError):
+            PageRank(tolerance=0)
+
+    def test_cycle_uniform_fixed_point(self):
+        g = directed_cycle(5)
+        prog = PageRank()
+        states = jacobi_fixed_point(g, prog)
+        # symmetric cycle -> all ranks equal 1
+        assert np.allclose(states, 1.0, atol=1e-6)
+
+    def test_sink_gets_base_rank_only_from_chain(self):
+        g = directed_path(2)
+        prog = PageRank(damping=0.85)
+        states = jacobi_fixed_point(g, prog)
+        assert states[0] == pytest.approx(0.15)
+        assert states[1] == pytest.approx(0.15 + 0.85 * 0.15)
+
+    def test_hub_ranks_higher(self):
+        g = from_edges([(1, 0), (2, 0), (3, 0), (0, 1)])
+        states = jacobi_fixed_point(g, PageRank())
+        assert states[0] > states[2]
+
+    def test_gather_divides_by_out_degree(self):
+        g = from_edges([(0, 1), (0, 2)])
+        prog = PageRank()
+        states = prog.initial_states(g)
+        assert prog.gather(float(states[0]), 1.0, 0, 1) == pytest.approx(0.5)
+
+    def test_dangling_source_contributes_zero(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        prog = PageRank()
+        prog.initial_states(g)
+        assert prog.gather(1.0, 1.0, 2, 1) == 0.0

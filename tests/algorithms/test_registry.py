@@ -1,0 +1,32 @@
+"""Tests for the algorithm factory."""
+
+import pytest
+
+from repro.algorithms import PAPER_BENCHMARKS, make_program
+from repro.graph.generators import directed_path
+
+
+class TestMakeProgram:
+    def test_all_paper_benchmarks_buildable(self):
+        g = directed_path(5)
+        for name in PAPER_BENCHMARKS:
+            prog = make_program(name, g)
+            assert prog.name == name
+
+    def test_sssp_default_source_is_hub(self):
+        from repro.graph.builder import from_edges
+        g = from_edges([(2, 0), (2, 1), (2, 3), (0, 1)])
+        prog = make_program("sssp", g)
+        assert prog.source == 2
+
+    def test_explicit_kwargs(self):
+        g = directed_path(5)
+        prog = make_program("pagerank", g, damping=0.5)
+        assert prog.damping == 0.5
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_program("dijkstra", directed_path(3))
+
+    def test_case_insensitive(self):
+        assert make_program("PageRank", directed_path(3)).name == "pagerank"

@@ -1,0 +1,63 @@
+"""Unit tests for the SSSP vertex program."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import INFINITY, SSSP
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_path, with_random_weights
+
+
+class TestSSSP:
+    def test_initial_states(self):
+        g = directed_path(4)
+        prog = SSSP(source=1)
+        states = prog.initial_states(g)
+        assert states[1] == 0.0
+        assert states[0] == INFINITY
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SSSP(source=9).initial_states(directed_path(3))
+        with pytest.raises(ConfigurationError):
+            SSSP(source=-1)
+
+    def test_initial_active_sparse(self):
+        g = directed_path(5)
+        active = SSSP(source=0).initial_active(g)
+        assert active[0] and active[1]
+        assert not active[3]
+
+    def test_gather_relaxes(self):
+        prog = SSSP()
+        assert prog.gather(3.0, 2.0, 0, 1) == 5.0
+        assert prog.gather(INFINITY, 2.0, 0, 1) == INFINITY
+
+    def test_accumulate_min(self):
+        prog = SSSP()
+        assert prog.accumulate(3.0, 5.0) == 3.0
+
+    def test_apply_monotone(self):
+        prog = SSSP(source=0)
+        assert prog.apply(1, 4.0, 6.0) == 4.0  # never increases
+        assert prog.apply(1, 4.0, 2.0) == 2.0
+
+    def test_source_pinned_to_zero(self):
+        prog = SSSP(source=0)
+        assert prog.apply(0, 0.0, 5.0) == 0.0
+
+    def test_exact_convergence_semantics(self):
+        prog = SSSP()
+        assert prog.has_converged(3.0, 3.0)
+        assert not prog.has_converged(3.0, 2.999999)
+
+    def test_weighted_chain_distances(self):
+        g = from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        prog = SSSP(source=0)
+        states = prog.initial_states(g)
+        # manual relaxation sweep
+        for v in [1, 2]:
+            acc = prog.full_gather(g, v, states)
+            states[v] = prog.apply(v, float(states[v]), acc)
+        assert states.tolist() == [0.0, 2.0, 5.0]

@@ -1,0 +1,57 @@
+"""Tests for the Groute-like asynchronous baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.algorithms.pagerank import PageRank
+from repro.baselines.async_engine import AsyncConfig, AsyncEngine
+from repro.baselines.bulk_sync import BulkSyncEngine
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.generators import scc_profile_graph
+from repro.graph.traversal import bfs_levels
+
+
+class TestAsyncEngine:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AsyncConfig(max_rounds=0)
+
+    def test_bfs_exact(self, medium_graph, test_machine):
+        prog = make_program("bfs", medium_graph)
+        result = AsyncEngine(test_machine).run(medium_graph, prog)
+        oracle = bfs_levels(medium_graph, prog.source).astype(float)
+        oracle[oracle < 0] = np.inf
+        assert np.array_equal(result.states, oracle)
+
+    def test_fewer_rounds_than_bsp(self, medium_graph, test_machine):
+        # intra-GPU freshness lets async beat strict Jacobi rounds
+        sync = BulkSyncEngine(test_machine).run(medium_graph, PageRank())
+        async_ = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        assert async_.rounds <= sync.rounds + 2
+
+    def test_fewer_updates_than_bsp(self, medium_graph, test_machine):
+        sync = BulkSyncEngine(test_machine).run(medium_graph, PageRank())
+        async_ = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        assert async_.vertex_updates <= sync.vertex_updates
+
+    def test_partition_reprocessing_recorded(self, medium_graph, test_machine):
+        result = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        # Fig 2a: some partitions are processed many times
+        assert max(result.stats.partition_processed.values()) > 1
+
+    def test_round_budget(self, medium_graph, test_machine):
+        engine = AsyncEngine(test_machine, AsyncConfig(max_rounds=1))
+        with pytest.raises(ConvergenceError):
+            engine.run(medium_graph, PageRank())
+
+    def test_atomics_counted(self, medium_graph, test_machine):
+        result = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        # Groute has no proxies: every changed write is an atomic.
+        assert result.stats.atomic_updates == result.vertex_updates
+        assert result.stats.proxy_absorbed == 0
+
+    def test_deterministic(self, medium_graph, test_machine):
+        a = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        b = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        assert np.array_equal(a.states, b.states)

@@ -1,0 +1,55 @@
+"""Tests for the Gunrock-like bulk-synchronous baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.algorithms.pagerank import PageRank
+from repro.baselines.bulk_sync import BulkSyncConfig, BulkSyncEngine
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.generators import directed_path, scc_profile_graph
+from repro.graph.traversal import bfs_levels
+
+
+class TestBulkSync:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            BulkSyncConfig(max_rounds=0)
+
+    def test_bfs_exact(self, medium_graph, test_machine):
+        prog = make_program("bfs", medium_graph)
+        result = BulkSyncEngine(test_machine).run(medium_graph, prog)
+        oracle = bfs_levels(medium_graph, prog.source).astype(float)
+        oracle[oracle < 0] = np.inf
+        assert np.array_equal(result.states, oracle)
+
+    def test_one_hop_per_round(self, test_machine):
+        # Jacobi BSP: a chain of length k needs ~k rounds for BFS.
+        g = directed_path(10)
+        prog = make_program("bfs", g, source=0)
+        result = BulkSyncEngine(test_machine).run(g, prog)
+        assert result.rounds >= 9
+
+    def test_barrier_depresses_utilization(self, medium_graph, test_machine):
+        from repro.baselines.async_engine import AsyncEngine
+
+        sync = BulkSyncEngine(test_machine).run(medium_graph, PageRank())
+        async_ = AsyncEngine(test_machine).run(medium_graph, PageRank())
+        assert sync.gpu_utilization <= async_.gpu_utilization + 0.05
+
+    def test_converges_and_counts(self, medium_graph, test_machine):
+        result = BulkSyncEngine(test_machine).run(medium_graph, PageRank())
+        assert result.converged
+        assert result.vertex_updates > 0
+        assert result.traffic_bytes > 0
+        assert result.round_records
+
+    def test_round_budget(self, medium_graph, test_machine):
+        engine = BulkSyncEngine(test_machine, BulkSyncConfig(max_rounds=1))
+        with pytest.raises(ConvergenceError):
+            engine.run(medium_graph, PageRank())
+
+    def test_deterministic(self, medium_graph, test_machine):
+        a = BulkSyncEngine(test_machine).run(medium_graph, PageRank())
+        b = BulkSyncEngine(test_machine).run(medium_graph, PageRank())
+        assert np.array_equal(a.states, b.states)

@@ -1,0 +1,68 @@
+"""Tests for the sequential topological reference (Fig. 2d)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.algorithms.pagerank import PageRank
+from repro.baselines.sequential import sequential_topological_run
+from repro.graph.builder import from_edges
+from repro.graph.generators import (
+    bowtie_graph,
+    directed_cycle,
+    directed_path,
+    scc_profile_graph,
+)
+from repro.graph.traversal import bfs_levels
+
+
+class TestSequentialOracle:
+    def test_dag_one_update_per_reachable_vertex(self):
+        g = directed_path(6)
+        prog = make_program("bfs", g, source=0)
+        result = sequential_topological_run(g, prog)
+        assert result.vertex_updates == 5
+        assert result.one_update_fraction == pytest.approx(5 / 6)
+
+    def test_bfs_states_exact(self):
+        g = bowtie_graph(core=6, in_tail=4, out_tail=4, seed=1)
+        prog = make_program("bfs", g, source=0)
+        result = sequential_topological_run(g, prog)
+        oracle = bfs_levels(g, prog.source).astype(float)
+        oracle[oracle < 0] = np.inf
+        assert np.array_equal(result.states, oracle)
+
+    def test_pagerank_reaches_fixed_point(self):
+        g = scc_profile_graph(120, 4.0, 0.5, 4.0, seed=2)
+        result = sequential_topological_run(g, PageRank(tolerance=1e-6))
+        outdeg = g.out_degree().astype(float)
+        for v in range(g.num_vertices):
+            acc = sum(
+                result.states[u] / outdeg[u]
+                for u in g.predecessors(v)
+                if outdeg[u] > 0
+            )
+            assert abs(result.states[v] - (0.15 + 0.85 * acc)) < 1e-4
+
+    def test_asymmetric_cycle_needs_multiple_updates(self):
+        # A symmetric cycle's fixed point equals the initial state (all
+        # ones), so perturb it with a chord: the SCC must iterate.
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]
+        )
+        result = sequential_topological_run(g, PageRank())
+        assert result.vertex_updates > g.num_vertices
+        assert result.one_update_fraction == 0.0
+
+    def test_oracle_is_lower_bound_for_engines(self, test_machine):
+        from repro.core.engine import DiGraphEngine
+
+        g = scc_profile_graph(120, 4.0, 0.5, 4.0, seed=3)
+        seq = sequential_topological_run(g, PageRank())
+        par = DiGraphEngine(test_machine).run(g, PageRank())
+        assert seq.vertex_updates <= par.vertex_updates
+
+    def test_symmetric_program_converges(self):
+        g = scc_profile_graph(100, 4.0, 0.5, 4.0, seed=4)
+        result = sequential_topological_run(g, make_program("wcc", g))
+        assert result.apply_calls > 0

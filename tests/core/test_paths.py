@@ -1,0 +1,113 @@
+"""Unit tests for Path and PathSet."""
+
+import pytest
+
+from repro.core.paths import Path, PathSet, renumber
+from repro.core.partitioning import decompose_into_paths
+from repro.errors import PartitioningError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_path
+
+
+@pytest.fixture
+def chain_path():
+    g = directed_path(4)
+    return g, Path(path_id=0, vertices=(0, 1, 2, 3), edge_ids=(0, 1, 2))
+
+
+class TestPath:
+    def test_endpoints(self, chain_path):
+        _, p = chain_path
+        assert p.head == 0
+        assert p.tail == 3
+        assert p.num_edges == 3
+        assert len(p) == 3
+
+    def test_inner_vertices(self, chain_path):
+        _, p = chain_path
+        assert p.inner_vertices() == (1, 2)
+
+    def test_needs_an_edge(self):
+        with pytest.raises(PartitioningError):
+            Path(path_id=0, vertices=(0,), edge_ids=())
+
+    def test_edge_vertex_count_mismatch(self):
+        with pytest.raises(PartitioningError):
+            Path(path_id=0, vertices=(0, 1), edge_ids=(0, 1))
+
+    def test_validate_against_graph(self, chain_path):
+        g, p = chain_path
+        p.validate_against(g)
+
+    def test_validate_catches_wrong_edge(self):
+        g = directed_path(4)
+        bad = Path(path_id=0, vertices=(0, 2), edge_ids=(0,))
+        with pytest.raises(PartitioningError):
+            bad.validate_against(g)
+
+    def test_average_degree(self, chain_path):
+        g, p = chain_path
+        # chain degrees: 1, 2, 2, 1 -> mean 1.5
+        assert p.average_degree(g) == pytest.approx(1.5)
+
+
+class TestPathSet:
+    @pytest.fixture
+    def decomposition(self):
+        g = from_edges([(0, 1), (1, 2), (1, 3), (3, 1)])
+        return decompose_into_paths(g)
+
+    def test_validate_passes(self, decomposition):
+        decomposition.validate()
+
+    def test_total_edges_covered(self, decomposition):
+        assert decomposition.total_edges() == decomposition.graph.num_edges
+
+    def test_validate_catches_duplicate_edge(self):
+        g = directed_path(3)
+        paths = [
+            Path(path_id=0, vertices=(0, 1), edge_ids=(0,)),
+            Path(path_id=1, vertices=(0, 1), edge_ids=(0,)),
+        ]
+        ps = PathSet(graph=g, paths=paths)
+        with pytest.raises(PartitioningError):
+            ps.validate()
+
+    def test_validate_catches_missing_edge(self):
+        g = directed_path(3)
+        ps = PathSet(
+            graph=g,
+            paths=[Path(path_id=0, vertices=(0, 1), edge_ids=(0,))],
+        )
+        with pytest.raises(PartitioningError):
+            ps.validate()
+
+    def test_validate_catches_bad_ids(self):
+        g = directed_path(3)
+        ps = PathSet(
+            graph=g,
+            paths=[Path(path_id=5, vertices=(0, 1), edge_ids=(0,))],
+        )
+        with pytest.raises(PartitioningError):
+            ps.validate()
+
+    def test_occurrence_maps(self):
+        g = directed_path(3)
+        ps = PathSet(
+            graph=g,
+            paths=[Path(path_id=0, vertices=(0, 1, 2), edge_ids=(0, 1))],
+        )
+        assert ps.paths_of_vertex() == {0: [0], 1: [0], 2: [0]}
+        assert ps.writer_paths() == {1: [0], 2: [0]}   # non-head
+        assert ps.reader_paths() == {0: [0], 1: [0]}   # non-tail
+
+    def test_average_length(self, decomposition):
+        assert decomposition.average_length() > 0
+
+    def test_renumber(self):
+        paths = [
+            Path(path_id=7, vertices=(0, 1), edge_ids=(0,)),
+            Path(path_id=3, vertices=(1, 2), edge_ids=(1,)),
+        ]
+        renumbered = renumber(paths)
+        assert [p.path_id for p in renumbered] == [0, 1]

@@ -1,0 +1,125 @@
+"""Unit tests for replica/proxy bookkeeping."""
+
+import pytest
+
+from repro.core.dependency import build_dependency_dag
+from repro.core.partitioning import decompose_into_paths
+from repro.core.replicas import ReplicaTable, replication_factor
+from repro.core.storage import BYTES_PER_MESSAGE, PathStorage, build_partitions
+from repro.errors import StorageError
+from repro.graph.generators import scc_profile_graph
+
+
+@pytest.fixture
+def table():
+    g = scc_profile_graph(150, 4.0, 0.5, 4.0, seed=1)
+    ps = decompose_into_paths(g)
+    dag = build_dependency_dag(ps)
+    storage = PathStorage(ps, build_partitions(ps, dag, 40))
+    return g, ps, storage, ReplicaTable(
+        ps, storage, proxy_in_degree_threshold=4, proxy_capacity=16
+    )
+
+
+class TestMirrors:
+    def test_every_path_vertex_has_a_partition(self, table):
+        _, ps, storage, replicas = table
+        for path in ps:
+            for v in path.vertices:
+                assert storage.partition_of_path(path.path_id) in (
+                    replicas.mirror_partitions(int(v))
+                )
+
+    def test_isolated_vertex_has_none(self, table):
+        g, _, _, replicas = table
+        # Vertex ids beyond the graph never appear.
+        assert replicas.mirror_partitions(10 ** 6) == ()
+        assert replicas.replica_count(10 ** 6) == 0
+
+    def test_owner_is_a_mirror(self, table):
+        g, _, _, replicas = table
+        for v in range(g.num_vertices):
+            owner = replicas.owner_partition(v)
+            if owner is not None:
+                assert owner in replicas.mirror_partitions(v)
+
+    def test_writer_partitions_subset_of_mirrors(self, table):
+        g, _, _, replicas = table
+        for v in range(g.num_vertices):
+            for pid in replicas.writer_partitions(v):
+                assert pid in replicas.mirror_partitions(v)
+
+    def test_owner_override_validation(self, table):
+        g, _, _, replicas = table
+        v = next(
+            v for v in range(g.num_vertices) if replicas.mirror_partitions(v)
+        )
+        bogus = max(replicas.mirror_partitions(v)) + 100
+        with pytest.raises(StorageError):
+            replicas.set_owner_overrides({v: bogus})
+
+    def test_replication_factor_at_least_one(self, table):
+        _, ps, _, replicas = table
+        assert replication_factor(replicas, ps) >= 1.0
+
+
+class TestSync:
+    def test_messages_to_remote_mirrors_only(self, table):
+        g, _, storage, replicas = table
+        v = next(
+            v for v in range(g.num_vertices)
+            if replicas.replica_count(v) >= 2
+        )
+        home = replicas.mirror_partitions(v)[0]
+        outcome = replicas.sync_after_partition(home, [v])
+        assert outcome.messages == replicas.replica_count(v) - 1
+        assert home not in outcome.destinations
+
+    def test_batching_counts_destinations(self, table):
+        g, _, _, replicas = table
+        vs = [
+            v for v in range(g.num_vertices)
+            if replicas.replica_count(v) >= 2
+        ][:5]
+        outcome = replicas.sync_after_partition(-1, vs)
+        assert outcome.batches == len(outcome.destinations)
+        assert outcome.nbytes == outcome.messages * BYTES_PER_MESSAGE
+
+    def test_no_changes_no_messages(self, table):
+        replicas = table[3]
+        outcome = replicas.sync_after_partition(0, [])
+        assert outcome.messages == 0
+        assert outcome.batches == 0
+
+
+class TestProxies:
+    def test_capacity_respected(self, table):
+        replicas = table[3]
+        assert replicas.num_proxied <= 16
+
+    def test_proxied_absorb_contention(self, table):
+        g, _, _, replicas = table
+        proxied = next(
+            (v for v in range(g.num_vertices) if replicas.has_proxy(v)), None
+        )
+        if proxied is None:
+            pytest.skip("no proxied vertex in this graph")
+        outcome = replicas.contention({proxied: 5})
+        assert outcome.atomic_updates == 1
+        assert outcome.proxy_absorbed == 4
+
+    def test_unproxied_pay_per_write(self, table):
+        g, _, _, replicas = table
+        cold = next(
+            v for v in range(g.num_vertices) if not replicas.has_proxy(v)
+        )
+        outcome = replicas.contention({cold: 5})
+        assert outcome.atomic_updates == 5
+        assert outcome.proxy_absorbed == 0
+
+    def test_invalid_construction(self, table):
+        _, ps, storage, _ = table
+        with pytest.raises(StorageError):
+            ReplicaTable(ps, storage, proxy_in_degree_threshold=0)
+        with pytest.raises(StorageError):
+            ReplicaTable(ps, storage, proxy_capacity=-1)

@@ -1,0 +1,42 @@
+"""Tests for the DiGraph-t / DiGraph-w ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.bench.results import states_close
+from repro.core.engine import DiGraphConfig, DiGraphEngine
+from repro.core.variants import digraph_t, digraph_w
+
+
+class TestVariantConstruction:
+    def test_digraph_t_flags(self, test_machine):
+        engine = digraph_t(test_machine)
+        assert not engine.config.use_path_execution
+        assert engine.engine_label() == "digraph-t"
+
+    def test_digraph_w_flags(self, test_machine):
+        engine = digraph_w(test_machine)
+        assert engine.config.use_path_execution
+        assert not engine.config.use_priority_scheduling
+        assert engine.engine_label() == "digraph-w"
+
+    def test_base_config_carried(self, test_machine):
+        base = DiGraphConfig(d_max=7)
+        assert digraph_t(test_machine, base).config.d_max == 7
+        assert digraph_w(test_machine, base).config.d_max == 7
+
+
+class TestVariantBehavior:
+    def test_all_reach_same_fixed_point(self, medium_graph, test_machine):
+        prog = PageRank(tolerance=1e-6)
+        full = DiGraphEngine(test_machine).run(medium_graph, prog)
+        t = digraph_t(test_machine).run(medium_graph, PageRank(tolerance=1e-6))
+        w = digraph_w(test_machine).run(medium_graph, PageRank(tolerance=1e-6))
+        assert states_close(full, t, rtol=1e-2, atol=1e-2)
+        assert states_close(full, w, rtol=1e-2, atol=1e-2)
+
+    def test_all_converge(self, medium_graph, test_machine):
+        for factory in (digraph_t, digraph_w):
+            result = factory(test_machine).run(medium_graph, PageRank())
+            assert result.converged

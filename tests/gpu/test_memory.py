@@ -1,0 +1,87 @@
+"""Unit tests for bounded memory with eviction."""
+
+import pytest
+
+from repro.errors import MemoryCapacityError, SimulationError
+from repro.gpu.memory import BoundedMemory
+
+
+class TestAllocation:
+    def test_basic_allocate_release(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 60)
+        assert mem.used_bytes == 60
+        assert mem.is_resident(1)
+        assert mem.release(1) == 60
+        assert mem.free_bytes == 100
+
+    def test_resize_in_place(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(1, 70)
+        assert mem.used_bytes == 70
+
+    def test_oversized_region(self):
+        mem = BoundedMemory(100)
+        with pytest.raises(MemoryCapacityError):
+            mem.allocate(1, 101)
+
+    def test_negative_size(self):
+        with pytest.raises(SimulationError):
+            BoundedMemory(100).allocate(1, -1)
+
+    def test_zero_capacity_invalid(self):
+        with pytest.raises(SimulationError):
+            BoundedMemory(0)
+
+    def test_release_missing(self):
+        with pytest.raises(SimulationError):
+            BoundedMemory(10).release(7)
+
+    def test_region_size_query(self):
+        mem = BoundedMemory(100)
+        mem.allocate(2, 33)
+        assert mem.region_size(2) == 33
+
+    def test_clear(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 50)
+        mem.clear()
+        assert mem.used_bytes == 0
+
+
+class TestEviction:
+    def test_fifo_default(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(2, 40)
+        evicted = mem.allocate(3, 40)
+        assert evicted == [1]
+        assert not mem.is_resident(1)
+        assert mem.is_resident(2)
+
+    def test_custom_policy(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(2, 40)
+        # Prefer evicting the newest region.
+        evicted = mem.allocate(
+            3, 40, evict_order=lambda ids: sorted(ids, reverse=True)
+        )
+        assert evicted == [2]
+
+    def test_evicts_just_enough(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 30)
+        mem.allocate(2, 30)
+        mem.allocate(3, 30)
+        evicted = mem.allocate(4, 35)
+        assert evicted == [1]  # one region suffices
+
+    def test_multi_eviction(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 30)
+        mem.allocate(2, 30)
+        mem.allocate(3, 30)
+        evicted = mem.allocate(4, 90)
+        assert evicted == [1, 2, 3]

@@ -1,0 +1,75 @@
+"""Unit tests for the SMX lock-step warp model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.config import GPUSpec
+from repro.gpu.smx import SMX
+from repro.gpu.stats import MachineStats
+
+
+def make_smx(**kwargs):
+    spec = GPUSpec(
+        num_smxs=1,
+        threads_per_warp=kwargs.pop("warp", 4),
+        warp_slots_per_smx=kwargs.pop("slots", 2),
+        cycles_per_edge=kwargs.pop("cpe", 10),
+        cycles_per_atomic=kwargs.pop("cpa", 100),
+    )
+    stats = MachineStats()
+    return SMX(spec, stats), stats
+
+
+class TestThreadCost:
+    def test_edge_cost(self):
+        smx, _ = make_smx()
+        assert smx.thread_cost_cycles(5) == 50
+
+    def test_atomic_cost(self):
+        smx, _ = make_smx()
+        assert smx.thread_cost_cycles(2, atomics=3) == 20 + 300
+
+    def test_negative_invalid(self):
+        smx, _ = make_smx()
+        with pytest.raises(SimulationError):
+            smx.thread_cost_cycles(-1)
+
+
+class TestLockStepWarps:
+    def test_warp_pays_max_member(self):
+        smx, _ = make_smx(warp=4, slots=1)
+        cost = smx.execute([1, 1, 1, 8])
+        assert cost.cycles == 80  # max member = 8 edges x 10 cycles
+
+    def test_balanced_warp_efficient(self):
+        smx, stats = make_smx(warp=4, slots=1)
+        cost = smx.execute([5, 5, 5, 5])
+        assert cost.busy_thread_cycles == 200
+        assert cost.cycles == 50
+        assert stats.gpu_utilization == 1.0
+
+    def test_multiple_warps_use_slots(self):
+        smx, _ = make_smx(warp=2, slots=2)
+        # 4 warps of cost 10 each: 2 slots -> ceil(40/2) = 20 cycles
+        cost = smx.execute([1, 1, 1, 1, 1, 1, 1, 1])
+        assert cost.cycles == 20
+
+    def test_heaviest_warp_lower_bound(self):
+        smx, _ = make_smx(warp=2, slots=4)
+        cost = smx.execute([10, 10, 1, 1])
+        assert cost.cycles >= 100
+
+    def test_empty_work(self):
+        smx, _ = make_smx()
+        cost = smx.execute([])
+        assert cost.cycles == 0
+
+    def test_atomic_counts_parallel(self):
+        smx, _ = make_smx()
+        with pytest.raises(SimulationError):
+            smx.execute([1, 2], atomic_counts=[1])
+
+    def test_total_counts_resident_warps_only(self):
+        smx, _ = make_smx(warp=4, slots=2)
+        cost = smx.execute([5])  # one partial warp
+        assert cost.total_thread_cycles == cost.cycles * 4  # one warp wide

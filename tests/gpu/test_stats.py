@@ -1,0 +1,68 @@
+"""Unit tests for the machine counters."""
+
+import pytest
+
+from repro.gpu.stats import MachineStats
+
+
+class TestDerivedQuantities:
+    def test_traffic_sums_all_channels(self):
+        stats = MachineStats(
+            h2d_bytes=10, d2h_bytes=20, p2p_bytes=30, global_load_bytes=40
+        )
+        assert stats.traffic_bytes == 100
+
+    def test_data_utilization(self):
+        stats = MachineStats(vertices_loaded=10, vertex_uses=25)
+        assert stats.data_utilization == 2.5
+
+    def test_data_utilization_zero_loads(self):
+        assert MachineStats().data_utilization == 0.0
+
+    def test_gpu_utilization(self):
+        stats = MachineStats(busy_thread_cycles=30, total_thread_cycles=120)
+        assert stats.gpu_utilization == 0.25
+
+    def test_gpu_utilization_zero(self):
+        assert MachineStats().gpu_utilization == 0.0
+
+    def test_total_time_overlaps_async_comm(self):
+        stats = MachineStats(
+            compute_time_s=5.0, async_comm_time_s=3.0, transfer_time_s=1.0
+        )
+        assert stats.total_time_s == 6.0  # comm hidden behind compute
+
+    def test_total_time_comm_bound(self):
+        stats = MachineStats(
+            compute_time_s=2.0, async_comm_time_s=7.0, transfer_time_s=1.0
+        )
+        assert stats.total_time_s == 8.0
+
+    def test_total_with_preprocess(self):
+        stats = MachineStats(compute_time_s=1.0, preprocess_time_s=0.5)
+        assert stats.total_time_with_preprocess_s == 1.5
+
+
+class TestBookkeeping:
+    def test_partition_counter(self):
+        stats = MachineStats()
+        stats.note_partition_processed(3)
+        stats.note_partition_processed(3)
+        stats.note_partition_processed(5)
+        assert stats.partition_processed == {3: 2, 5: 1}
+
+    def test_merge(self):
+        a = MachineStats(vertex_updates=5, h2d_bytes=100)
+        a.note_partition_processed(1)
+        b = MachineStats(vertex_updates=2, h2d_bytes=50)
+        b.note_partition_processed(1)
+        a.merge(b)
+        assert a.vertex_updates == 7
+        assert a.h2d_bytes == 150
+        assert a.partition_processed[1] == 2
+
+    def test_snapshot_is_independent(self):
+        a = MachineStats(vertex_updates=5)
+        snap = a.snapshot()
+        a.vertex_updates = 100
+        assert snap.vertex_updates == 5

@@ -1,0 +1,55 @@
+"""Unit tests for the Hyper-Q stream overlap model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.stream import StreamPool
+
+
+class TestOverlap:
+    def test_fully_hidden(self):
+        pool = StreamPool(4)
+        pool.queue_transfer(0.5)
+        result = pool.overlap_with_compute(1.0)
+        assert result.unhidden_transfer_s == 0.0
+        assert result.elapsed_s == 1.0
+
+    def test_partially_hidden(self):
+        pool = StreamPool(4)
+        pool.queue_transfer(1.5)
+        result = pool.overlap_with_compute(1.0)
+        assert result.unhidden_transfer_s == pytest.approx(0.5)
+        assert result.elapsed_s == pytest.approx(1.5)
+
+    def test_single_stream_serializes(self):
+        pool = StreamPool(1)
+        pool.queue_transfer(0.5)
+        result = pool.overlap_with_compute(1.0)
+        assert result.unhidden_transfer_s == 0.5
+        assert result.elapsed_s == 1.5
+
+    def test_queue_drained_after_overlap(self):
+        pool = StreamPool(2)
+        pool.queue_transfer(0.5)
+        pool.overlap_with_compute(1.0)
+        assert pool.pending_transfer_s == 0.0
+
+    def test_multiple_queued_sum(self):
+        pool = StreamPool(2)
+        pool.queue_transfer(0.3)
+        pool.queue_transfer(0.4)
+        assert pool.pending_transfer_s == pytest.approx(0.7)
+
+    def test_flush_full_cost(self):
+        pool = StreamPool(8)
+        pool.queue_transfer(0.9)
+        assert pool.flush() == pytest.approx(0.9)
+        assert pool.pending_transfer_s == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            StreamPool(0)
+        with pytest.raises(SimulationError):
+            StreamPool(1).queue_transfer(-0.1)
+        with pytest.raises(SimulationError):
+            StreamPool(1).overlap_with_compute(-1.0)

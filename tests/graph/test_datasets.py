@@ -1,0 +1,83 @@
+"""Unit tests for the six paper-dataset stand-ins."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import datasets
+from repro.graph.metrics import average_distance
+from repro.graph.scc import scc_statistics
+
+
+class TestLoading:
+    def test_all_names_load(self):
+        for name in datasets.DATASET_NAMES:
+            g = datasets.load(name)
+            assert g.num_vertices > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError):
+            datasets.load("facebook")
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            datasets.load("dblp", scale=0)
+
+    def test_deterministic(self):
+        assert datasets.load("dblp") == datasets.load("dblp")
+
+    def test_scale_grows_graph(self):
+        small = datasets.load("dblp", scale=0.5)
+        big = datasets.load("dblp", scale=1.0)
+        assert big.num_vertices > small.num_vertices
+
+    def test_weighted(self):
+        g = datasets.load("dblp", weighted=True)
+        assert g.weights.max() > 1.0
+
+    def test_load_all(self):
+        graphs = datasets.load_all(scale=0.5)
+        assert set(graphs) == set(datasets.DATASET_NAMES)
+
+
+class TestTable1Profile:
+    """The stand-ins must reproduce Table 1's *relative* structure."""
+
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        return {name: datasets.load(name) for name in datasets.DATASET_NAMES}
+
+    def test_degree_extremes(self, loaded):
+        degrees = {
+            name: g.num_edges / g.num_vertices for name, g in loaded.items()
+        }
+        assert min(degrees, key=degrees.get) == "dblp"
+        assert max(degrees, key=degrees.get) == "twitter"
+
+    def test_distance_contrast(self, loaded):
+        distances = {
+            name: average_distance(g, sample=24) for name, g in loaded.items()
+        }
+        # social graphs are short-distance, web crawls long-distance
+        assert distances["twitter"] < distances["cnr"]
+        assert distances["ljournal"] < distances["webbase"]
+        assert distances["twitter"] < distances["it04"]
+
+    def test_giant_scc_profile(self, loaded):
+        fractions = {
+            name: scc_statistics(g).giant_scc_fraction
+            for name, g in loaded.items()
+        }
+        # cnr has the smallest giant SCC, twitter the largest (Table 1)
+        assert fractions["cnr"] < 0.5
+        assert fractions["twitter"] > 0.7
+        assert fractions["cnr"] == min(fractions.values())
+
+    def test_one_update_fractions_positive(self, loaded):
+        for name, g in loaded.items():
+            stats = scc_statistics(g)
+            assert 0.0 < stats.one_update_fraction < 1.0, name
+
+    def test_table1_rows(self):
+        rows = datasets.table1(scale=0.5, distance_sample=16)
+        assert len(rows) == 6
+        assert [r.name for r in rows] == list(datasets.DATASET_NAMES)

@@ -1,0 +1,168 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    add_bidirectional_edges,
+    bowtie_graph,
+    complete_binary_out_tree,
+    directed_cycle,
+    directed_path,
+    power_law_directed,
+    random_dag,
+    random_directed,
+    rmat,
+    scc_profile_graph,
+    with_random_weights,
+)
+from repro.graph.metrics import average_distance, degree_skew
+from repro.graph.scc import scc_statistics
+from repro.graph.traversal import topological_order
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = directed_path(5)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 4)
+
+    def test_path_needs_vertex(self):
+        with pytest.raises(GraphError):
+            directed_path(0)
+
+    def test_cycle(self):
+        g = directed_cycle(4)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_binary_tree(self):
+        g = complete_binary_out_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert g.out_degree(0) == 2
+
+    def test_tree_negative_depth(self):
+        with pytest.raises(GraphError):
+            complete_binary_out_tree(-1)
+
+
+class TestRandomGraphs:
+    def test_random_directed_exact_edges(self):
+        g = random_directed(20, 50, seed=1)
+        assert g.num_edges == 50
+
+    def test_random_directed_no_self_loops(self):
+        g = random_directed(10, 30, seed=2)
+        for s, d, _ in g.edges():
+            assert s != d
+
+    def test_random_directed_deterministic(self):
+        assert random_directed(15, 40, seed=3) == random_directed(15, 40, seed=3)
+
+    def test_random_directed_too_many_edges(self):
+        with pytest.raises(GraphError):
+            random_directed(3, 100)
+
+    def test_random_dag_acyclic(self):
+        g = random_dag(30, 80, seed=4)
+        topological_order(g)  # raises on cycle
+
+    def test_rmat_size(self):
+        g = rmat(scale=6, edge_factor=4, seed=5)
+        assert g.num_vertices == 64
+        assert 0 < g.num_edges <= 4 * 64
+
+    def test_rmat_bad_probs(self):
+        with pytest.raises(GraphError):
+            rmat(scale=4, a=0.8, b=0.3, c=0.3)
+
+    def test_power_law_has_skew(self):
+        g = power_law_directed(300, avg_out_degree=5, seed=6)
+        assert degree_skew(g) > 3.0
+
+
+class TestSCCProfileGraph:
+    def test_deterministic(self):
+        a = scc_profile_graph(150, 4.0, 0.5, 5.0, seed=7)
+        b = scc_profile_graph(150, 4.0, 0.5, 5.0, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = scc_profile_graph(150, 4.0, 0.5, 5.0, seed=7)
+        b = scc_profile_graph(150, 4.0, 0.5, 5.0, seed=8)
+        assert a != b
+
+    def test_giant_scc_near_target(self):
+        g = scc_profile_graph(400, 5.0, 0.6, 5.0, seed=9)
+        stats = scc_statistics(g)
+        assert 0.4 <= stats.giant_scc_fraction <= 0.8
+
+    def test_distance_ordering(self):
+        near = scc_profile_graph(300, 6.0, 0.5, 3.0, seed=10)
+        far = scc_profile_graph(300, 6.0, 0.5, 12.0, seed=10)
+        d_near = average_distance(near, sample=24)
+        d_far = average_distance(far, sample=24)
+        assert d_far > d_near
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            scc_profile_graph(2, 4.0, 0.5, 5.0)
+        with pytest.raises(GraphError):
+            scc_profile_graph(100, 4.0, 1.5, 5.0)
+        with pytest.raises(GraphError):
+            scc_profile_graph(100, 0.5, 0.5, 5.0)
+        with pytest.raises(GraphError):
+            scc_profile_graph(100, 4.0, 0.5, 0.5)
+
+
+class TestBidirectionalEdges:
+    def test_full_symmetry(self):
+        g = directed_path(6)
+        sym = add_bidirectional_edges(g, 1.0)
+        for s, d, _ in g.edges():
+            assert sym.has_edge(d, s)
+
+    def test_zero_ratio_is_identity_edge_set(self):
+        g = directed_path(6)
+        same = add_bidirectional_edges(g, 0.0)
+        assert same.num_edges == g.num_edges
+
+    def test_partial_ratio_monotone(self):
+        g = random_directed(40, 150, seed=11)
+        low = add_bidirectional_edges(g, 0.4, seed=1)
+        high = add_bidirectional_edges(g, 0.9, seed=1)
+        assert low.num_edges <= high.num_edges
+
+    def test_invalid_ratio(self):
+        with pytest.raises(GraphError):
+            add_bidirectional_edges(directed_path(3), 1.5)
+
+
+class TestWeights:
+    def test_random_weights_range(self):
+        g = with_random_weights(directed_path(50), low=2.0, high=9.0, seed=12)
+        assert g.weights.min() >= 2.0
+        assert g.weights.max() < 9.0
+
+    def test_invalid_range(self):
+        with pytest.raises(GraphError):
+            with_random_weights(directed_path(3), low=5.0, high=1.0)
+
+    def test_structure_preserved(self):
+        g = directed_path(10)
+        w = with_random_weights(g, seed=13)
+        assert np.array_equal(g.indices, w.indices)
+
+
+class TestBowtie:
+    def test_structure(self):
+        g = bowtie_graph(core=5, in_tail=3, out_tail=2)
+        assert g.num_vertices == 10
+        stats = scc_statistics(g)
+        assert stats.giant_scc_vertices == 5
+
+    def test_core_too_small(self):
+        with pytest.raises(GraphError):
+            bowtie_graph(core=1, in_tail=0, out_tail=0)

@@ -1,0 +1,76 @@
+"""Tests for graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import directed_path, with_random_weights
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip_weighted(self, tmp_path):
+        g = with_random_weights(directed_path(8), seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert np.array_equal(loaded.indices, g.indices)
+        assert np.allclose(loaded.weights, g.weights, rtol=1e-5)
+
+    def test_unweighted_defaults_to_one(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert np.all(g.weights == 1.0)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid comment\n1 2\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_header_written(self, tmp_path):
+        g = directed_path(3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="my graph")
+        text = path.read_text()
+        assert text.startswith("# my graph")
+        assert "vertices=3" in text
+
+    def test_malformed_field_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-numeric"):
+            read_edge_list(path)
+
+    def test_fixed_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_deduplicate(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n")
+        assert read_edge_list(path, deduplicate=True).num_edges == 1
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = with_random_weights(directed_path(20), seed=2)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded == g
+
+    def test_missing_array(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, indptr=np.array([0, 0]))
+        with pytest.raises(GraphError, match="missing"):
+            load_npz(path)

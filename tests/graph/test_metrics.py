@@ -1,0 +1,73 @@
+"""Unit tests for graph metrics (Table 1 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_cycle, directed_path
+from repro.graph.metrics import (
+    average_degree,
+    average_distance,
+    degree_skew,
+    effective_diameter,
+    graph_properties,
+)
+
+
+class TestAverageDegree:
+    def test_chain(self):
+        assert average_degree(directed_path(5)) == pytest.approx(4 / 5)
+
+    def test_empty(self):
+        assert average_degree(from_edges([], num_vertices=0)) == 0.0
+
+
+class TestAverageDistance:
+    def test_chain_exact(self):
+        # distances: sum_{i<j} (j - i) over 4 vertices = 10, pairs = 6
+        g = directed_path(4)
+        assert average_distance(g) == pytest.approx(10 / 6)
+
+    def test_cycle_exact(self):
+        # every vertex reaches all others at distances 1..n-1
+        g = directed_cycle(4)
+        assert average_distance(g) == pytest.approx(2.0)
+
+    def test_sampling_close_to_exact(self):
+        g = directed_cycle(30)
+        exact = average_distance(g)
+        sampled = average_distance(g, sample=10, rng=np.random.default_rng(1))
+        assert sampled == pytest.approx(exact, rel=0.01)
+
+    def test_singleton(self):
+        assert average_distance(from_edges([], num_vertices=1)) == 0.0
+
+    def test_no_edges(self):
+        assert average_distance(from_edges([], num_vertices=5)) == 0.0
+
+
+class TestEffectiveDiameter:
+    def test_chain(self):
+        g = directed_path(11)
+        assert effective_diameter(g, quantile=1.0) == 10
+
+    def test_median_smaller(self):
+        g = directed_path(11)
+        assert effective_diameter(g, quantile=0.5) < 10
+
+
+class TestGraphProperties:
+    def test_row_fields(self):
+        g = directed_path(5)
+        props = graph_properties(g, name="chain", distance_sample=None)
+        assert props.name == "chain"
+        assert props.num_vertices == 5
+        assert props.num_edges == 4
+        assert "chain" in props.as_row()
+
+    def test_degree_skew_regular(self):
+        assert degree_skew(directed_cycle(10)) == pytest.approx(1.0)
+
+    def test_degree_skew_star(self):
+        star = from_edges([(0, i) for i in range(1, 11)])
+        assert degree_skew(star) > 4.0

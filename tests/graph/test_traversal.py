@@ -1,0 +1,115 @@
+"""Unit tests for traversal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_cycle, directed_path
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_levels,
+    connected_weakly,
+    dag_layers,
+    dfs_preorder,
+    is_reachable,
+    reachable_set,
+    sample_sources,
+    topological_order,
+)
+
+
+class TestBFS:
+    def test_chain_levels(self):
+        g = directed_path(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        levels = bfs_levels(g, 0)
+        assert levels[2] == UNREACHED
+
+    def test_cycle(self):
+        g = directed_cycle(4)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_reachability(self):
+        g = directed_path(4)
+        assert is_reachable(g, 0, 3)
+        assert not is_reachable(g, 3, 0)
+        assert is_reachable(g, 2, 2)
+
+    def test_reachable_set(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=4)
+        assert reachable_set(g, 0).tolist() == [0, 1]
+
+
+class TestDFS:
+    def test_preorder_chain(self):
+        g = directed_path(4)
+        assert dfs_preorder(g, 0) == [0, 1, 2, 3]
+
+    def test_preorder_visits_csr_order_first(self):
+        g = from_edges([(0, 1), (0, 2), (1, 3)])
+        assert dfs_preorder(g, 0) == [0, 1, 3, 2]
+
+    def test_preorder_partial(self):
+        g = from_edges([(0, 1), (2, 0)], num_vertices=3)
+        assert 2 not in dfs_preorder(g, 0)
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        g = directed_path(4)
+        assert topological_order(g).tolist() == [0, 1, 2, 3]
+
+    def test_respects_edges(self):
+        g = from_edges([(2, 0), (0, 1), (2, 1)])
+        order = topological_order(g).tolist()
+        assert order.index(2) < order.index(0) < order.index(1)
+
+    def test_cycle_raises(self):
+        with pytest.raises(GraphError):
+            topological_order(directed_cycle(3))
+
+
+class TestDagLayers:
+    def test_chain_layers(self):
+        g = directed_path(4)
+        assert dag_layers(g).tolist() == [0, 1, 2, 3]
+
+    def test_diamond_layers(self):
+        g = from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert dag_layers(g).tolist() == [0, 1, 1, 2]
+
+    def test_layer_property(self):
+        # layer(v) > layer(u) for every edge u->v
+        g = from_edges([(0, 2), (1, 2), (2, 3), (0, 3)])
+        layers = dag_layers(g)
+        for u, v, _ in g.edges():
+            assert layers[v] > layers[u]
+
+
+class TestWeakComponents:
+    def test_two_components(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=5)
+        labels = connected_weakly(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len({labels[0], labels[2], labels[4]}) == 3
+
+    def test_direction_ignored(self):
+        g = from_edges([(1, 0), (1, 2)])
+        labels = connected_weakly(g)
+        assert labels[0] == labels[1] == labels[2]
+
+
+class TestSampling:
+    def test_sample_sources_prefers_non_sinks(self):
+        g = from_edges([(0, 1)], num_vertices=10)
+        picked = sample_sources(g, 1, rng=np.random.default_rng(0))
+        assert picked.tolist() == [0]
+
+    def test_sample_count_capped(self):
+        g = directed_path(3)
+        assert sample_sources(g, 100).size <= 3

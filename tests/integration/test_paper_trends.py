@@ -1,0 +1,82 @@
+"""Integration checks for the paper's headline trends on stand-in data.
+
+These encode the *direction* of each claim at test scale, not absolute
+factors (see EXPERIMENTS.md for the measured magnitudes).
+"""
+
+import pytest
+
+from repro.algorithms import make_program
+from repro.baselines.async_engine import AsyncEngine
+from repro.baselines.bulk_sync import BulkSyncEngine
+from repro.core.engine import DiGraphEngine
+from repro.graph import datasets
+from repro.gpu.config import SCALED_MACHINE
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return datasets.load("dblp", scale=0.6)
+
+
+@pytest.fixture(scope="module")
+def runs(dblp):
+    out = {}
+    for name, factory in (
+        ("bulk", BulkSyncEngine),
+        ("async", AsyncEngine),
+        ("digraph", DiGraphEngine),
+    ):
+        out[name] = factory(SCALED_MACHINE).run(
+            dblp, make_program("pagerank", dblp), graph_name="dblp"
+        )
+    return out
+
+
+class TestUpdateCounts:
+    def test_digraph_fewest_updates(self, runs):
+        """Fig. 11: DiGraph needs the fewest vertex updates."""
+        assert runs["digraph"].vertex_updates < runs["bulk"].vertex_updates
+        assert runs["digraph"].vertex_updates <= runs["async"].vertex_updates
+
+    def test_async_beats_bulk(self, runs):
+        """Fig. 11: Groute needs fewer updates than Gunrock."""
+        assert runs["async"].vertex_updates < runs["bulk"].vertex_updates
+
+
+class TestDataUtilization:
+    def test_digraph_highest(self, runs):
+        """Fig. 13: DiGraph uses its loaded data best."""
+        assert runs["digraph"].data_utilization > runs["bulk"].data_utilization
+        assert (
+            runs["digraph"].data_utilization > runs["async"].data_utilization
+        )
+
+
+class TestPreprocessing:
+    def test_digraph_slightly_more_expensive(self, runs):
+        """Fig. 8: DiGraph pays a modest preprocessing premium."""
+        bulk = runs["bulk"].preprocess_time_s
+        digraph = runs["digraph"].preprocess_time_s
+        assert bulk < digraph < 2.0 * bulk
+
+    def test_async_between(self, runs):
+        bulk = runs["bulk"].preprocess_time_s
+        async_ = runs["async"].preprocess_time_s
+        assert bulk <= async_ <= runs["digraph"].preprocess_time_s
+
+
+class TestSparseFrontierWins:
+    def test_sssp_digraph_fastest(self, dblp):
+        """SSSP (the motivating example): DiGraph converges in far
+        fewer rounds than the barriered baseline."""
+        from repro.graph.generators import with_random_weights
+
+        g = with_random_weights(dblp, seed=5)
+        prog_args = dict(name="sssp")
+        bulk = BulkSyncEngine(SCALED_MACHINE).run(g, make_program("sssp", g))
+        digraph = DiGraphEngine(SCALED_MACHINE).run(
+            g, make_program("sssp", g)
+        )
+        assert digraph.rounds < bulk.rounds
+        assert digraph.processing_time_s < bulk.processing_time_s

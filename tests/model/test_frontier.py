@@ -1,0 +1,51 @@
+"""Unit tests for the BSP frontier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.frontier import Frontier
+
+
+class TestFrontier:
+    def test_dedup(self):
+        f = Frontier(5, [1, 1, 2])
+        assert len(f) == 2
+
+    def test_insertion_order(self):
+        f = Frontier(5, [3, 1, 2])
+        assert f.vertices() == [3, 1, 2]
+
+    def test_membership(self):
+        f = Frontier(5, [1])
+        assert 1 in f
+        assert 2 not in f
+        assert 99 not in f
+
+    def test_add_returns_newness(self):
+        f = Frontier(3)
+        assert f.add(1) is True
+        assert f.add(1) is False
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Frontier(2, [5])
+
+    def test_from_mask(self):
+        f = Frontier.from_mask(np.array([True, False, True]))
+        assert f.vertices() == [0, 2]
+
+    def test_bool_and_iter(self):
+        assert not Frontier(3)
+        f = Frontier(3, [2, 0])
+        assert list(f) == [2, 0]
+
+    def test_split_contiguous(self):
+        f = Frontier(10, list(range(7)))
+        parts = f.split(3)
+        assert sum(len(p) for p in parts) == 7
+        assert parts[0] + parts[1] + parts[2] == list(range(7))
+
+    def test_split_invalid(self):
+        with pytest.raises(SimulationError):
+            Frontier(3).split(0)

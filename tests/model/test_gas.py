@@ -1,0 +1,62 @@
+"""Unit tests for the GAS vertex-program API."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.graph.builder import from_edges
+from repro.graph.generators import directed_path
+
+
+@pytest.fixture
+def chain():
+    return directed_path(4)
+
+
+class TestGatherMachinery:
+    def test_gather_edges_are_in_edges(self, chain):
+        prog = PageRank()
+        prog.initial_states(chain)
+        edges = list(prog.gather_edges(chain, 2))
+        assert edges == [(1, 1.0)]
+
+    def test_gather_degree(self, chain):
+        prog = PageRank()
+        assert prog.gather_degree(chain, 0) == 0
+        assert prog.gather_degree(chain, 1) == 1
+
+    def test_full_gather_folds(self):
+        g = from_edges([(0, 2), (1, 2)])
+        prog = PageRank()
+        states = prog.initial_states(g)
+        acc = prog.full_gather(g, 2, states)
+        assert acc == pytest.approx(2.0)  # 1/outdeg + 1/outdeg = 1 + 1
+
+    def test_update_vertex_does_not_write(self, chain):
+        prog = PageRank()
+        states = prog.initial_states(chain)
+        before = states.copy()
+        prog.update_vertex(chain, 1, states)
+        assert np.array_equal(states, before)
+
+    def test_update_vertex_old_state_override(self, chain):
+        prog = SSSP(source=0)
+        states = prog.initial_states(chain)
+        new, changed = prog.update_vertex(
+            chain, 1, states, old_state=float("inf")
+        )
+        assert new == 1.0
+        assert changed
+
+    def test_dependents_default_out_neighbors(self, chain):
+        prog = PageRank()
+        assert list(prog.dependents(chain, 1)) == [2]
+
+    def test_has_converged_tolerance(self):
+        prog = PageRank(tolerance=0.1)
+        assert prog.has_converged(1.0, 1.05)
+        assert not prog.has_converged(1.0, 1.2)
+
+    def test_repr(self):
+        assert "pagerank" in repr(PageRank())

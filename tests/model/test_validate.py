@@ -1,0 +1,63 @@
+"""Tests for fixed-point validation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.errors import ConvergenceError
+from repro.graph.generators import directed_path, scc_profile_graph
+from repro.model.validate import (
+    assert_fixed_point,
+    check_fixed_point,
+    residuals,
+)
+
+
+class TestResiduals:
+    def test_converged_states_have_zero_violations(self, test_machine):
+        from repro.core.engine import DiGraphEngine
+
+        graph = scc_profile_graph(120, 4.0, 0.5, 4.0, seed=51)
+        prog = PageRank(tolerance=1e-7)
+        result = DiGraphEngine(test_machine).run(graph, prog)
+        report = check_fixed_point(PageRank(tolerance=1e-7), graph, result.states)
+        assert report.satisfied, str(report)
+
+    def test_unconverged_states_flagged(self):
+        graph = directed_path(4)
+        prog = PageRank()
+        states = prog.initial_states(graph)
+        states[2] = 40.0  # clearly not a fixed point
+        report = check_fixed_point(PageRank(), graph, states)
+        assert not report.satisfied
+        assert report.max_residual > 1.0
+
+    def test_infinite_states_handled(self):
+        graph = directed_path(3)
+        prog = SSSP(source=0)
+        states = np.array([0.0, 1.0, 2.0])
+        prog.initial_states(graph)
+        assert residuals(prog, graph, states).max() == 0.0
+
+    def test_inf_finite_mismatch_is_infinite_residual(self):
+        graph = directed_path(3)
+        prog = SSSP(source=0)
+        prog.initial_states(graph)
+        states = np.array([0.0, np.inf, np.inf])  # v1 should be 1.0
+        assert np.isinf(residuals(prog, graph, states)[1])
+
+    def test_assert_raises(self):
+        graph = directed_path(4)
+        prog = PageRank()
+        states = prog.initial_states(graph)
+        states[1] = 99.0
+        with pytest.raises(ConvergenceError):
+            assert_fixed_point(PageRank(), graph, states)
+
+    def test_report_str(self):
+        graph = directed_path(3)
+        prog = PageRank(tolerance=1e-7)
+        states = prog.initial_states(graph)
+        report = check_fixed_point(prog, graph, states)
+        assert "fixed point" in str(report)

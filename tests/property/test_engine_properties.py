@@ -1,0 +1,68 @@
+"""Property-based tests: engine correctness on arbitrary graphs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bfs import BFSLevels
+from repro.algorithms.pagerank import PageRank
+from repro.core.engine import DiGraphEngine
+from repro.gpu.config import GPUSpec, MachineSpec
+from repro.graph.builder import from_edges
+from repro.graph.traversal import bfs_levels
+
+MACHINE = MachineSpec(
+    num_gpus=2,
+    gpu=GPUSpec(num_smxs=2, warp_slots_per_smx=2),
+    transfer_batch_bytes=1 << 20,
+)
+
+
+@st.composite
+def small_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=40,
+            unique=True,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=small_digraphs(), source=st.integers(0, 15))
+def test_bfs_always_exact(graph, source):
+    source = source % graph.num_vertices
+    result = DiGraphEngine(MACHINE).run(graph, BFSLevels(source=source))
+    oracle = bfs_levels(graph, source).astype(float)
+    oracle[oracle < 0] = np.inf
+    assert np.array_equal(result.states, oracle)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=small_digraphs())
+def test_pagerank_residual_within_tolerance(graph):
+    prog = PageRank(tolerance=1e-7)
+    result = DiGraphEngine(MACHINE).run(graph, prog)
+    outdeg = graph.out_degree().astype(float)
+    for v in range(graph.num_vertices):
+        acc = sum(
+            result.states[u] / outdeg[u]
+            for u in graph.predecessors(v)
+            if outdeg[u] > 0
+        )
+        residual = abs(result.states[v] - (0.15 + 0.85 * acc))
+        assert residual < 1e-4
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=small_digraphs())
+def test_engine_determinism(graph):
+    a = DiGraphEngine(MACHINE).run(graph, PageRank())
+    b = DiGraphEngine(MACHINE).run(graph, PageRank())
+    assert np.array_equal(a.states, b.states)
+    assert a.vertex_updates == b.vertex_updates

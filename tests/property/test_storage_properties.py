@@ -1,0 +1,52 @@
+"""Property-based tests for storage/partition invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dependency import build_dependency_dag
+from repro.core.partitioning import decompose_into_paths
+from repro.core.replicas import ReplicaTable
+from repro.core.storage import PathStorage, build_partitions
+from repro.graph.builder import from_edges
+
+
+@st.composite
+def small_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=40,
+            unique=True,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=small_digraphs(), target=st.integers(1, 30))
+def test_storage_roundtrip(graph, target):
+    ps = decompose_into_paths(graph)
+    dag = build_dependency_dag(ps)
+    partitions = build_partitions(ps, dag, target)
+    storage = PathStorage(ps, partitions)
+    storage.validate()
+    covered = sorted(p for part in partitions for p in part.path_ids)
+    assert covered == list(range(ps.num_paths))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=small_digraphs())
+def test_owner_is_always_a_mirror(graph):
+    ps = decompose_into_paths(graph)
+    dag = build_dependency_dag(ps)
+    storage = PathStorage(ps, build_partitions(ps, dag, 10))
+    replicas = ReplicaTable(ps, storage)
+    for v in range(graph.num_vertices):
+        owner = replicas.owner_partition(v)
+        if owner is not None:
+            assert owner in replicas.mirror_partitions(v)
+        else:
+            assert replicas.mirror_partitions(v) == ()

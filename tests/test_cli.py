@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import directed_path
+from repro.graph.io import write_edge_list
+
+
+class TestCLI:
+    def test_datasets_table(self, capsys):
+        assert main(["datasets", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "dblp" in out
+        assert "twitter" in out
+
+    def test_run_on_builtin(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--scale", "0.3",
+             "--algorithm", "bfs", "--engine", "digraph"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "breakdown" in out
+
+    def test_run_on_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(directed_path(30), path)
+        code = main(
+            ["run", "--edge-list", str(path), "--algorithm", "pagerank"]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_compare_lists_all_engines(self, capsys):
+        code = main(
+            ["compare", "--dataset", "dblp", "--scale", "0.3",
+             "--algorithm", "bfs"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for engine in ("bulk-sync", "async", "digraph-t", "digraph-w"):
+            assert engine in out
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "fig99_nope"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.3"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_gpu_override(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--scale", "0.3",
+             "--algorithm", "bfs", "--gpus", "1"]
+        )
+        assert code == 0
+
+
+class TestTraceFlag:
+    def test_run_with_trace(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--scale", "0.3",
+             "--algorithm", "pagerank", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "processed" in out and "|" in out

@@ -1,0 +1,105 @@
+"""Fast tests of the experiment shaping logic with stubbed engine cells.
+
+These verify the per-figure data plumbing (normalization, series
+assembly, table rendering) without running engines — the real sweeps are
+exercised by benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+import repro.bench.experiments as experiments
+from repro.bench.results import ExecutionResult
+from repro.gpu.stats import MachineStats
+
+
+def fake_result(engine, time_s=1.0, updates=100, preprocess=0.1):
+    stats = MachineStats(
+        compute_time_s=time_s,
+        vertex_updates=updates,
+        preprocess_time_s=preprocess,
+        vertices_loaded=10,
+        vertex_uses=20,
+        busy_thread_cycles=1,
+        total_thread_cycles=2,
+        h2d_bytes=100,
+    )
+    return ExecutionResult(
+        engine=engine,
+        algorithm="pagerank",
+        graph_name="g",
+        converged=True,
+        rounds=2,
+        states=np.zeros(3),
+        stats=stats,
+    )
+
+
+@pytest.fixture
+def stub_cells(monkeypatch):
+    """Replace run_cell with deterministic fakes per engine."""
+    behavior = {
+        "bulk-sync": dict(time_s=4.0, updates=400, preprocess=0.10),
+        "async": dict(time_s=2.0, updates=300, preprocess=0.104),
+        "digraph": dict(time_s=1.0, updates=150, preprocess=0.13),
+        "digraph-t": dict(time_s=3.0, updates=350, preprocess=0.13),
+        "digraph-w": dict(time_s=1.5, updates=200, preprocess=0.13),
+    }
+
+    def fake_run_cell(engine_name, algo, graph_name, **kwargs):
+        return fake_result(engine_name, **behavior[engine_name])
+
+    monkeypatch.setattr(experiments, "run_cell", fake_run_cell)
+    return behavior
+
+
+class TestFigureLogic:
+    def test_fig8_normalizes_to_bulk(self, stub_cells):
+        result = experiments.fig8_preprocessing(scale=0.1)
+        for per_engine in result["matrix"].values():
+            assert per_engine["bulk-sync"] == pytest.approx(1.0)
+            assert per_engine["digraph"] == pytest.approx(1.3)
+        assert "Fig 8" in result["table"]
+
+    def test_fig10_speedup_inverts_time(self, stub_cells):
+        result = experiments.fig10_speedup(scale=0.1, algos=["pagerank"])
+        matrix = result["matrices"]["pagerank"]
+        for per_engine in matrix.values():
+            assert per_engine["digraph"] == pytest.approx(4.0)
+            assert per_engine["async"] == pytest.approx(2.0)
+
+    def test_fig11_update_ratios(self, stub_cells):
+        result = experiments.fig11_updates(scale=0.1, algos=["pagerank"])
+        matrix = result["matrices"]["pagerank"]
+        for per_engine in matrix.values():
+            assert per_engine["digraph"] == pytest.approx(150 / 400)
+
+    def test_fig6_contains_both_views(self, stub_cells):
+        result = experiments.fig6_vs_digraph_t(
+            scale=0.1, algos=["pagerank"]
+        )
+        assert "matrices" in result and "update_matrices" in result
+        time_ratio = result["matrices"]["pagerank"]["dblp"]["digraph"]
+        upd_ratio = result["update_matrices"]["pagerank"]["dblp"]["digraph"]
+        assert time_ratio == pytest.approx(1.0 / 3.0)
+        assert upd_ratio == pytest.approx(150 / 350)
+
+    def test_fig16_efficiency_relative_to_one_gpu(self, stub_cells):
+        result = experiments.fig16_scalability(
+            scale=0.1, gpu_counts=(1, 2), algos=("pagerank",)
+        )
+        eff = result["efficiency"]["pagerank"]
+        for engine, series in eff.items():
+            assert series[0] == pytest.approx(1.0)
+
+    def test_fig9_rows_have_all_phases(self, stub_cells):
+        result = experiments.fig9_breakdown(scale=0.1)
+        for row in result["rows"]:
+            graph, engine, pre, compute, comm = row
+            assert pre >= 0 and compute >= 0 and comm >= 0
+        assert "Fig 9" in result["table"]
+
+    def test_fig15_rows(self, stub_cells):
+        result = experiments.fig15_gpu_utilization(scale=0.1)
+        for row in result["rows"]:
+            assert all(0 <= x <= 1 for x in row[1:])
