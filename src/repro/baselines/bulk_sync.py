@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.digraph import DiGraphCSR
 from repro.gpu.config import MachineSpec
 from repro.gpu.machine import Machine
+from repro.kernels.registry import resolve_kernel
 from repro.model.frontier import Frontier
 from repro.model.gas import VertexProgram
 from repro.model.state import VertexStates
@@ -46,6 +47,12 @@ class BulkSyncConfig:
     target_edges_per_partition: Optional[int] = None
     max_rounds: int = 100000
     n_workers: int = 1
+    #: Batch each round's gather-apply through the vectorized kernels
+    #: (:mod:`repro.kernels`). Bit-identical rounds and identical
+    #: modeled accounting — BSP already computes against the round-start
+    #: snapshot, which is exactly the batched formulation. Programs
+    #: without a registered kernel run the scalar fallback.
+    use_vectorized_kernels: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -93,6 +100,45 @@ class BulkSyncEngine:
         round_records: List[RoundRecord] = []
         converged = False
 
+        if self.config.use_vectorized_kernels:
+            converged = self._run_vectorized(
+                graph, program, machine, partitions, states, round_records
+            )
+        else:
+            converged = self._run_scalar(
+                graph, program, machine, partitions, states, round_records
+            )
+
+        if not converged and strict_convergence:
+            raise ConvergenceError(
+                f"{program.name} did not converge within "
+                f"{self.config.max_rounds} rounds"
+            )
+        return ExecutionResult(
+            engine=self.name,
+            algorithm=program.name,
+            graph_name=graph_name,
+            converged=converged,
+            rounds=stats.rounds,
+            states=states.values.copy(),
+            stats=stats,
+            round_records=round_records,
+            wall_seconds=time.perf_counter() - started,
+            extras={"num_partitions": float(len(partitions))},
+        )
+
+    def _run_scalar(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        machine: Machine,
+        partitions: List[VertexRangePartition],
+        states: VertexStates,
+        round_records: List[RoundRecord],
+    ) -> bool:
+        """The per-vertex round loop (the original code path)."""
+        stats = machine.stats
+        converged = False
         for round_index in range(self.config.max_rounds):
             frontier = Frontier.from_mask(states.active)
             if not frontier:
@@ -193,21 +239,144 @@ class BulkSyncEngine:
                     vertex_updates=updates_this_round,
                 )
             )
+        return converged
 
-        if not converged and strict_convergence:
-            raise ConvergenceError(
-                f"{program.name} did not converge within "
-                f"{self.config.max_rounds} rounds"
+    def _run_vectorized(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        machine: Machine,
+        partitions: List[VertexRangePartition],
+        states: VertexStates,
+        round_records: List[RoundRecord],
+    ) -> bool:
+        """Batched round loop: one kernel call per round.
+
+        Equivalent to :meth:`_run_scalar` update for update: BSP gathers
+        against the round-start snapshot, which is exactly the batched
+        formulation, so states, round records, and every modeled counter
+        (``apply_calls``, ``edge_traversals``, ``load_global`` bytes,
+        messages) match the scalar path — the loops just run as NumPy
+        array operations instead of per-vertex Python.
+        """
+        stats = machine.stats
+        kernel = resolve_kernel(program, graph)
+        num_gpus = machine.num_gpus
+        # Vertex -> partition lookup arrays (the scalar path binary-
+        # searches per vertex).
+        part_lo = np.array([p.lo for p in partitions], dtype=np.int64)
+        part_gpu = np.array([p.gpu for p in partitions], dtype=np.int64)
+        converged = False
+
+        for round_index in range(self.config.max_rounds):
+            frontier = np.flatnonzero(states.active)
+            if frontier.size == 0:
+                converged = True
+                break
+
+            snapshot = states.copy_values()
+            old = snapshot[frontier]
+            new, changed = kernel.batch_update(frontier, snapshot, old)
+            degrees = kernel.gather_degrees(frontier)
+            pidx = np.searchsorted(part_lo, frontier, side="right") - 1
+            gpus = part_gpu[pidx]
+            touched_partitions = set(int(p) for p in np.unique(pidx))
+
+            stats.apply_calls += int(frontier.size)
+            stats.edge_traversals += int(degrees.sum())
+            machine.note_vertex_uses(int(frontier.size + degrees.sum()))
+            work: Dict[int, List[int]] = {}
+            atomics: Dict[int, List[int]] = {}
+            for gpu in range(num_gpus):
+                on_gpu = gpus == gpu
+                gpu_degrees = degrees[on_gpu]
+                degree_sum = int(gpu_degrees.sum())
+                if degree_sum:
+                    # Demand fetches for gather reads (random access).
+                    machine.load_global(
+                        gpu, nbytes=8 * degree_sum, vertices=degree_sum
+                    )
+                work[gpu] = gpu_degrees.tolist()
+                atomics[gpu] = changed[on_gpu].astype(np.int64).tolist()
+
+            # Whole-partition loads for every touched partition (Fig. 13's
+            # denominator: many loaded vertices, few used).
+            convergent = 0
+            for partition in partitions:
+                if partition.partition_id in touched_partitions:
+                    machine.load_global(
+                        partition.gpu,
+                        nbytes=partition.nbytes,
+                        vertices=partition.num_vertices,
+                    )
+                    stats.note_partition_processed(partition.partition_id)
+                else:
+                    convergent += 1
+
+            machine.compute_round(work, atomics, barrier=True)
+
+            # Barrier + state synchronization.
+            states.active[frontier] = False
+            states.values[frontier] = new
+            changed_frontier = frontier[changed]
+            updates_this_round = int(changed_frontier.size)
+            stats.vertex_updates += updates_this_round
+            if updates_this_round:
+                targets, seg_offsets = kernel.batch_dependents(
+                    changed_frontier
+                )
+                states.active[targets] = True
+                # Replica messages: one per (changed vertex, remote GPU
+                # holding a dependent) pair, accumulated per GPU pair.
+                src_gpus = gpus[changed]
+                target_gpus = part_gpu[
+                    np.searchsorted(part_lo, targets, side="right") - 1
+                ]
+                seg_ids = np.repeat(
+                    np.arange(changed_frontier.size, dtype=np.int64),
+                    np.diff(seg_offsets),
+                )
+                remote = target_gpus != src_gpus[seg_ids]
+                if remote.any():
+                    per_vertex_remote = np.unique(
+                        seg_ids[remote] * num_gpus + target_gpus[remote]
+                    )
+                    pair_keys, pair_first, pair_counts = np.unique(
+                        src_gpus[per_vertex_remote // num_gpus] * num_gpus
+                        + per_vertex_remote % num_gpus,
+                        return_index=True,
+                        return_counts=True,
+                    )
+                    # Emit transfers in first-occurrence order — the order
+                    # the scalar path inserts pairs into its dict while
+                    # sweeping vertices ascending — so the float
+                    # accumulation of transfer_time_s is bit-identical.
+                    for i in np.argsort(pair_first, kind="stable"):
+                        machine.transfer(
+                            int(pair_keys[i]) // num_gpus,
+                            int(pair_keys[i]) % num_gpus,
+                            int(pair_counts[i]) * BYTES_PER_MESSAGE,
+                        )
+            # The barrier itself: an all-to-all control exchange.
+            for gpu in range(num_gpus):
+                machine.transfer(gpu, "host", BARRIER_SYNC_BYTES)
+
+            stats.rounds += 1
+            active_vertices = int(frontier.size)
+            touched_vertex_total = sum(
+                partitions[pid].num_vertices for pid in touched_partitions
             )
-        return ExecutionResult(
-            engine=self.name,
-            algorithm=program.name,
-            graph_name=graph_name,
-            converged=converged,
-            rounds=stats.rounds,
-            states=states.values.copy(),
-            stats=stats,
-            round_records=round_records,
-            wall_seconds=time.perf_counter() - started,
-            extras={"num_partitions": float(len(partitions))},
-        )
+            round_records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    partitions_processed=len(touched_partitions),
+                    partitions_convergent=convergent,
+                    active_fraction_nonconvergent=(
+                        active_vertices / touched_vertex_total
+                        if touched_vertex_total
+                        else 0.0
+                    ),
+                    vertex_updates=updates_this_round,
+                )
+            )
+        return converged

@@ -8,8 +8,12 @@ graphs) do not recompute them within a process.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Dict, Optional, Tuple
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.algorithms import make_program
 from repro.baselines.async_engine import AsyncConfig, AsyncEngine
@@ -34,19 +38,35 @@ def make_engine(
     name: str,
     machine: Optional[MachineSpec] = None,
     n_workers: int = 1,
+    vectorized: bool = False,
 ):
-    """Build an engine by figure-legend name."""
+    """Build an engine by figure-legend name.
+
+    ``vectorized`` enables the batched gather-apply kernels
+    (:mod:`repro.kernels`) on the engines that support them (bulk-sync
+    and the DiGraph family's vertex-centric pass); the async baseline
+    processes vertices one worklist pop at a time and has no batched
+    formulation.
+    """
     machine = machine or SCALED_MACHINE
     if name == "bulk-sync":
-        return BulkSyncEngine(machine, BulkSyncConfig(n_workers=n_workers))
+        return BulkSyncEngine(
+            machine,
+            BulkSyncConfig(
+                n_workers=n_workers, use_vectorized_kernels=vectorized
+            ),
+        )
     if name == "async":
         return AsyncEngine(machine, AsyncConfig(n_workers=n_workers))
+    digraph_config = DiGraphConfig(
+        n_workers=n_workers, use_vectorized_kernels=vectorized
+    )
     if name == "digraph":
-        return DiGraphEngine(machine, DiGraphConfig(n_workers=n_workers))
+        return DiGraphEngine(machine, digraph_config)
     if name == "digraph-t":
-        return digraph_t(machine, DiGraphConfig(n_workers=n_workers))
+        return digraph_t(machine, digraph_config)
     if name == "digraph-w":
-        return digraph_w(machine, DiGraphConfig(n_workers=n_workers))
+        return digraph_w(machine, digraph_config)
     raise ConfigurationError(f"unknown engine {name!r}")
 
 
@@ -108,3 +128,99 @@ def run_cell(
 def clear_cache() -> None:
     """Forget memoized cells (tests use this for isolation)."""
     _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# kernel microbenchmark
+# ----------------------------------------------------------------------
+
+#: Algorithms the kernel microbenchmark times by default — one linear
+#: contraction (pagerank), one monotone relaxation (sssp), one symmetric
+#: label propagation (wcc), and one structural filter (kcore).
+KERNEL_BENCH_ALGOS = ("pagerank", "sssp", "wcc", "kcore")
+
+
+def run_kernel_microbench(
+    num_vertices: int = 50_000,
+    num_edges: Optional[int] = None,
+    seed: int = 7,
+    algos: Sequence[str] = KERNEL_BENCH_ALGOS,
+    machine: Optional[MachineSpec] = None,
+    engine_name: str = "bulk-sync",
+    out_path: Optional[str] = "BENCH_kernels.json",
+) -> Dict:
+    """Time scalar vs vectorized vertex updates on one synthetic graph.
+
+    Runs each algorithm twice on the same ``random_directed`` graph — once
+    with per-vertex scalar updates and once with the batched kernels —
+    and records wall-clock seconds, per-round throughput, and whether the
+    two runs reached bit-identical states. The scalar and vectorized runs
+    execute the same modeled work (rounds, edge traversals, loads), so
+    the speedup isolates the Python dispatch overhead the kernels remove.
+
+    Writes the result dict as JSON to ``out_path`` (skipped when None)
+    and returns it. Later PRs diff this file for a perf trajectory.
+    """
+    from repro.graph.generators import random_directed
+
+    if num_edges is None:
+        num_edges = 8 * num_vertices
+    machine = machine or SCALED_MACHINE
+    graph = random_directed(num_vertices, num_edges, seed=seed)
+
+    results = []
+    for algo in algos:
+        per_mode: Dict[str, Dict] = {}
+        states: Dict[str, np.ndarray] = {}
+        for mode, vectorized in (("scalar", False), ("vectorized", True)):
+            engine = make_engine(engine_name, machine, vectorized=vectorized)
+            program = make_program(algo, graph)
+            t0 = time.perf_counter()
+            result = engine.run(graph, program, graph_name="kernel-bench")
+            wall = time.perf_counter() - t0
+            states[mode] = result.states
+            per_mode[mode] = {
+                "wall_seconds": wall,
+                "rounds": result.rounds,
+                "seconds_per_round": wall / max(result.rounds, 1),
+                "edge_traversals": result.stats.edge_traversals,
+                "edges_per_second": result.stats.edge_traversals / wall
+                if wall > 0
+                else float("inf"),
+                "converged": result.converged,
+            }
+        scalar_wall = per_mode["scalar"]["wall_seconds"]
+        vectorized_wall = per_mode["vectorized"]["wall_seconds"]
+        results.append(
+            {
+                "algorithm": algo,
+                "scalar": per_mode["scalar"],
+                "vectorized": per_mode["vectorized"],
+                "speedup": scalar_wall / vectorized_wall
+                if vectorized_wall > 0
+                else float("inf"),
+                "states_equal": bool(
+                    np.array_equal(states["scalar"], states["vectorized"])
+                ),
+            }
+        )
+
+    report = {
+        "benchmark": "kernel-microbench",
+        "engine": engine_name,
+        "graph": {
+            "generator": "random_directed",
+            "num_vertices": num_vertices,
+            "num_edges": num_edges,
+            "seed": seed,
+        },
+        "machine": {
+            "num_gpus": machine.num_gpus,
+        },
+        "results": results,
+    }
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return report

@@ -7,7 +7,9 @@ Subcommands:
 - ``compare`` — run all engines on one workload and print the comparison
   rows (the Fig. 10/11 view for a single cell);
 - ``datasets`` — print the Table-1 properties of the stand-ins;
-- ``experiment`` — regenerate one paper figure's table by name.
+- ``experiment`` — regenerate one paper figure's table by name;
+- ``kernels-bench`` — time scalar vs vectorized vertex updates and
+  write ``BENCH_kernels.json``.
 """
 
 from __future__ import annotations
@@ -63,7 +65,7 @@ def cmd_run(args) -> int:
     spec = SCALED_MACHINE
     if args.gpus:
         spec = spec.scaled(args.gpus)
-    engine = make_engine(args.engine, spec)
+    engine = make_engine(args.engine, spec, vectorized=args.vectorized)
     program = make_program(args.algorithm, graph)
     result = engine.run(
         graph, program, graph_name=args.edge_list or args.dataset
@@ -108,6 +110,33 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def cmd_kernels_bench(args) -> int:
+    from repro.bench.runner import run_kernel_microbench
+
+    report = run_kernel_microbench(
+        num_vertices=args.vertices,
+        num_edges=args.edges,
+        seed=args.seed,
+        algos=tuple(args.algorithms),
+        out_path=args.output,
+    )
+    print(
+        f"{'algorithm':<12}{'scalar s':>10}{'vector s':>10}"
+        f"{'speedup':>9}{'equal':>7}"
+    )
+    for row in report["results"]:
+        print(
+            f"{row['algorithm']:<12}"
+            f"{row['scalar']['wall_seconds']:>10.2f}"
+            f"{row['vectorized']['wall_seconds']:>10.2f}"
+            f"{row['speedup']:>8.1f}x"
+            f"{'yes' if row['states_equal'] else 'NO':>7}"
+        )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.bench import experiments
 
@@ -149,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-round sparklines (Fig. 2-style view)",
     )
+    run.add_argument(
+        "--vectorized",
+        action="store_true",
+        help="use the batched vertex-update kernels (bulk-sync and the "
+        "DiGraph family; same modeled cost, faster simulation)",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run every engine on a workload")
@@ -163,6 +198,31 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", help="e.g. fig11_updates, table1, ablation_dmax")
     exp.add_argument("--scale", type=float, default=0.5)
     exp.set_defaults(func=cmd_experiment)
+
+    kb = sub.add_parser(
+        "kernels-bench",
+        help="time scalar vs vectorized vertex updates on a synthetic graph",
+    )
+    kb.add_argument("--vertices", type=int, default=50_000)
+    kb.add_argument(
+        "--edges",
+        type=int,
+        default=None,
+        help="edge count (default: 8x vertices)",
+    )
+    kb.add_argument("--seed", type=int, default=7)
+    kb.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=ALGORITHMS,
+        default=["pagerank", "sssp", "wcc", "kcore"],
+    )
+    kb.add_argument(
+        "--output",
+        default="BENCH_kernels.json",
+        help="JSON report path (default: BENCH_kernels.json)",
+    )
+    kb.set_defaults(func=cmd_kernels_bench)
 
     return parser
 

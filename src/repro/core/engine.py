@@ -56,6 +56,7 @@ from repro.core.storage import (
     PathStorage,
     build_partitions,
 )
+from repro.kernels.registry import resolve_kernel
 from repro.baselines.common import resolve_partition_target
 
 #: Bound on SMX-local path iterations within one partition pass.
@@ -79,6 +80,13 @@ class DiGraphConfig:
     use_path_execution: bool = True
     #: False -> DiGraph-w: round-robin path order instead of Pri(p).
     use_priority_scheduling: bool = True
+    #: Batch the vertex-centric partition pass (DiGraph-t) through the
+    #: vectorized kernels (:mod:`repro.kernels`). Per-update accounting
+    #: is unchanged; within one partition pass the batch gathers from
+    #: the pass-start view (Jacobi) where the scalar loop sees earlier
+    #: in-pass writes (Gauss-Seidel), so the trajectory may differ while
+    #: the fixed point does not. No effect on path execution.
+    use_vectorized_kernels: bool = False
     prefetch: bool = True
     max_rounds: int = 100000
     #: Extra runnable partitions admitted per round beyond the frontier
@@ -241,6 +249,13 @@ class _Run:
         )
         self.dispatcher = Dispatcher(
             pre.storage, pre.dag, machine, prefetch=self.cfg.prefetch
+        )
+        # Batched gather-apply for the vertex-centric pass (scalar
+        # fallback keeps unregistered programs on the same code path).
+        self.kernel = (
+            resolve_kernel(program, graph)
+            if self.cfg.use_vectorized_kernels
+            else None
         )
         self.round_records: List[RoundRecord] = []
 
@@ -844,6 +859,10 @@ class _Run:
             vertices.update(
                 int(v) for v in self.pre.path_set[path_id].vertices
             )
+        if self.kernel is not None:
+            return self._process_vertex_centric_batched(
+                vertices, gpu_id, view, changed_vertices, write_counts
+            )
         items: List[int] = []
         for v in sorted(vertices):
             if not (states.active[v] and self._owner_gpu[v] == gpu_id):
@@ -871,6 +890,65 @@ class _Run:
                 write_counts[v] = write_counts.get(v, 0) + 1
                 self.activate(list(program.dependents(graph, v)))
         return items
+
+    def _process_vertex_centric_batched(
+        self,
+        vertices: Set[int],
+        gpu_id: int,
+        view: StalenessView,
+        changed_vertices: Set[int],
+        write_counts: Dict[int, int],
+    ) -> List[int]:
+        """Batched DiGraph-t pass: one kernel call per partition pass.
+
+        Gathers read the materialized pass-start view — a Jacobi step
+        over the batch where the scalar loop is Gauss-Seidel in id order
+        — but per-update accounting (``apply_calls``, traversals,
+        ``load_global`` bytes, uses) is charged exactly as the scalar
+        loop charges it, and activation-carries-data semantics are
+        preserved: processed vertices deactivate, changed vertices
+        activate their dependents (remote owners deferred to the wave
+        boundary by :meth:`activate`).
+        """
+        states = self.states
+        stats = self.machine.stats
+        batch = np.array(
+            sorted(
+                v
+                for v in vertices
+                if states.active[v] and self._owner_gpu[v] == gpu_id
+            ),
+            dtype=np.int64,
+        )
+        if batch.size == 0:
+            return []
+        effective = view.as_array()
+        old = states.values[batch].copy()
+        new, changed = self.kernel.batch_update(batch, effective, old)
+        degrees = self.kernel.gather_degrees(batch)
+        degree_sum = int(degrees.sum())
+        stats.apply_calls += int(batch.size)
+        stats.edge_traversals += degree_sum
+        # Demand fetches: no path block to amortize gather reads.
+        if degree_sum > 0:
+            self.machine.load_global(
+                gpu_id, nbytes=8 * degree_sum, vertices=degree_sum
+            )
+        self.machine.note_vertex_uses(int(batch.size) + degree_sum)
+        states.values[batch] = new
+        self._written_gpu[batch] = gpu_id
+        self._written_stamp[batch] = self._wave_counter
+        for v in batch:
+            self.deactivate(int(v))
+        changed_batch = batch[changed]
+        if changed_batch.size:
+            stats.vertex_updates += int(changed_batch.size)
+            for v in changed_batch:
+                changed_vertices.add(int(v))
+                write_counts[int(v)] = write_counts.get(int(v), 0) + 1
+            targets, _ = self.kernel.batch_dependents(changed_batch)
+            self.activate([int(u) for u in targets])
+        return degrees.tolist()
 
     def _synchronize_replicas(
         self, pid: int, gpu_id: int, changed_vertices: Set[int]

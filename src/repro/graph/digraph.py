@@ -188,6 +188,16 @@ class DiGraphCSR:
         """Whether a directed edge ``src -> dst`` exists."""
         return dst in self.successors(src)
 
+    def csc_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The in-edge (CSC) view as ``(indptr, sources, weights)``.
+
+        Read-only arrays; in-edges of ``v`` are
+        ``sources[indptr[v]:indptr[v + 1]]`` in edge-id order, the same
+        order :meth:`predecessors` yields. The batch kernels index these
+        directly instead of slicing per vertex.
+        """
+        return self._ensure_csc()
+
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Vectorized batch kernels for vertex updates.
+
+The scalar engines update vertices one ``VertexProgram.update_vertex``
+call at a time. This package flattens those gather-apply loops into
+NumPy segment reductions over the CSR/CSC arrays — the batched shape
+GPU graph compilers (GraphIt/G2) lower to — while preserving the scalar
+path's results bit for bit (see :mod:`repro.kernels.segment` for the
+ordering contract).
+
+Each algorithm registers a kernel next to its vectorized formulation;
+engines resolve one with :func:`resolve_kernel` and fall back to a
+per-vertex loop behind the same interface for unregistered programs.
+"""
+
+from repro.kernels.base import (
+    BatchKernel,
+    InEdgeKernel,
+    ScalarFallbackKernel,
+)
+from repro.kernels.registry import (
+    has_vectorized_kernel,
+    kernel_class_for,
+    register_kernel,
+    registered_program_classes,
+    resolve_kernel,
+)
+from repro.kernels.segment import (
+    batch_segments,
+    interleave_segments,
+    segment_max,
+    segment_min,
+    segment_sum_ordered,
+)
+
+# Importing the kernel modules registers them.
+from repro.kernels import linear as _linear  # noqa: F401
+from repro.kernels import monotone as _monotone  # noqa: F401
+from repro.kernels import structural as _structural  # noqa: F401
+
+__all__ = [
+    "BatchKernel",
+    "InEdgeKernel",
+    "ScalarFallbackKernel",
+    "register_kernel",
+    "resolve_kernel",
+    "kernel_class_for",
+    "has_vectorized_kernel",
+    "registered_program_classes",
+    "batch_segments",
+    "interleave_segments",
+    "segment_sum_ordered",
+    "segment_min",
+    "segment_max",
+]

@@ -1,0 +1,130 @@
+"""Vectorized kernels for the monotone path/label programs.
+
+SSSP, BFS, WCC, and reachability fold gather values with min/max, which
+are exact under any association — so these kernels use plain
+``reduceat`` segment reductions and are bit-identical to the scalar fold
+with no ordering care needed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.algorithms.bfs import BFSLevels
+from repro.algorithms.reachability import Reachability
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.wcc import WeaklyConnectedComponents
+from repro.kernels.base import BatchKernel, InEdgeKernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.segment import (
+    batch_segments,
+    interleave_segments,
+    segment_min,
+    segment_max,
+)
+
+
+class _MinRelaxKernel(InEdgeKernel):
+    """Shared shape of SSSP/BFS: relax in-edges, keep the minimum."""
+
+    #: Per-edge relaxation step; overridden per program.
+    def _relax(
+        self, source_states: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def batch_update(
+        self, dst: np.ndarray, states: np.ndarray, old: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        dst = np.asarray(dst, dtype=np.int64)
+        sources, weights, seg_offsets, _ = self.gather_segments(dst)
+        # inf + finite == inf, so unreached sources propagate the scalar
+        # guard's INFINITY without a branch.
+        values = self._relax(np.asarray(states)[sources], weights)
+        acc = segment_min(values, seg_offsets, identity=np.inf)
+        new = np.where(acc < old, acc, old)
+        new = np.where(dst == self.program.source, 0.0, new)
+        return new, new != old
+
+
+@register_kernel(SSSP)
+class SSSPKernel(_MinRelaxKernel):
+    """``new = min(old, min_{u->v} dist(u) + w)``, source pinned to 0."""
+
+    def _relax(
+        self, source_states: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        return source_states + weights
+
+
+@register_kernel(BFSLevels)
+class BFSKernel(_MinRelaxKernel):
+    """SSSP over unit hop counts."""
+
+    def _relax(
+        self, source_states: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        return source_states + 1.0
+
+
+@register_kernel(WeaklyConnectedComponents)
+class WCCKernel(InEdgeKernel):
+    """Min-label over both edge directions of the undirected view."""
+
+    def batch_update(
+        self, dst: np.ndarray, states: np.ndarray, old: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        states = np.asarray(states)
+        in_pos, in_offsets = batch_segments(self._csc_indptr, dst)
+        out_pos, out_offsets = batch_segments(self.graph.indptr, dst)
+        acc = np.minimum(
+            segment_min(states[self._csc_sources[in_pos]], in_offsets),
+            segment_min(states[self.graph.indices[out_pos]], out_offsets),
+        )
+        new = np.where(acc < old, acc, old)
+        return new, new != old
+
+    def gather_degrees(self, dst: np.ndarray) -> np.ndarray:
+        dst = np.asarray(dst, dtype=np.int64)
+        return self.graph.in_degree()[dst] + self.graph.out_degree()[dst]
+
+    def batch_dependents(
+        self, dst: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Scalar order: out-neighbors, then in-neighbors, per vertex.
+        out_pos, out_offsets = batch_segments(self.graph.indptr, dst)
+        in_pos, in_offsets = batch_segments(self._csc_indptr, dst)
+        return interleave_segments(
+            self.graph.indices[out_pos],
+            out_offsets,
+            self._csc_sources[in_pos],
+            in_offsets,
+        )
+
+
+@register_kernel(Reachability)
+class ReachabilityKernel(InEdgeKernel):
+    """Monotone OR-propagation from the source set."""
+
+    def _bind(self) -> None:
+        super()._bind()
+        mask = np.zeros(self.graph.num_vertices, dtype=bool)
+        mask[list(self.program.sources)] = True
+        self._source_mask = mask
+
+    def batch_update(
+        self, dst: np.ndarray, states: np.ndarray, old: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        dst = np.asarray(dst, dtype=np.int64)
+        sources, _, seg_offsets, _ = self.gather_segments(dst)
+        acc = segment_max(
+            np.asarray(states)[sources], seg_offsets, identity=0.0
+        )
+        new = np.where(
+            self._source_mask[dst],
+            1.0,
+            np.maximum(old, np.where(acc > 0.0, 1.0, 0.0)),
+        )
+        return new, new != old

@@ -1,0 +1,70 @@
+"""Kernel registry: vertex-program class -> vectorized batch kernel.
+
+Kernels register with :func:`register_kernel` next to their program's
+vectorized formulation; engines resolve one with :func:`resolve_kernel`,
+getting the :class:`~repro.kernels.base.ScalarFallbackKernel` when no
+vectorized kernel exists (so the batched engine code path runs every
+program, just without the speedup).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from repro.graph.digraph import DiGraphCSR
+from repro.kernels.base import BatchKernel, ScalarFallbackKernel
+from repro.model.gas import VertexProgram
+
+_REGISTRY: Dict[Type[VertexProgram], Type[BatchKernel]] = {}
+
+
+def register_kernel(
+    *program_classes: Type[VertexProgram],
+) -> Callable[[Type[BatchKernel]], Type[BatchKernel]]:
+    """Class decorator registering a kernel for its program class(es)."""
+
+    def decorate(kernel_cls: Type[BatchKernel]) -> Type[BatchKernel]:
+        for program_cls in program_classes:
+            _REGISTRY[program_cls] = kernel_cls
+        return kernel_cls
+
+    return decorate
+
+
+def kernel_class_for(
+    program: VertexProgram,
+) -> Optional[Type[BatchKernel]]:
+    """The registered kernel class for ``program``, if any (MRO-aware)."""
+    for cls in type(program).__mro__:
+        kernel_cls = _REGISTRY.get(cls)
+        if kernel_cls is not None:
+            return kernel_cls
+    return None
+
+
+def has_vectorized_kernel(program: VertexProgram) -> bool:
+    """Whether ``program`` has a registered vectorized formulation."""
+    return kernel_class_for(program) is not None
+
+
+def resolve_kernel(
+    program: VertexProgram,
+    graph: DiGraphCSR,
+    allow_fallback: bool = True,
+) -> Optional[BatchKernel]:
+    """Build the kernel for ``program`` bound to ``graph``.
+
+    Without a registered kernel, returns the scalar fallback (or ``None``
+    when ``allow_fallback`` is false).
+    """
+    kernel_cls = kernel_class_for(program)
+    if kernel_cls is None:
+        if not allow_fallback:
+            return None
+        return ScalarFallbackKernel(program, graph)
+    return kernel_cls(program, graph)
+
+
+def registered_program_classes() -> Tuple[Type[VertexProgram], ...]:
+    """Program classes with a vectorized kernel, registration order."""
+    return tuple(_REGISTRY.keys())

@@ -1,0 +1,142 @@
+"""Segmented array primitives over CSR/CSC offsets.
+
+These are the building blocks of the vectorized batch kernels: given a
+batch of target vertices, :func:`batch_segments` turns the per-vertex
+CSR/CSC slices into one concatenated index array with segment offsets,
+and the ``segment_*`` reductions fold each segment to one value.
+
+Bit-equivalence contract
+------------------------
+The scalar engines fold gather values with a left-to-right loop
+(``acc = accumulate(acc, g)``). ``np.add.reduceat`` does **not**
+reproduce that order for long segments (NumPy blocks the inner loop), so
+:func:`segment_sum_ordered` implements the sum as a positional sweep:
+iteration ``i`` adds every segment's ``i``-th element to its accumulator
+with one vectorized ``+``. Per segment that is exactly
+``((0.0 + x_0) + x_1) + ...`` — the same IEEE-754 operations in the same
+order as the scalar loop, so sums agree *bit for bit*. Min/max are
+order-insensitive (exact under any association), so they use
+``reduceat`` with empty-segment masking.
+
+All reductions require ``seg_offsets[-1] == len(values)`` — the offsets
+must tile the value array exactly, which :func:`batch_segments`
+guarantees by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def batch_segments(
+    indptr: np.ndarray, targets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the ``indptr`` slices of ``targets``.
+
+    Returns ``(positions, seg_offsets)``: ``positions`` indexes the data
+    arrays parallel to ``indptr`` (e.g. CSC sources/weights), segment
+    ``i`` occupying ``positions[seg_offsets[i]:seg_offsets[i + 1]]`` in
+    the slice's original order.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    starts = indptr[targets]
+    counts = indptr[targets + 1] - starts
+    seg_offsets = np.zeros(targets.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_offsets[1:])
+    total = int(seg_offsets[-1])
+    intra = np.arange(total, dtype=np.int64) - np.repeat(
+        seg_offsets[:-1], counts
+    )
+    positions = np.repeat(starts, counts) + intra
+    return positions, seg_offsets
+
+
+def interleave_segments(
+    a_vals: np.ndarray,
+    a_offsets: np.ndarray,
+    b_vals: np.ndarray,
+    b_offsets: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two parallel segmentations into ``a_i ++ b_i`` per segment.
+
+    Used by the symmetric programs (WCC, k-core) whose per-vertex scalar
+    iteration order is in-edges then out-edges (gather) or out-edges then
+    in-edges (dependents).
+    """
+    a_counts = np.diff(a_offsets)
+    b_counts = np.diff(b_offsets)
+    counts = a_counts + b_counts
+    seg_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_offsets[1:])
+    out = np.empty(int(seg_offsets[-1]), dtype=a_vals.dtype)
+    a_intra = np.arange(a_vals.size, dtype=np.int64) - np.repeat(
+        a_offsets[:-1], a_counts
+    )
+    out[np.repeat(seg_offsets[:-1], a_counts) + a_intra] = a_vals
+    b_intra = np.arange(b_vals.size, dtype=np.int64) - np.repeat(
+        b_offsets[:-1], b_counts
+    )
+    out[
+        np.repeat(seg_offsets[:-1] + a_counts, b_counts) + b_intra
+    ] = b_vals
+    return out, seg_offsets
+
+
+def segment_sum_ordered(
+    values: np.ndarray, seg_offsets: np.ndarray
+) -> np.ndarray:
+    """Left-to-right segment sums, bit-identical to the scalar fold.
+
+    Segments are sorted by length (descending) so each positional
+    iteration touches a shrinking *prefix* instead of a boolean mask;
+    the per-segment addition order is unchanged by the sort.
+    """
+    counts = np.diff(seg_offsets)
+    nseg = counts.size
+    out = np.zeros(nseg, dtype=np.float64)
+    if nseg == 0 or values.size == 0:
+        return out
+    order = np.argsort(-counts, kind="stable")
+    starts = seg_offsets[:-1][order]
+    sorted_counts = counts[order]
+    ascending = sorted_counts[::-1]
+    acc = np.zeros(nseg, dtype=np.float64)
+    for i in range(int(sorted_counts[0])):
+        k = nseg - int(np.searchsorted(ascending, i, side="right"))
+        acc[:k] = acc[:k] + values[starts[:k] + i]
+    out[order] = acc
+    return out
+
+
+def _segment_reduceat(
+    ufunc: np.ufunc,
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    identity: float,
+) -> np.ndarray:
+    counts = np.diff(seg_offsets)
+    out = np.full(counts.size, identity, dtype=np.float64)
+    nonempty = counts > 0
+    if values.size and nonempty.any():
+        out[nonempty] = ufunc.reduceat(values, seg_offsets[:-1][nonempty])
+    return out
+
+
+def segment_min(
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    identity: float = np.inf,
+) -> np.ndarray:
+    """Per-segment minimum; empty segments yield ``identity``."""
+    return _segment_reduceat(np.minimum, values, seg_offsets, identity)
+
+
+def segment_max(
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    identity: float = -np.inf,
+) -> np.ndarray:
+    """Per-segment maximum; empty segments yield ``identity``."""
+    return _segment_reduceat(np.maximum, values, seg_offsets, identity)

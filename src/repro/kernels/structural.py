@@ -1,0 +1,65 @@
+"""Vectorized kernel for k-core membership.
+
+The gather counts alive neighbors over both edge directions. Counts are
+integer-valued floats, so splitting the fold into an in-edge sum plus an
+out-edge sum is exact — equal to the scalar interleaved fold bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.algorithms.kcore import KCore
+from repro.kernels.base import InEdgeKernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.segment import (
+    batch_segments,
+    interleave_segments,
+    segment_sum_ordered,
+)
+
+
+@register_kernel(KCore)
+class KCoreKernel(InEdgeKernel):
+    """Peel a vertex when fewer than ``k`` of its neighbors are alive."""
+
+    def batch_update(
+        self, dst: np.ndarray, states: np.ndarray, old: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        states = np.asarray(states)
+        in_pos, in_offsets = batch_segments(self._csc_indptr, dst)
+        out_pos, out_offsets = batch_segments(self.graph.indptr, dst)
+        alive_in = (states[self._csc_sources[in_pos]] > 0.0).astype(
+            np.float64
+        )
+        alive_out = (states[self.graph.indices[out_pos]] > 0.0).astype(
+            np.float64
+        )
+        acc = segment_sum_ordered(alive_in, in_offsets) + segment_sum_ordered(
+            alive_out, out_offsets
+        )
+        new = np.where(
+            old == 0.0,  # peeling is permanent
+            0.0,
+            np.where(acc >= self.program.k, 1.0, 0.0),
+        )
+        return new, new != old
+
+    def gather_degrees(self, dst: np.ndarray) -> np.ndarray:
+        dst = np.asarray(dst, dtype=np.int64)
+        return self.graph.in_degree()[dst] + self.graph.out_degree()[dst]
+
+    def batch_dependents(
+        self, dst: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Scalar order: out-neighbors, then in-neighbors, per vertex.
+        out_pos, out_offsets = batch_segments(self.graph.indptr, dst)
+        in_pos, in_offsets = batch_segments(self._csc_indptr, dst)
+        return interleave_segments(
+            self.graph.indices[out_pos],
+            out_offsets,
+            self._csc_sources[in_pos],
+            in_offsets,
+        )

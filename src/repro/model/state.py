@@ -130,3 +130,19 @@ class StalenessView:
 
     def __len__(self) -> int:
         return len(self._fresh)
+
+    def as_array(self) -> np.ndarray:
+        """Materialize the view into one plain array.
+
+        Vectorized form of :meth:`__getitem__` over every vertex — the
+        batch kernels gather from the result with fancy indexing instead
+        of calling ``view[v]`` per edge. Returns a fresh array; later
+        writes to the underlying states are not reflected.
+        """
+        effective = np.where(self._local, self._fresh, self._snapshot)
+        if self._written_gpu is not None:
+            written_here = (self._written_stamp == self._wave_stamp) & (
+                self._written_gpu == self._gpu_id
+            )
+            effective[written_here] = self._fresh[written_here]
+        return effective

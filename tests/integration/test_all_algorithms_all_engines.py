@@ -12,6 +12,8 @@ from repro.core.engine import DiGraphEngine
 from repro.core.variants import digraph_t, digraph_w
 from repro.graph.generators import scc_profile_graph, with_random_weights
 
+pytestmark = pytest.mark.slow
+
 ENGINES = {
     "bulk-sync": BulkSyncEngine,
     "async": AsyncEngine,

@@ -15,6 +15,9 @@ from repro.gpu.config import GPUSpec, MachineSpec
 from repro.graph.generators import scc_profile_graph
 
 
+pytestmark = pytest.mark.slow
+
+
 @pytest.fixture(scope="module")
 def graph():
     return scc_profile_graph(200, 4.0, 0.5, 4.0, seed=21)
@@ -30,24 +33,22 @@ def machine_with_memory(nbytes):
     )
 
 
+@pytest.fixture(scope="module")
+def roomy(graph):
+    return DiGraphEngine(machine_with_memory(1 << 26)).run(graph, PageRank())
+
+
+@pytest.fixture(scope="module")
+def tight(graph):
+    # ~6 KiB per GPU: only a couple of partitions fit at once.
+    return DiGraphEngine(machine_with_memory(6 * 1024)).run(graph, PageRank())
+
+
 class TestMemoryPressure:
-    def test_eviction_preserves_results(self, graph):
-        roomy = DiGraphEngine(machine_with_memory(1 << 26)).run(
-            graph, PageRank()
-        )
-        # ~6 KiB per GPU: only a couple of partitions fit at once.
-        tight = DiGraphEngine(machine_with_memory(6 * 1024)).run(
-            graph, PageRank()
-        )
+    def test_eviction_preserves_results(self, roomy, tight):
         assert np.array_equal(roomy.states, tight.states)
 
-    def test_eviction_costs_traffic(self, graph):
-        roomy = DiGraphEngine(machine_with_memory(1 << 26)).run(
-            graph, PageRank()
-        )
-        tight = DiGraphEngine(machine_with_memory(6 * 1024)).run(
-            graph, PageRank()
-        )
+    def test_eviction_costs_traffic(self, roomy, tight):
         # Swapped-out partitions are written back to the host and
         # re-fetched later.
         assert tight.stats.d2h_bytes > roomy.stats.d2h_bytes

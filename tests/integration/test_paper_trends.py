@@ -13,6 +13,8 @@ from repro.core.engine import DiGraphEngine
 from repro.graph import datasets
 from repro.gpu.config import SCALED_MACHINE
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def dblp():

@@ -1,0 +1,244 @@
+"""Property-based tests for the segment primitives and batch kernels.
+
+Two layers:
+
+1. the segmented-array primitives (:mod:`repro.kernels.segment`) against
+   naive per-segment Python loops on arbitrary CSR shapes — empty
+   segments, single-vertex graphs, self-loops, duplicate edges;
+2. every registered vectorized kernel against the
+   :class:`ScalarFallbackKernel` (which loops the program's own
+   ``update_vertex``) on arbitrary small graphs and states.
+
+Sums must be *bit-identical* — the segment reduction is specified as the
+same IEEE-754 operations in the same order as the scalar fold, not as
+"close enough".
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import make_program
+from repro.graph.builder import from_edges
+from repro.kernels import (
+    ScalarFallbackKernel,
+    batch_segments,
+    interleave_segments,
+    resolve_kernel,
+    segment_max,
+    segment_min,
+    segment_sum_ordered,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def csr_shapes(draw):
+    """An ``indptr`` array: arbitrary segment lengths incl. empty ones."""
+    counts = draw(
+        st.lists(st.integers(0, 12), min_size=1, max_size=20)
+    )
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+@st.composite
+def segmented_values(draw):
+    """``(values, seg_offsets)`` with offsets tiling the value array."""
+    indptr = draw(csr_shapes())
+    total = int(indptr[-1])
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=total,
+            max_size=total,
+        )
+    )
+    return np.asarray(values, dtype=np.float64), indptr
+
+
+@st.composite
+def small_digraphs(draw):
+    """Arbitrary digraphs: single-vertex, self-loops, duplicate edges."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+# ----------------------------------------------------------------------
+# segment primitives vs naive loops
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_batch_segments_matches_slicing(data):
+    indptr = data.draw(csr_shapes())
+    n = indptr.size - 1
+    targets = np.asarray(
+        data.draw(
+            st.lists(st.integers(0, n - 1), min_size=0, max_size=2 * n)
+        ),
+        dtype=np.int64,
+    )
+    positions, seg_offsets = batch_segments(indptr, targets)
+    assert seg_offsets[0] == 0 and seg_offsets[-1] == positions.size
+    for i, v in enumerate(targets):
+        seg = positions[seg_offsets[i] : seg_offsets[i + 1]]
+        expected = np.arange(indptr[v], indptr[v + 1], dtype=np.int64)
+        assert np.array_equal(seg, expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=segmented_values())
+def test_segment_sum_bit_identical_to_sequential_fold(payload):
+    values, seg_offsets = payload
+    result = segment_sum_ordered(values, seg_offsets)
+    for i in range(seg_offsets.size - 1):
+        acc = 0.0
+        for x in values[seg_offsets[i] : seg_offsets[i + 1]]:
+            acc = acc + float(x)
+        # Bit equality, not allclose: same operations in the same order.
+        assert result[i] == acc or (np.isnan(result[i]) and np.isnan(acc))
+
+
+def test_segment_sum_long_segment_matches_fold():
+    """A >100-element segment — the regime where ``reduceat`` diverges
+    from the sequential fold (NumPy's blocked inner loop)."""
+    rng = np.random.default_rng(3)
+    values = rng.uniform(-1.0, 1.0, size=1000)
+    seg_offsets = np.array([0, 700, 700, 1000], dtype=np.int64)
+    result = segment_sum_ordered(values, seg_offsets)
+    for i in range(3):
+        acc = 0.0
+        for x in values[seg_offsets[i] : seg_offsets[i + 1]]:
+            acc = acc + float(x)
+        assert result[i] == acc
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=segmented_values())
+def test_segment_min_max_match_loops(payload):
+    values, seg_offsets = payload
+    mins = segment_min(values, seg_offsets)
+    maxs = segment_max(values, seg_offsets)
+    for i in range(seg_offsets.size - 1):
+        seg = values[seg_offsets[i] : seg_offsets[i + 1]]
+        if seg.size == 0:
+            assert mins[i] == np.inf and maxs[i] == -np.inf
+        else:
+            assert mins[i] == seg.min() and maxs[i] == seg.max()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_interleave_segments_matches_concatenation(data):
+    a_vals, a_offsets = data.draw(segmented_values())
+    nseg = a_offsets.size - 1
+    b_counts = data.draw(
+        st.lists(
+            st.integers(0, 6), min_size=nseg, max_size=nseg
+        )
+    )
+    b_offsets = np.zeros(nseg + 1, dtype=np.int64)
+    np.cumsum(b_counts, out=b_offsets[1:])
+    b_vals = np.arange(int(b_offsets[-1]), dtype=np.float64) + 0.5
+    out, seg_offsets = interleave_segments(
+        a_vals, a_offsets, b_vals, b_offsets
+    )
+    for i in range(nseg):
+        expected = np.concatenate(
+            [
+                a_vals[a_offsets[i] : a_offsets[i + 1]],
+                b_vals[b_offsets[i] : b_offsets[i + 1]],
+            ]
+        )
+        assert np.array_equal(
+            out[seg_offsets[i] : seg_offsets[i + 1]], expected
+        )
+
+
+# ----------------------------------------------------------------------
+# vectorized kernels vs the scalar fallback
+# ----------------------------------------------------------------------
+
+KERNEL_ALGOS = (
+    "pagerank",
+    "ppr",
+    "adsorption",
+    "sssp",
+    "bfs",
+    "wcc",
+    "reachability",
+    "kcore",
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=small_digraphs(), algo=st.sampled_from(KERNEL_ALGOS))
+def test_kernels_match_scalar_fallback(graph, algo):
+    """batch_update/gather_degrees/batch_dependents agree with the
+    per-vertex ``update_vertex`` loop on the whole vertex set."""
+    program = make_program(algo, graph)
+    vectorized = resolve_kernel(program, graph, allow_fallback=False)
+    scalar = ScalarFallbackKernel(program, graph)
+
+    batch = np.arange(graph.num_vertices, dtype=np.int64)
+    states = np.asarray(
+        program.initial_states(graph), dtype=np.float64
+    )
+    old = states[batch]
+
+    v_new, v_changed = vectorized.batch_update(batch, states, old)
+    s_new, s_changed = scalar.batch_update(batch, states, old)
+    assert np.array_equal(v_new, s_new)
+    assert np.array_equal(v_changed, s_changed)
+
+    assert np.array_equal(
+        vectorized.gather_degrees(batch), scalar.gather_degrees(batch)
+    )
+
+    v_targets, v_offsets = vectorized.batch_dependents(batch)
+    s_targets, s_offsets = scalar.batch_dependents(batch)
+    assert np.array_equal(v_targets, s_targets)
+    assert np.array_equal(v_offsets, s_offsets)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=small_digraphs(), data=st.data())
+def test_pagerank_kernel_on_perturbed_states(graph, data):
+    """Mid-run states (not just initial ones) agree bit for bit."""
+    program = make_program("pagerank", graph)
+    program.initial_states(graph)  # primes the out-degree cache
+    vectorized = resolve_kernel(program, graph, allow_fallback=False)
+    scalar = ScalarFallbackKernel(program, graph)
+    n = graph.num_vertices
+    states = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.float64,
+    )
+    batch = np.arange(n, dtype=np.int64)
+    v_new, v_changed = vectorized.batch_update(batch, states, states[batch])
+    s_new, s_changed = scalar.batch_update(batch, states, states[batch])
+    assert np.array_equal(v_new, s_new)
+    assert np.array_equal(v_changed, s_changed)
