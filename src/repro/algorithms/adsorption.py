@@ -33,6 +33,11 @@ class Adsorption(VertexProgram):
     injection_seed:
         Seed for the deterministic random prior (standing in for the
         application-supplied label seeds).
+    injection:
+        Explicit per-vertex prior overriding the seeded draw. The
+        metamorphic conformance checks need this: the seeded prior is a
+        function of the vertex *id*, so relabeling a graph would change
+        the problem instead of just renaming it.
     """
 
     name = "adsorption"
@@ -42,6 +47,7 @@ class Adsorption(VertexProgram):
         p_inj: float = 0.25,
         tolerance: float = 1e-4,
         injection_seed: int = 13,
+        injection: Optional[np.ndarray] = None,
     ) -> None:
         if not 0.0 < p_inj < 1.0:
             raise ConfigurationError("p_inj must be in (0, 1)")
@@ -51,12 +57,26 @@ class Adsorption(VertexProgram):
         self.p_cont = 1.0 - p_inj
         self.tolerance = tolerance
         self.injection_seed = injection_seed
+        self._injection_override = (
+            None
+            if injection is None
+            else np.asarray(injection, dtype=np.float64)
+        )
         self._injection: Optional[np.ndarray] = None
         self._in_weight_sum: Optional[np.ndarray] = None
 
     def initial_states(self, graph: DiGraphCSR) -> np.ndarray:
-        rng = np.random.default_rng(self.injection_seed)
-        self._injection = rng.uniform(0.0, 1.0, size=graph.num_vertices)
+        if self._injection_override is not None:
+            if self._injection_override.size != graph.num_vertices:
+                raise ConfigurationError(
+                    "injection array must have one entry per vertex"
+                )
+            self._injection = self._injection_override.copy()
+        else:
+            rng = np.random.default_rng(self.injection_seed)
+            self._injection = rng.uniform(
+                0.0, 1.0, size=graph.num_vertices
+            )
         # Per-destination weight normalizer for the weighted average.
         sums = np.zeros(graph.num_vertices, dtype=np.float64)
         for v in range(graph.num_vertices):

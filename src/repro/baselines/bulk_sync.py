@@ -53,6 +53,10 @@ class BulkSyncConfig:
     #: snapshot, which is exactly the batched formulation. Programs
     #: without a registered kernel run the scalar fallback.
     use_vectorized_kernels: bool = False
+    #: Check the converged states against the program's own update
+    #: equations (:mod:`repro.verify`), raising
+    #: :class:`~repro.errors.VerificationError` on a violation.
+    verify_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -114,6 +118,13 @@ class BulkSyncEngine:
                 f"{program.name} did not converge within "
                 f"{self.config.max_rounds} rounds"
             )
+        if self.config.verify_invariants and converged:
+            from repro.verify.report import VerificationReport
+            from repro.verify.structural import check_fixed_point_reached
+
+            VerificationReport(
+                [check_fixed_point_reached(program, graph, states.values)]
+            ).raise_if_failed()
         return ExecutionResult(
             engine=self.name,
             algorithm=program.name,

@@ -21,6 +21,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.bench.results import ExecutionResult
+from repro.gpu.stats import MachineStats
 from repro.graph.digraph import DiGraphCSR
 from repro.graph.scc import condensation
 from repro.graph.traversal import topological_order
@@ -129,3 +131,52 @@ def sequential_topological_run(
         states=states.values.copy(),
         wall_seconds=time.perf_counter() - started,
     )
+
+
+class SequentialEngine:
+    """Engine-shaped adapter around the sequential topological oracle.
+
+    Lets the cross-engine conformance harness treat the single-thread
+    reference as just another engine: same ``run`` signature, same
+    :class:`ExecutionResult`. It models no machine (one CPU thread), so
+    all time/traffic counters stay zero; only the update counters carry
+    information.
+    """
+
+    name = "sequential"
+
+    def __init__(self, machine_spec=None, config=None) -> None:
+        # Accepted and ignored: the oracle runs on one host thread.
+        self.spec = machine_spec
+        self.config = config
+
+    def run(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        preprocessed=None,
+        graph_name: str = "graph",
+        strict_convergence: bool = True,
+    ) -> ExecutionResult:
+        result = sequential_topological_run(
+            graph, program, graph_name=graph_name
+        )
+        stats = MachineStats()
+        stats.vertex_updates = result.vertex_updates
+        stats.apply_calls = result.apply_calls
+        return ExecutionResult(
+            engine=self.name,
+            algorithm=result.algorithm,
+            graph_name=graph_name,
+            converged=True,
+            rounds=0,
+            states=result.states,
+            stats=stats,
+            wall_seconds=result.wall_seconds,
+            extras={
+                "one_update_fraction": result.one_update_fraction,
+            },
+        )
+
+    def engine_label(self) -> str:
+        return self.name

@@ -28,6 +28,11 @@ from repro.graph import datasets
 #: Engine names in the order the paper's figures list them.
 ENGINE_NAMES = ("bulk-sync", "async", "digraph-t", "digraph-w", "digraph")
 
+#: All runnable engines including the sequential topological reference
+#: (Fig. 2d), which the figures exclude but the conformance harness
+#: cross-checks against.
+ALL_ENGINE_NAMES = ("sequential",) + ENGINE_NAMES
+
 #: Default benchmark scale; override with the REPRO_BENCH_SCALE env var.
 DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
@@ -49,6 +54,10 @@ def make_engine(
     formulation.
     """
     machine = machine or SCALED_MACHINE
+    if name == "sequential":
+        from repro.baselines.sequential import SequentialEngine
+
+        return SequentialEngine(machine)
     if name == "bulk-sync":
         return BulkSyncEngine(
             machine,

@@ -9,7 +9,9 @@ Subcommands:
 - ``datasets`` — print the Table-1 properties of the stand-ins;
 - ``experiment`` — regenerate one paper figure's table by name;
 - ``kernels-bench`` — time scalar vs vectorized vertex updates and
-  write ``BENCH_kernels.json``.
+  write ``BENCH_kernels.json``;
+- ``verify`` — run the invariant-checking conformance battery
+  (:mod:`repro.verify`) over a workload or the canonical fixtures.
 """
 
 from __future__ import annotations
@@ -24,7 +26,16 @@ from repro.graph import datasets
 from repro.graph.io import read_edge_list
 from repro.gpu.config import SCALED_MACHINE
 
-ALGORITHMS = ("pagerank", "adsorption", "sssp", "kcore", "bfs", "wcc")
+ALGORITHMS = (
+    "pagerank",
+    "adsorption",
+    "sssp",
+    "kcore",
+    "bfs",
+    "wcc",
+    "ppr",
+    "reachability",
+)
 
 
 def _load(args) -> object:
@@ -137,6 +148,51 @@ def cmd_kernels_bench(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.bench.runner import ALL_ENGINE_NAMES
+    from repro.verify.fixtures import CANONICAL_GRAPHS
+    from repro.verify.harness import verify_graph
+
+    spec = SCALED_MACHINE
+    if args.gpus:
+        spec = spec.scaled(args.gpus)
+    if args.edge_list:
+        workloads = [(args.edge_list, read_edge_list(args.edge_list))]
+    elif args.dataset:
+        workloads = [
+            (args.dataset, datasets.load(args.dataset, scale=args.scale))
+        ]
+    else:
+        workloads = [
+            (name, builder())
+            for name, builder in CANONICAL_GRAPHS.items()
+        ]
+
+    unknown = set(args.engines) - set(ALL_ENGINE_NAMES)
+    if unknown:
+        print(f"unknown engine(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    all_passed = True
+    for name, graph in workloads:
+        report = verify_graph(
+            graph,
+            graph_name=name,
+            algorithms=tuple(args.algorithms),
+            engine_names=tuple(args.engines),
+            machine=spec,
+            skip_metamorphic=args.skip_metamorphic,
+            seed=args.seed,
+        )
+        all_passed = all_passed and report.passed
+        status = "PASS" if report.passed else "FAIL"
+        print(f"{name}: {status} ({len(report.results)} checks)")
+        shown = report.failures if not args.verbose else report.results
+        for result in shown:
+            print(f"  {result}")
+    return 0 if all_passed else 1
+
+
 def cmd_experiment(args) -> int:
     from repro.bench import experiments
 
@@ -223,6 +279,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default: BENCH_kernels.json)",
     )
     kb.set_defaults(func=cmd_kernels_bench)
+
+    vf = sub.add_parser(
+        "verify",
+        help="run the invariant-checking conformance battery",
+    )
+    vf.add_argument(
+        "--dataset",
+        choices=datasets.DATASET_NAMES,
+        default=None,
+        help="dataset stand-in to verify (default: canonical fixtures)",
+    )
+    vf.add_argument(
+        "--edge-list",
+        help="path to a 'src dst [weight]' file (overrides --dataset)",
+    )
+    vf.add_argument(
+        "--scale", type=float, default=0.25, help="dataset scale factor"
+    )
+    vf.add_argument(
+        "--gpus", type=int, default=None, help="override simulated GPU count"
+    )
+    vf.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=ALGORITHMS,
+        default=list(ALGORITHMS),
+        help="algorithms to verify (default: all eight)",
+    )
+    vf.add_argument(
+        "--engines",
+        nargs="+",
+        default=["sequential", "bulk-sync", "async", "digraph"],
+        help="engines for the cross-engine oracle "
+        "(default: sequential bulk-sync async digraph)",
+    )
+    vf.add_argument(
+        "--skip-metamorphic",
+        action="store_true",
+        help="skip the relabeling/augmentation relations (faster)",
+    )
+    vf.add_argument("--seed", type=int, default=7)
+    vf.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every check, not just failures",
+    )
+    vf.set_defaults(func=cmd_verify)
 
     return parser
 

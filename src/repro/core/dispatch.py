@@ -30,7 +30,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import SchedulingError
 from repro.graph.builder import GraphBuilder
 from repro.graph.scc import condensation
 from repro.graph.traversal import dag_layers
@@ -289,7 +288,9 @@ def _build_groups(
 ) -> List[DispatchGroup]:
     """Contract partition-level cycles into layered dispatch groups."""
     if num_partitions == 0:
-        raise SchedulingError("no partitions to dispatch")
+        # Edge-less graphs decompose into zero paths; the engine still
+        # handles their isolated vertices, so an empty schedule is valid.
+        return []
     builder = GraphBuilder(num_vertices=num_partitions)
     builder.add_edges(sorted(edges))
     cond = condensation(builder.build())

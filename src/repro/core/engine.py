@@ -95,6 +95,11 @@ class DiGraphConfig:
     #: stale-input updates it admits outweigh the utilization gain (the
     #: ablation bench sweeps it).
     advance_factor: int = 0
+    #: Run the :mod:`repro.verify` invariant checkers after preprocessing
+    #: (structural: paths, DAG, replicas, storage) and after execution
+    #: (conservation + fixed point), raising
+    #: :class:`~repro.errors.VerificationError` on any violation.
+    verify_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -161,7 +166,7 @@ class DiGraphEngine:
         modeled = modeled_preprocess_seconds(
             graph, cfg.n_workers, dependency_vertices=dag.num_paths
         )
-        return Preprocessed(
+        pre = Preprocessed(
             path_set=path_set,
             dag=dag,
             storage=storage,
@@ -169,6 +174,11 @@ class DiGraphEngine:
             modeled_seconds=modeled,
             wall_seconds=wall,
         )
+        if cfg.verify_invariants:
+            from repro.verify.structural import verify_preprocessed
+
+            verify_preprocessed(pre).raise_if_failed()
+        return pre
 
     # ------------------------------------------------------------------
     # execution
@@ -195,6 +205,26 @@ class DiGraphEngine:
                 f"{program.name} did not converge within "
                 f"{cfg.max_rounds} rounds"
             )
+        if cfg.verify_invariants:
+            from repro.verify.conservation import verify_run_conservation
+            from repro.verify.report import VerificationReport
+            from repro.verify.structural import check_fixed_point_reached
+
+            report = VerificationReport(
+                verify_run_conservation(
+                    machine.stats, run.sync_sent_bytes
+                ).results
+                + (
+                    [
+                        check_fixed_point_reached(
+                            program, graph, run.states.values
+                        )
+                    ]
+                    if converged
+                    else []
+                )
+            )
+            report.raise_if_failed()
         return ExecutionResult(
             engine=self.engine_label(),
             algorithm=program.name,
@@ -272,6 +302,11 @@ class _Run:
         )
         # Per-round replica-sync accumulator: (src_gpu, dst_gpu) -> bytes.
         self._pending_sync_bytes: Dict[Tuple[int, int], int] = {}
+        # Send-side ledger over the whole run, recorded at message
+        # production time — the machine's receive-side
+        # ``replica_pair_bytes`` is recorded at flush time, so comparing
+        # the two catches dropped or double flushes (repro.verify).
+        self.sync_sent_bytes: Dict[Tuple[int, int], int] = {}
         # GPU currently processing (None outside partition processing)
         # and activations waiting for the next wave boundary.
         self._processing_gpu: Optional[int] = None
@@ -722,6 +757,7 @@ class _Run:
             contention = self.pre.replicas.contention(write_counts)
             stats.atomic_updates += contention.atomic_updates
             stats.proxy_absorbed += contention.proxy_absorbed
+            stats.master_writes += contention.total_writes
             if work_items and contention.atomic_updates:
                 share, remainder = divmod(
                     contention.atomic_updates, len(atomic_items)
@@ -742,6 +778,7 @@ class _Run:
             contention = self.pre.replicas.contention(write_counts)
             stats.atomic_updates += contention.atomic_updates
             stats.proxy_absorbed += contention.proxy_absorbed
+            stats.master_writes += contention.total_writes
             # Traditional execution: one thread per processed vertex,
             # same as the async baseline.
             work_items.extend(per_vertex_items)
@@ -973,9 +1010,12 @@ class _Run:
             if dest_gpu == gpu_id:
                 continue  # same-GPU sync stays in global memory
             key = (gpu_id, dest_gpu)
+            nbytes = per_batch * BYTES_PER_MESSAGE
             self._pending_sync_bytes[key] = (
-                self._pending_sync_bytes.get(key, 0)
-                + per_batch * BYTES_PER_MESSAGE
+                self._pending_sync_bytes.get(key, 0) + nbytes
+            )
+            self.sync_sent_bytes[key] = (
+                self.sync_sent_bytes.get(key, 0) + nbytes
             )
 
     def _flush_replica_sync(self) -> None:

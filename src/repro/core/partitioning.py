@@ -122,7 +122,7 @@ def decompose_into_paths(
     vertex_paths = [_segment_vertices(graph, seg) for seg in segments]
     if merge_short_paths:
         vertex_paths, segments = _merge_head_to_tail(
-            graph, vertex_paths, segments, region
+            graph, vertex_paths, segments, region, max_edges=d_max
         )
 
     paths = renumber(
@@ -132,7 +132,9 @@ def decompose_into_paths(
         ]
     )
     hot_ids = _classify_hot(graph, paths, hot_fraction)
-    return PathSet(graph=graph, paths=paths, hot_path_ids=hot_ids)
+    return PathSet(
+        graph=graph, paths=paths, hot_path_ids=hot_ids, d_max=d_max
+    )
 
 
 def modeled_preprocess_seconds(
@@ -343,12 +345,15 @@ def _merge_head_to_tail(
     vertex_paths: List[List[int]],
     segments: List[List[int]],
     region=None,
+    max_edges: Optional[int] = None,
 ) -> Tuple[List[List[int]], List[List[int]]]:
     """Merge short paths head-to-tail for a larger average length.
 
     Maintains the paper's constraint: a junction vertex with in-degree > 1
     and out-degree > 1 may only join two paths if it is not an inner
-    vertex of any (other) path.
+    vertex of any (other) path. ``max_edges`` caps merged chains so the
+    ``D_MAX`` depth bound survives merging (path lengths stay unskewed —
+    the bound's whole point — and the invariant stays machine-checkable).
     """
     k = len(vertex_paths)
     inner_count: Dict[int, int] = defaultdict(int)
@@ -397,6 +402,10 @@ def _merge_head_to_tail(
                     not consumed[j]
                     and may_join(tail)
                     and same_region(vertex_paths[j], chain_vs)
+                    and (
+                        max_edges is None
+                        or len(chain_seg) + len(segments[j]) <= max_edges
+                    )
                 ):
                     nxt = j
                     break

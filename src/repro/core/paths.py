@@ -12,7 +12,7 @@ cost).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,6 +100,11 @@ class PathSet:
     #: Path ids classified as hot (built by the partitioner from average
     #: vertex degree; hot paths are the fast tracks of Section 3.2.1).
     hot_path_ids: frozenset = field(default_factory=frozenset)
+    #: Depth bound the decomposition was built with (Algorithm 1's
+    #: ``D_MAX``); ``None`` for hand-assembled path sets. The merge pass
+    #: honors the same bound, so every path has at most ``d_max`` edges —
+    #: the invariant :mod:`repro.verify` checks.
+    d_max: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.paths)

@@ -45,6 +45,8 @@ class ContentionOutcome:
 
     atomic_updates: int     #: atomic writes that reached masters
     proxy_absorbed: int     #: writes absorbed by shared-memory proxies
+    total_writes: int       #: all master writes of the pass (conserved:
+                            #: ``atomic_updates + proxy_absorbed``)
 
 
 class ReplicaTable:
@@ -74,6 +76,10 @@ class ReplicaTable:
             raise StorageError("proxy capacity must be >= 0")
         self._path_set = path_set
         self._storage = storage
+        #: Proxy-selection parameters, kept for introspection (the
+        #: conformance checkers re-derive the proxy set from these).
+        self.proxy_in_degree_threshold = proxy_in_degree_threshold
+        self.proxy_capacity = proxy_capacity
         graph = path_set.graph
 
         # vertex -> sorted partition ids holding a mirror of it, plus how
@@ -156,6 +162,15 @@ class ReplicaTable:
     def num_proxied(self) -> int:
         return len(self._proxied)
 
+    @property
+    def proxied_vertices(self) -> frozenset:
+        """The proxy-vertex set (introspection for the checkers)."""
+        return self._proxied
+
+    def replicated_vertices(self) -> Tuple[int, ...]:
+        """All vertices holding at least one replica, ascending."""
+        return tuple(sorted(self._mirror_partitions))
+
     # ------------------------------------------------------------------
     def sync_after_partition(
         self, partition_id: int, changed_vertices: Iterable[int]
@@ -190,16 +205,20 @@ class ReplicaTable:
         """
         atomics = 0
         absorbed = 0
+        total = 0
         for v, count in write_counts.items():
             if count <= 0:
                 continue
+            total += count
             if self.has_proxy(int(v)):
                 atomics += 1
                 absorbed += count - 1
             else:
                 atomics += count
         return ContentionOutcome(
-            atomic_updates=atomics, proxy_absorbed=absorbed
+            atomic_updates=atomics,
+            proxy_absorbed=absorbed,
+            total_writes=total,
         )
 
 

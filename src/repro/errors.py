@@ -44,5 +44,9 @@ class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its round budget."""
 
 
+class VerificationError(ReproError):
+    """A machine-checked invariant of :mod:`repro.verify` was violated."""
+
+
 class ConfigurationError(ReproError):
     """An engine or machine was configured with invalid parameters."""

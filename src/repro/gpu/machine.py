@@ -180,6 +180,9 @@ class Machine:
         barrier)."""
         time_s = self.interconnect.transfer(src, dst, nbytes)
         self.stats.async_comm_time_s += time_s
+        if isinstance(src, int) and isinstance(dst, int):
+            # Receive-side ledger for the message-conservation check.
+            self.stats.note_pair_transfer(src, dst, nbytes)
         return time_s
 
     def batched_transfer_to_gpu(self, gpu_id: int, nbytes: int) -> float:

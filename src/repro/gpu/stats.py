@@ -14,7 +14,7 @@ Every figure of the paper's evaluation reads one of these quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 
 @dataclass
@@ -28,6 +28,10 @@ class MachineStats:
     rounds: int = 0                  #: engine-level rounds completed
     atomic_updates: int = 0          #: contended master updates
     proxy_absorbed: int = 0          #: atomics absorbed by proxy vertices
+    #: Master writes produced while processing partitions (the writes the
+    #: atomic/proxy split must conserve: ``atomic_updates +
+    #: proxy_absorbed == master_writes``, checked by :mod:`repro.verify`).
+    master_writes: int = 0
 
     # Traffic counters (bytes).
     h2d_bytes: int = 0               #: host -> GPU transfers
@@ -55,11 +59,26 @@ class MachineStats:
     # Per-partition processing counts (Fig. 2a/2b).
     partition_processed: Dict[int, int] = field(default_factory=dict)
 
+    #: Asynchronous GPU->GPU bytes delivered per ordered ``(src, dst)``
+    #: pair — the receive side of the modeled-message conservation check
+    #: (engines keep their own send-side ledger; :mod:`repro.verify`
+    #: compares the two).
+    replica_pair_bytes: Dict[Tuple[int, int], int] = field(
+        default_factory=dict
+    )
+
     # ------------------------------------------------------------------
     def note_partition_processed(self, partition_id: int) -> None:
         """Record one processing pass over a partition."""
         self.partition_processed[partition_id] = (
             self.partition_processed.get(partition_id, 0) + 1
+        )
+
+    def note_pair_transfer(self, src: int, dst: int, nbytes: int) -> None:
+        """Record asynchronous GPU->GPU bytes for one ordered pair."""
+        key = (src, dst)
+        self.replica_pair_bytes[key] = (
+            self.replica_pair_bytes.get(key, 0) + nbytes
         )
 
     @property
@@ -108,6 +127,7 @@ class MachineStats:
         self.rounds += other.rounds
         self.atomic_updates += other.atomic_updates
         self.proxy_absorbed += other.proxy_absorbed
+        self.master_writes += other.master_writes
         self.h2d_bytes += other.h2d_bytes
         self.d2h_bytes += other.d2h_bytes
         self.p2p_bytes += other.p2p_bytes
@@ -123,6 +143,10 @@ class MachineStats:
         for pid, count in other.partition_processed.items():
             self.partition_processed[pid] = (
                 self.partition_processed.get(pid, 0) + count
+            )
+        for pair, nbytes in other.replica_pair_bytes.items():
+            self.replica_pair_bytes[pair] = (
+                self.replica_pair_bytes.get(pair, 0) + nbytes
             )
 
     def snapshot(self) -> "MachineStats":

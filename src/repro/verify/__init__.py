@@ -1,0 +1,27 @@
+"""Invariant-checking conformance subsystem.
+
+Machine-checkable invariants of the DiGraph reproduction, grouped by
+what they certify:
+
+- :mod:`repro.verify.structural` — the preprocessing artifacts respect
+  the paper's structural guarantees (Algorithm 1's edge-disjoint
+  bounded-depth paths, the acyclic layered DAG sketch of Section 3.1,
+  the master/mirror/proxy replica rules of Section 3.2.2);
+- :mod:`repro.verify.conservation` — the modeled execution conserves
+  what it claims to move (replica messages sent == received per GPU
+  pair, master writes == atomics + proxy-absorbed);
+- :mod:`repro.verify.oracle` — all engines reach the same fixed point
+  (exact for discrete programs, tolerance-banded for contractions);
+- :mod:`repro.verify.metamorphic` — results are invariant under vertex
+  relabeling and isolated-vertex augmentation;
+- :mod:`repro.verify.harness` — the ``repro verify`` orchestration.
+
+Each checker returns a :class:`~repro.verify.report.CheckResult`;
+:class:`~repro.verify.report.VerificationReport` aggregates them and
+:meth:`~repro.verify.report.VerificationReport.raise_if_failed` turns
+violations into :class:`~repro.errors.VerificationError`.
+"""
+
+from repro.verify.report import CheckResult, VerificationReport
+
+__all__ = ["CheckResult", "VerificationReport"]

@@ -1,0 +1,82 @@
+"""Conservation invariants of one modeled execution.
+
+Two ledgers, filled at different places and times, must agree:
+
+- **messages** — the DiGraph engine records replica-update bytes per
+  ordered GPU pair when it *produces* them (``_Run.sync_sent_bytes``);
+  the machine records the same bytes when the per-round flush actually
+  *moves* them (:attr:`~repro.gpu.stats.MachineStats.replica_pair_bytes`).
+  A dropped or doubled flush breaks the equality.
+- **writes** — each partition pass reports its total master writes;
+  the atomic/proxy split must account for every one of them
+  (``atomic_updates + proxy_absorbed == master_writes``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.gpu.stats import MachineStats
+from repro.verify.report import CheckResult, VerificationReport
+
+PairLedger = Dict[Tuple[int, int], int]
+
+
+def check_message_conservation(
+    stats: MachineStats, sent_bytes: PairLedger
+) -> CheckResult:
+    """Per-GPU-pair replica bytes: sent (engine ledger) == received
+    (machine ledger)."""
+    received = stats.replica_pair_bytes
+    mismatched = []
+    for pair in sorted(set(sent_bytes) | set(received)):
+        s = sent_bytes.get(pair, 0)
+        r = received.get(pair, 0)
+        if s != r:
+            mismatched.append((pair, s, r))
+    if mismatched:
+        (src, dst), s, r = mismatched[0]
+        return CheckResult(
+            name="conservation.messages",
+            passed=False,
+            detail=(
+                f"GPU pair {src}->{dst}: sent {s} bytes, machine moved "
+                f"{r} ({len(mismatched)} pair(s) differ)"
+            ),
+        )
+    total = sum(sent_bytes.values())
+    return CheckResult(
+        name="conservation.messages",
+        passed=True,
+        detail=(
+            f"{total} replica bytes conserved across "
+            f"{len(sent_bytes)} GPU pair(s)"
+        ),
+    )
+
+
+def check_write_conservation(stats: MachineStats) -> CheckResult:
+    """Every master write is either an atomic or proxy-absorbed."""
+    accounted = stats.atomic_updates + stats.proxy_absorbed
+    passed = accounted == stats.master_writes
+    return CheckResult(
+        name="conservation.writes",
+        passed=passed,
+        detail=(
+            f"atomics {stats.atomic_updates} + absorbed "
+            f"{stats.proxy_absorbed} "
+            f"{'==' if passed else '!='} master writes "
+            f"{stats.master_writes}"
+        ),
+    )
+
+
+def verify_run_conservation(
+    stats: MachineStats, sent_bytes: PairLedger
+) -> VerificationReport:
+    """Both conservation checks over one finished run."""
+    results: List[CheckResult] = [
+        check_message_conservation(stats, sent_bytes),
+        check_write_conservation(stats),
+    ]
+    return VerificationReport(results)

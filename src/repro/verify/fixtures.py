@@ -1,0 +1,73 @@
+"""Canonical conformance graphs.
+
+Two small hand-built graphs exercising the structural features the
+engines care about, with no RNG anywhere so they are stable across
+sessions and platforms:
+
+- ``two-scc-chain`` — two 3-cycles bridged in sequence, a tail chain, a
+  self-loop, and an isolated vertex: a multi-layer DAG sketch with
+  singleton layers, the shape Algorithm 1's banding targets;
+- ``hub-ring`` — a hub fanning out through a mesh that cycles back to
+  it: the whole graph is one giant SCC, the paper's hardest dispatch
+  case (Section 3.2.2's giant SCC-vertex).
+
+Edge weights follow ``w = 1 + (src * 7 + dst * 3) % 5`` — deterministic,
+strictly positive (SSSP-safe), and non-uniform enough that weighted
+programs cannot pass by accident.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.graph.builder import from_edges
+from repro.graph.digraph import DiGraphCSR
+
+
+def canonical_weight(src: int, dst: int) -> float:
+    """The fixtures' deterministic edge weight."""
+    return float(1 + (src * 7 + dst * 3) % 5)
+
+
+def _weighted(
+    edges: List[Tuple[int, int]], num_vertices: int
+) -> DiGraphCSR:
+    return from_edges(
+        [(s, d, canonical_weight(s, d)) for s, d in edges],
+        num_vertices=num_vertices,
+    )
+
+
+def two_scc_chain() -> DiGraphCSR:
+    """12 vertices: cycle {0,1,2} -> cycle {3,4,5} -> chain 6,7,10,11,
+    plus self-loop 9->9 and isolated vertex 8."""
+    edges = [
+        (0, 1), (1, 2), (2, 0),      # first SCC
+        (2, 3),                      # bridge
+        (3, 4), (4, 5), (5, 3),      # second SCC
+        (1, 4),                      # cross edge between the SCCs
+        (5, 6), (6, 7),              # downstream chain
+        (7, 10), (10, 11),
+        (9, 9),                      # self-loop (own singleton SCC)
+    ]
+    return _weighted(edges, num_vertices=12)
+
+
+def hub_ring() -> DiGraphCSR:
+    """10 vertices forming one giant SCC: hub 0 fans out to 1-5, they
+    converge on 6, an inner cycle 6->7->8->6, and 8->9->0 closes the
+    ring."""
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5),
+        (1, 6), (2, 6), (3, 6), (4, 6), (5, 6),
+        (6, 7), (7, 8), (8, 6),
+        (8, 9), (9, 0),
+    ]
+    return _weighted(edges, num_vertices=10)
+
+
+#: Name -> builder for the canonical conformance graphs.
+CANONICAL_GRAPHS: Dict[str, Callable[[], DiGraphCSR]] = {
+    "two-scc-chain": two_scc_chain,
+    "hub-ring": hub_ring,
+}

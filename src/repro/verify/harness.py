@@ -1,0 +1,91 @@
+"""Orchestration for ``repro verify``.
+
+One call runs the full conformance battery over a graph: structural
+checks on the preprocessing artifacts, the cross-engine equivalence
+oracle per algorithm, and the metamorphic relations. The CLI and the CI
+verify-sweep both drive this entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.engine import DiGraphConfig, DiGraphEngine
+from repro.errors import ReproError
+from repro.gpu.config import SCALED_MACHINE, MachineSpec
+from repro.graph.digraph import DiGraphCSR
+from repro.verify.metamorphic import (
+    SOURCE_ALGORITHMS,
+    metamorphic_suite,
+)
+from repro.verify.oracle import (
+    ALL_ALGORITHMS,
+    DEFAULT_ENGINES,
+    cross_engine_check,
+)
+from repro.verify.report import CheckResult, VerificationReport
+from repro.verify.structural import verify_preprocessed
+
+
+def verify_graph(
+    graph: DiGraphCSR,
+    graph_name: str = "graph",
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+    engine_names: Sequence[str] = DEFAULT_ENGINES,
+    machine: Optional[MachineSpec] = None,
+    skip_metamorphic: bool = False,
+    metamorphic_engines: Sequence[str] = ("digraph",),
+    seed: int = 7,
+) -> VerificationReport:
+    """Run every conformance check for one graph.
+
+    Returns the aggregated report; the caller decides whether to raise
+    (:meth:`~repro.verify.report.VerificationReport.raise_if_failed`)
+    or render it (:meth:`~repro.verify.report.VerificationReport.summary`).
+    """
+    machine = machine or SCALED_MACHINE
+    report = VerificationReport()
+
+    # Structural invariants of the preprocessing artifacts.
+    try:
+        pre = DiGraphEngine(machine, DiGraphConfig()).preprocess(graph)
+        report.merge(verify_preprocessed(pre))
+    except ReproError as exc:
+        report.add(
+            CheckResult(
+                name="structural.preprocess",
+                passed=False,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        )
+
+    for algo in algorithms:
+        if graph.num_vertices == 0 and algo in SOURCE_ALGORITHMS:
+            report.add(
+                CheckResult(
+                    name=f"oracle.{algo}",
+                    passed=True,
+                    detail="skipped: no source vertex in empty graph",
+                )
+            )
+            continue
+        report.merge(
+            cross_engine_check(
+                graph,
+                algo,
+                engine_names=engine_names,
+                machine=machine,
+                graph_name=graph_name,
+            )
+        )
+        if not skip_metamorphic:
+            report.extend(
+                metamorphic_suite(
+                    graph,
+                    algo,
+                    engine_names=metamorphic_engines,
+                    seed=seed,
+                    machine=machine,
+                )
+            )
+    return report

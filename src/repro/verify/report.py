@@ -1,0 +1,64 @@
+"""Check results and their aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant check."""
+
+    name: str          #: dotted check identifier, e.g. ``paths.d-max``
+    passed: bool
+    detail: str = ""   #: human-readable evidence (counts, worst offender)
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAILED"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.name}: {status}{suffix}"
+
+
+@dataclass
+class VerificationReport:
+    """A batch of check results with pass/fail aggregation."""
+
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    def add(self, result: CheckResult) -> None:
+        self.results.append(result)
+
+    def extend(self, results: Sequence[CheckResult]) -> None:
+        self.results.extend(results)
+
+    def merge(self, other: "VerificationReport") -> None:
+        self.results.extend(other.results)
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise :class:`VerificationError` listing every failed check."""
+        failures = self.failures
+        if failures:
+            lines = "; ".join(str(f) for f in failures)
+            raise VerificationError(
+                f"{len(failures)} invariant check(s) failed: {lines}"
+            )
+        return self
+
+    def summary(self) -> str:
+        """Multi-line report, one check per line."""
+        header = (
+            f"{len(self.results)} checks, "
+            f"{len(self.failures)} failed"
+        )
+        return "\n".join([header] + [f"  {r}" for r in self.results])

@@ -1,0 +1,77 @@
+"""Golden-fixture regression tests: pinned state digests.
+
+Every engine is deterministic, so the sha256 of the converged state
+vector on a fixed workload is a stable fingerprint. These digests pin
+the current behavior of all 8 algorithms x 4 engines on both canonical
+graphs: any change to convergence order, tolerance handling, or replica
+synchronization that alters the numbers shows up as a digest mismatch.
+
+Regenerate intentionally with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/verify/test_golden.py
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import make_program
+from repro.gpu.config import SCALED_MACHINE
+from repro.verify.fixtures import CANONICAL_GRAPHS
+from repro.verify.oracle import ALL_ALGORITHMS, DEFAULT_ENGINES, _build_engine
+
+GOLDEN_PATH = Path(__file__).with_name("golden_digests.json")
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+
+def _digest(graph_name, algo, engine_name):
+    graph = CANONICAL_GRAPHS[graph_name]()
+    engine = _build_engine(engine_name, SCALED_MACHINE, verify_digraph=True)
+    program = make_program(algo, graph)
+    result = engine.run(graph, program, graph_name=graph_name)
+    assert result.converged
+    return hashlib.sha256(result.states.tobytes()).hexdigest()
+
+
+def _key(graph_name, algo, engine_name):
+    return f"{graph_name}/{algo}/{engine_name}"
+
+
+CASES = [
+    (g, a, e)
+    for g in sorted(CANONICAL_GRAPHS)
+    for a in ALL_ALGORITHMS
+    for e in DEFAULT_ENGINES
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if REGEN:
+        digests = {
+            _key(g, a, e): _digest(g, a, e) for (g, a, e) in CASES
+        }
+        GOLDEN_PATH.write_text(json.dumps(digests, indent=2) + "\n")
+        return digests
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            "golden_digests.json missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("graph_name,algo,engine_name", CASES)
+def test_state_digest_pinned(golden, graph_name, algo, engine_name):
+    key = _key(graph_name, algo, engine_name)
+    assert key in golden, f"no golden digest for {key}; regenerate"
+    assert _digest(graph_name, algo, engine_name) == golden[key], (
+        f"converged states changed for {key}; if intentional, regenerate "
+        "with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_golden_file_covers_all_cases(golden):
+    assert set(golden) == {_key(g, a, e) for (g, a, e) in CASES}
