@@ -11,7 +11,14 @@ Subcommands:
 - ``kernels-bench`` — time scalar vs vectorized vertex updates and
   write ``BENCH_kernels.json``;
 - ``verify`` — run the invariant-checking conformance battery
-  (:mod:`repro.verify`) over a workload or the canonical fixtures.
+  (:mod:`repro.verify`) over a workload or the canonical fixtures;
+- ``chaos`` — sweep algorithms x engines under a seeded fault plan and
+  certify recovered runs against the fault-free golden state
+  (:mod:`repro.faults`).
+
+Any :class:`~repro.errors.ReproError` raised by a subcommand is printed
+as a one-line ``error: ...`` on stderr with exit status 1; pass
+``--debug`` to get the full traceback instead.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import List, Optional, Sequence
 
 from repro.algorithms import make_program
 from repro.bench.runner import ENGINE_NAMES, make_engine
+from repro.errors import ReproError
 from repro.graph import datasets
 from repro.graph.io import read_edge_list
 from repro.gpu.config import SCALED_MACHINE
@@ -193,6 +201,58 @@ def cmd_verify(args) -> int:
     return 0 if all_passed else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import chaos_sweep
+
+    if args.edge_list:
+        graph = read_edge_list(args.edge_list)
+        name = args.edge_list
+    else:
+        graph = datasets.load(args.dataset, scale=args.scale)
+        name = args.dataset
+    spec = SCALED_MACHINE
+    if args.gpus:
+        spec = spec.scaled(args.gpus)
+    plan_options = {
+        "transfer_fault_rate": args.transfer_fault_rate,
+        "sync_drop_rate": args.sync_drop_rate,
+        "sync_corrupt_rate": args.sync_corrupt_rate,
+        "straggler_rate": args.straggler_rate,
+        "kill_gpu": args.kill_gpu,
+        "kill_at_round": args.kill_round,
+    }
+    results = chaos_sweep(
+        graph,
+        algorithms=tuple(args.algorithms),
+        engine_names=tuple(args.engines),
+        seeds=tuple(args.seeds),
+        machine=spec,
+        graph_name=name,
+        plan_options=plan_options,
+        disable_recovery=args.no_recovery,
+    )
+    all_passed = True
+    for cell in results:
+        all_passed = all_passed and cell.passed
+        status = "PASS" if cell.passed else "FAIL"
+        print(
+            f"{cell.label:<34}{status}  "
+            f"faults={cell.faults_injected:<3} "
+            f"retries={cell.transfer_retries}+{cell.sync_retries} "
+            f"stragglers={cell.stragglers_detected} "
+            f"gpu_lost={cell.gpu_failures} "
+            f"rollbacks={cell.rounds_rolled_back}"
+        )
+        if args.verbose:
+            print(f"  detail: {cell.detail}")
+            print(f"  digest: {cell.trace_digest}")
+        if not cell.passed:
+            print(f"  {cell.error or cell.detail}", file=sys.stderr)
+    summary = "all cells recovered" if all_passed else "FAILURES above"
+    print(f"{name}: {len(results)} chaos cells, {summary}")
+    return 0 if all_passed else 1
+
+
 def cmd_experiment(args) -> int:
     from repro.bench import experiments
 
@@ -218,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DiGraph (ASPLOS 2019) reproduction CLI",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise errors with full tracebacks instead of the "
+        "one-line 'error: ...' summary",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -327,12 +393,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     vf.set_defaults(func=cmd_verify)
 
+    ch = sub.add_parser(
+        "chaos",
+        help="sweep algorithms under a seeded fault plan and certify "
+        "recovery against the fault-free golden state",
+    )
+    ch.add_argument(
+        "--dataset",
+        choices=datasets.DATASET_NAMES,
+        default="cnr",
+        help="built-in dataset stand-in (default: cnr)",
+    )
+    ch.add_argument(
+        "--edge-list",
+        help="path to a 'src dst [weight]' file (overrides --dataset)",
+    )
+    ch.add_argument(
+        "--scale", type=float, default=0.25, help="dataset scale factor"
+    )
+    ch.add_argument(
+        "--gpus", type=int, default=None, help="override simulated GPU count"
+    )
+    ch.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=ALGORITHMS,
+        default=list(ALGORITHMS),
+        help="algorithms to sweep (default: all eight)",
+    )
+    ch.add_argument(
+        "--engines",
+        nargs="+",
+        choices=["digraph", "digraph-t", "digraph-w"],
+        default=["digraph"],
+        help="DiGraph-family engines to sweep (default: digraph)",
+    )
+    ch.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="fault-plan seeds; each seed is one full grid sweep",
+    )
+    ch.add_argument(
+        "--transfer-fault-rate",
+        type=float,
+        default=0.05,
+        help="per-transfer probability of a transient fault",
+    )
+    ch.add_argument(
+        "--sync-drop-rate",
+        type=float,
+        default=0.05,
+        help="per-replica-batch probability of a dropped delivery",
+    )
+    ch.add_argument(
+        "--sync-corrupt-rate",
+        type=float,
+        default=0.05,
+        help="per-replica-batch probability of a corrupted delivery",
+    )
+    ch.add_argument(
+        "--straggler-rate",
+        type=float,
+        default=0.1,
+        help="per-round per-GPU probability of a straggler slowdown",
+    )
+    ch.add_argument(
+        "--kill-gpu",
+        type=int,
+        default=None,
+        help="GPU id to permanently fail mid-run (default: none)",
+    )
+    ch.add_argument(
+        "--kill-round",
+        type=int,
+        default=1,
+        help="compute round at which --kill-gpu dies (default: 1)",
+    )
+    ch.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help="inject faults with recovery disabled (cells are expected "
+        "to FAIL; demonstrates the faults are real)",
+    )
+    ch.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-cell detail and determinism digests",
+    )
+    ch.set_defaults(func=cmd_chaos)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.errors import GPULostError
 from repro.graph.builder import GraphBuilder
 from repro.graph.scc import condensation
 from repro.graph.traversal import dag_layers
@@ -232,10 +233,16 @@ class Dispatcher:
         the ring-transfer of the partition's arrays.
         """
         per_gpu: Dict[int, List[int]] = {
-            gpu: [] for gpu in range(self._machine.num_gpus)
+            gpu: [] for gpu in self._machine.live_gpu_ids()
         }
         for pid in runnable_partitions:
-            per_gpu[self.current_gpu[pid]].append(pid)
+            gpu = self.current_gpu[pid]
+            if gpu not in per_gpu:
+                raise GPULostError(
+                    f"partition {pid} is placed on dead GPU {gpu}",
+                    gpu_id=gpu,
+                )
+            per_gpu[gpu].append(pid)
 
         def load(gpu: int) -> int:
             return sum(
@@ -263,6 +270,43 @@ class Dispatcher:
             self.current_gpu[victim] = thief
             self.steal_count += 1
         return {g: pids for g, pids in per_gpu.items() if pids}
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def redistribute_dead_gpu(self, dead_gpu: int) -> List[int]:
+        """Reassign a dead GPU's partitions across the survivors.
+
+        Walks dispatch groups in layer order (preserving the paper's
+        scheduling structure) and moves every partition currently placed
+        on ``dead_gpu`` to the least-loaded survivor, balancing by edge
+        count. Both ``current_gpu`` and ``home_gpu`` are updated — the
+        dead GPU is gone for good. The partitions' arrays are re-loaded
+        from the host lazily by :meth:`ensure_resident` (the dead GPU's
+        memory was lost, nothing can be copied out of it).
+
+        Returns the reassigned partition ids in assignment order.
+        """
+        live = self._machine.live_gpu_ids()
+        if not live:
+            raise GPULostError(
+                "no surviving GPUs to redistribute onto", gpu_id=dead_gpu
+            )
+        load: Dict[int, int] = {g: 0 for g in live}
+        for pid, gpu in self.current_gpu.items():
+            if gpu in load:
+                load[gpu] += self._storage.partitions[pid].num_edges
+        moved: List[int] = []
+        for group in self.groups_in_layer_order():
+            for pid in group.partition_ids:
+                if self.current_gpu[pid] != dead_gpu:
+                    continue
+                target = min(live, key=lambda g: (load[g], g))
+                self.current_gpu[pid] = target
+                self.home_gpu[pid] = target
+                load[target] += self._storage.partitions[pid].num_edges
+                moved.append(pid)
+        return moved
 
 
 # ----------------------------------------------------------------------

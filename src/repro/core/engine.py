@@ -34,7 +34,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GPULostError,
+    PermanentInterconnectFault,
+)
 from repro.graph.digraph import DiGraphCSR
 from repro.gpu.config import MachineSpec
 from repro.gpu.machine import Machine
@@ -190,12 +195,24 @@ class DiGraphEngine:
         preprocessed: Optional[Preprocessed] = None,
         graph_name: str = "graph",
         strict_convergence: bool = True,
+        fault_injector=None,
+        recovery=None,
     ) -> ExecutionResult:
-        """Run ``program`` to convergence and return the result record."""
+        """Run ``program`` to convergence and return the result record.
+
+        ``fault_injector`` (a :class:`repro.faults.FaultInjector` or a
+        legacy plain callable) makes the simulated machine misbehave;
+        ``recovery`` (a :class:`repro.faults.RecoveryPolicy`) turns on
+        retries, replica resends, straggler re-dispatch, and round-level
+        checkpoint/rollback with GPU-loss redistribution. Without a
+        policy, injected faults surface raw.
+        """
         cfg = self.config
         started = time.perf_counter()
         pre = preprocessed or self.preprocess(graph)
-        machine = Machine(self.spec)
+        machine = Machine(
+            self.spec, fault_injector=fault_injector, recovery=recovery
+        )
         machine.stats.preprocess_time_s = pre.modeled_seconds
 
         run = _Run(self, machine, graph, program, pre)
@@ -203,7 +220,10 @@ class DiGraphEngine:
         if not converged and strict_convergence:
             raise ConvergenceError(
                 f"{program.name} did not converge within "
-                f"{cfg.max_rounds} rounds"
+                f"{cfg.max_rounds} rounds",
+                rounds=machine.stats.rounds,
+                active_vertices=run.states.num_active,
+                last_max_delta=run.last_max_delta,
             )
         if cfg.verify_invariants:
             from repro.verify.conservation import verify_run_conservation
@@ -225,6 +245,26 @@ class DiGraphEngine:
                 )
             )
             report.raise_if_failed()
+        extras = {
+            "num_paths": float(pre.path_set.num_paths),
+            "avg_path_length": pre.path_set.average_length(),
+            "num_partitions": float(pre.storage.num_partitions),
+            "num_scc_vertices": float(pre.dag.num_scc_vertices),
+            "giant_scc_path_fraction": pre.dag.giant_scc_path_fraction(),
+            "steals": float(run.dispatcher.steal_count),
+        }
+        if fault_injector is not None:
+            stats = machine.stats
+            extras.update(
+                {
+                    "transfer_retries": float(stats.transfer_retries),
+                    "sync_retries": float(stats.sync_retries),
+                    "stragglers_detected": float(stats.stragglers_detected),
+                    "gpu_failures": float(stats.gpu_failures),
+                    "rounds_rolled_back": float(stats.rounds_rolled_back),
+                    "recovery_time_s": stats.recovery_time_s,
+                }
+            )
         return ExecutionResult(
             engine=self.engine_label(),
             algorithm=program.name,
@@ -235,14 +275,7 @@ class DiGraphEngine:
             stats=machine.stats,
             round_records=run.round_records,
             wall_seconds=time.perf_counter() - started,
-            extras={
-                "num_paths": float(pre.path_set.num_paths),
-                "avg_path_length": pre.path_set.average_length(),
-                "num_partitions": float(pre.storage.num_partitions),
-                "num_scc_vertices": float(pre.dag.num_scc_vertices),
-                "giant_scc_path_fraction": pre.dag.giant_scc_path_fraction(),
-                "steals": float(run.dispatcher.steal_count),
-            },
+            extras=extras,
         )
 
     def engine_label(self) -> str:
@@ -302,15 +335,29 @@ class _Run:
         )
         # Per-round replica-sync accumulator: (src_gpu, dst_gpu) -> bytes.
         self._pending_sync_bytes: Dict[Tuple[int, int], int] = {}
+        # Vertices riding each pair's pending batch — tracked only under
+        # a structured fault injector, so corruption knows which master
+        # states a garbled batch poisons.
+        self._pending_sync_payload: Dict[Tuple[int, int], List[int]] = {}
+        self._track_payloads = machine._structured_injector is not None
         # Send-side ledger over the whole run, recorded at message
         # production time — the machine's receive-side
         # ``replica_pair_bytes`` is recorded at flush time, so comparing
         # the two catches dropped or double flushes (repro.verify).
         self.sync_sent_bytes: Dict[Tuple[int, int], int] = {}
         # GPU currently processing (None outside partition processing)
-        # and activations waiting for the next wave boundary.
+        # and activations waiting for the next wave boundary, as
+        # (vertex, producing_gpu, owner_gpu) — the GPU pair identifies
+        # the replica batch the activation message rides on.
         self._processing_gpu: Optional[int] = None
-        self._deferred_activations: List[int] = []
+        self._deferred_activations: List[Tuple[int, int, int]] = []
+        # Fault recovery: the machine's policy, rollback budget used,
+        # and the largest state change of the last completed round
+        # (diagnostic for ConvergenceError).
+        self.recovery = machine.recovery
+        self._rollbacks = 0
+        self._round_max_delta = 0.0
+        self.last_max_delta = 0.0
         self._path_work_cache: Dict[int, int] = {}
         # Round stamp per vertex: a vertex is updated at most once per
         # round (the paper walks each path once per round; replica
@@ -400,7 +447,9 @@ class _Run:
                 # Always queued — even if currently active: the target may
                 # be processed later this wave against the stale snapshot
                 # and deactivate, which would drop this change's message.
-                self._deferred_activations.append(v)
+                self._deferred_activations.append(
+                    (v, producing_gpu, self.dispatcher.current_gpu[owner])
+                )
                 continue
             self._activate_now(v)
 
@@ -410,10 +459,21 @@ class _Run:
             self.scheduler.vertex_activated(v)
             self._bump_partitions(v, +1)
 
-    def _apply_deferred_activations(self) -> None:
-        """Deliver cross-GPU activations at the wave boundary."""
+    def _apply_deferred_activations(
+        self, lost_pairs: Set[Tuple[int, int]] = frozenset()
+    ) -> None:
+        """Deliver cross-GPU activations at the wave boundary.
+
+        An activation message rides its pair's replica batch: if that
+        batch was dropped in flight (fault injection without recovery),
+        the activation is lost with it — the receiver never learns its
+        input changed, which is exactly the failure the conservation and
+        fixed-point checkers must catch.
+        """
         pending, self._deferred_activations = self._deferred_activations, []
-        for v in pending:
+        for v, src_gpu, dst_gpu in pending:
+            if (src_gpu, dst_gpu) in lost_pairs:
+                continue
             self._activate_now(v)
 
     def deactivate(self, v: int) -> None:
@@ -424,6 +484,16 @@ class _Run:
 
     def partition_is_active(self, pid: int) -> bool:
         return self.partition_active[pid] > 0
+
+    def _note_delta(self, old: float, new: float) -> None:
+        """Track the round's largest state change (ConvergenceError
+        diagnostics). Any move involving an infinity counts as inf."""
+        if np.isfinite(old) and np.isfinite(new):
+            delta = abs(new - old)
+        else:
+            delta = float("inf")
+        if delta > self._round_max_delta:
+            self._round_max_delta = delta
 
     def active_successor_partitions(self, pid: int) -> int:
         """Eviction-policy input: active direct successor partitions."""
@@ -445,43 +515,200 @@ class _Run:
         asynchronously as SMXs free up, with no global barrier between
         layers). A partition runs at most once per sweep; a group that
         stays active (an iterating SCC) waits for the next sweep.
+
+        With a recovery policy, each round starts from a checkpoint of
+        the logical state: a GPU death (or a permanently failed link)
+        mid-round rolls the round back, fences the dead GPU off,
+        redistributes its partitions across the survivors, and replays.
+        Replayed rounds do not consume the convergence budget (they are
+        bounded separately by ``max_gpu_loss_recoveries``).
         """
         self._process_isolated_vertices()
         stats = self.machine.stats
-        for _ in range(self.cfg.max_rounds):
+        recovery = self.recovery
+        rounds_done = 0
+        while rounds_done < self.cfg.max_rounds:
             if not self.states.any_active():
                 return True
-            self._current_round += 1
-            processed_this_sweep: Set[int] = set()
-            self._sweep_work = {g: [] for g in range(self.machine.num_gpus)}
-            self._sweep_atomics = {
-                g: [] for g in range(self.machine.num_gpus)
-            }
-            swept_any = False
-            while True:
-                runnable = [
-                    pid
-                    for pid in self._select_runnable_partitions()
-                    if pid not in processed_this_sweep
-                ]
-                if not runnable:
-                    break
-                swept_any = True
-                processed_this_sweep.update(runnable)
-                self._run_wave(runnable)
-            # One kernel timeline per sweep: the waves above are
-            # bookkeeping boundaries for staleness and activation
-            # delivery, but the SMXs run continuously (no global barrier
-            # in the asynchronous model) — charging each wave as its own
-            # launch would serialize warp-quantization costs that the
-            # real system pipelines away.
-            self.machine.compute_round(self._sweep_work, self._sweep_atomics)
+            checkpoint = (
+                self._checkpoint_round()
+                if recovery is not None and recovery.checkpoint_rounds
+                else None
+            )
+            try:
+                swept_any = self._execute_round()
+            except GPULostError as exc:
+                self._recover_gpu_loss(exc.gpu_id, checkpoint, exc)
+                continue
+            except PermanentInterconnectFault as exc:
+                # A link that stays dead is indistinguishable from the
+                # GPU behind it being unreachable: fence off the GPU at
+                # the failing endpoint and degrade onto the survivors.
+                gpu_id = exc.dst if isinstance(exc.dst, int) else exc.src
+                if not isinstance(gpu_id, int):
+                    raise
+                self._recover_gpu_loss(gpu_id, checkpoint, exc)
+                continue
+            rounds_done += 1
             stats.rounds += 1
             if not swept_any:
                 # Active vertices exist only outside any partition —
                 # impossible once isolated vertices were handled.
                 return True
         return not self.states.any_active()
+
+    def _execute_round(self) -> bool:
+        """One sweep over the dependency frontier; True if anything ran."""
+        self._current_round += 1
+        self._round_max_delta = 0.0
+        processed_this_sweep: Set[int] = set()
+        live = self.machine.live_gpu_ids()
+        self._sweep_work = {g: [] for g in live}
+        self._sweep_atomics = {g: [] for g in live}
+        swept_any = False
+        while True:
+            runnable = [
+                pid
+                for pid in self._select_runnable_partitions()
+                if pid not in processed_this_sweep
+            ]
+            if not runnable:
+                break
+            swept_any = True
+            processed_this_sweep.update(runnable)
+            self._run_wave(runnable)
+        # One kernel timeline per sweep: the waves above are
+        # bookkeeping boundaries for staleness and activation
+        # delivery, but the SMXs run continuously (no global barrier
+        # in the asynchronous model) — charging each wave as its own
+        # launch would serialize warp-quantization costs that the
+        # real system pipelines away.
+        self.machine.compute_round(self._sweep_work, self._sweep_atomics)
+        self.last_max_delta = self._round_max_delta
+        return swept_any
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback / GPU-loss recovery
+    # ------------------------------------------------------------------
+    def _checkpoint_round(self) -> Dict[str, object]:
+        """Snapshot the logical state a round rollback must restore.
+
+        Covers vertex values and activity, the partition/group activity
+        counters, the staleness stamps, pending cross-GPU messages, BOTH
+        replica-conservation ledgers (send side here, receive side in
+        ``MachineStats`` — restoring only one would leave a phantom
+        mismatch after replay), and partition placement. Time and work
+        counters are deliberately *not* restored: the aborted attempt
+        really happened; its cost is surfaced via ``recovery_time_s``.
+        """
+        stats = self.machine.stats
+        return {
+            "values": self.states.values.copy(),
+            "active": self.states.active.copy(),
+            "partition_active": self.partition_active.copy(),
+            "group_active": self.group_active.copy(),
+            "was_active": self._partition_was_active.copy(),
+            "processed_stamp": self._processed_stamp.copy(),
+            "sweep_stamp": self._sweep_stamp.copy(),
+            "written_gpu": self._written_gpu.copy(),
+            "written_stamp": self._written_stamp.copy(),
+            "wave_counter": self._wave_counter,
+            "stamp_counter": self._stamp_counter,
+            "current_round": self._current_round,
+            "deferred": list(self._deferred_activations),
+            "pending_sync": dict(self._pending_sync_bytes),
+            "pending_payload": {
+                pair: list(vs)
+                for pair, vs in self._pending_sync_payload.items()
+            },
+            "sent_ledger": dict(self.sync_sent_bytes),
+            "recv_ledger": dict(stats.replica_pair_bytes),
+            "current_gpu": dict(self.dispatcher.current_gpu),
+            "num_round_records": len(self.round_records),
+            "compute_time": stats.compute_time_s,
+            "transfer_time": stats.transfer_time_s,
+            "async_time": stats.async_comm_time_s,
+        }
+
+    def _rollback_round(self, checkpoint: Dict[str, object]) -> None:
+        """Restore a round checkpoint after an aborted attempt."""
+        stats = self.machine.stats
+        self.states.values[:] = checkpoint["values"]
+        self.states.active[:] = checkpoint["active"]
+        self.partition_active[:] = checkpoint["partition_active"]
+        self.group_active[:] = checkpoint["group_active"]
+        self._partition_was_active[:] = checkpoint["was_active"]
+        self._processed_stamp[:] = checkpoint["processed_stamp"]
+        self._sweep_stamp[:] = checkpoint["sweep_stamp"]
+        self._written_gpu[:] = checkpoint["written_gpu"]
+        self._written_stamp[:] = checkpoint["written_stamp"]
+        self._wave_counter = checkpoint["wave_counter"]
+        self._stamp_counter = checkpoint["stamp_counter"]
+        self._current_round = checkpoint["current_round"]
+        self._deferred_activations = list(checkpoint["deferred"])
+        self._pending_sync_bytes = dict(checkpoint["pending_sync"])
+        self._pending_sync_payload = {
+            pair: list(vs)
+            for pair, vs in checkpoint["pending_payload"].items()
+        }
+        self.sync_sent_bytes = dict(checkpoint["sent_ledger"])
+        stats.replica_pair_bytes = dict(checkpoint["recv_ledger"])
+        self.dispatcher.current_gpu = dict(checkpoint["current_gpu"])
+        del self.round_records[checkpoint["num_round_records"]:]
+        self.scheduler.reset_counts(self.states.active)
+        lost_time = (
+            (stats.compute_time_s - checkpoint["compute_time"])
+            + (stats.transfer_time_s - checkpoint["transfer_time"])
+            + (stats.async_comm_time_s - checkpoint["async_time"])
+        )
+        if lost_time > 0:
+            stats.recovery_time_s += lost_time
+        stats.rounds_rolled_back += 1
+
+    def _recover_gpu_loss(
+        self,
+        gpu_id: Optional[int],
+        checkpoint: Optional[Dict[str, object]],
+        cause: Exception,
+    ) -> None:
+        """Degrade gracefully after losing a GPU mid-round.
+
+        Fences the GPU off, rolls the aborted round back to its
+        checkpoint, and redistributes the dead GPU's partitions across
+        the survivors in dispatch-layer order. The moved partitions'
+        arrays are gone with the dead GPU's memory — survivors reload
+        them from the host (lazily, via ``ensure_resident``), accounted
+        eagerly as ``retransferred_bytes``. Re-raises ``cause`` when
+        recovery is off, no checkpoint exists, the loss budget is
+        exhausted, or nobody survives.
+        """
+        recovery = self.recovery
+        if (
+            recovery is None
+            or checkpoint is None
+            or not recovery.checkpoint_rounds
+            or gpu_id is None
+        ):
+            raise cause
+        self._rollbacks += 1
+        if self._rollbacks > recovery.max_gpu_loss_recoveries:
+            raise cause
+        # Idempotent: a compute-wave kill already marked the GPU dead; a
+        # permanently failed link reaches here with the GPU still "up".
+        self.machine.kill_gpu(gpu_id)
+        self._rollback_round(checkpoint)
+        moved = self.dispatcher.redistribute_dead_gpu(gpu_id)
+        self.machine.stats.retransferred_bytes += sum(
+            self.pre.storage.partition_bytes(pid) for pid in moved
+        )
+        injector = self.machine._structured_injector
+        if injector is not None:
+            injector.note_recovery(
+                "gpu_loss",
+                gpu=gpu_id,
+                moved=len(moved),
+                round=self._current_round,
+            )
 
     def _run_wave(self, runnable: List[int]) -> None:
         """Process one set of runnable partitions concurrently.
@@ -515,11 +742,14 @@ class _Run:
             self._sweep_work[gpu_id].extend(gpu_work)
             self._sweep_atomics[gpu_id].extend(gpu_atomics)
         self._prefetch_next(runnable)
-        self._flush_replica_sync()
-        self._apply_deferred_activations()
+        lost_pairs = self._flush_replica_sync()
+        self._apply_deferred_activations(lost_pairs)
 
-    def _wave_views(self) -> List[StalenessView]:
-        """Per-GPU read views for one wave (fresh local, snapshot remote)."""
+    def _wave_views(self) -> Dict[int, StalenessView]:
+        """Per-GPU read views for one wave (fresh local, snapshot remote).
+
+        Keyed by live GPU id — dead GPUs get no view (and can get no
+        work)."""
         snapshot = self.states.copy_values()
         owner_gpu = np.full(self.graph.num_vertices, -1, dtype=np.int64)
         replicas = self.pre.replicas
@@ -530,8 +760,8 @@ class _Run:
                 owner_gpu[v] = current_gpu[pid]
         self._owner_gpu = owner_gpu
         self._wave_counter += 1
-        return [
-            StalenessView(
+        return {
+            gpu: StalenessView(
                 self.states.values,
                 snapshot,
                 owner_gpu == gpu,
@@ -540,8 +770,8 @@ class _Run:
                 wave_stamp=self._wave_counter,
                 gpu_id=gpu,
             )
-            for gpu in range(self.machine.num_gpus)
-        ]
+            for gpu in self.machine.live_gpu_ids()
+        }
 
     def _path_gather_work(self, path_id: int) -> int:
         """Expected gather work of one path (cached)."""
@@ -600,7 +830,9 @@ class _Run:
                 advance_candidates.append((blockers, active_pids))
         # Advance execution: fill idle capacity with the active groups
         # that have the fewest active precursors (Section 3.1).
-        capacity = self.machine.num_gpus * max(self.cfg.advance_factor, 0)
+        capacity = len(self.machine.live_gpu_ids()) * max(
+            self.cfg.advance_factor, 0
+        )
         if len(runnable) < capacity and advance_candidates:
             advance_candidates.sort(key=lambda item: item[0])
             for _, pids in advance_candidates:
@@ -846,8 +1078,9 @@ class _Run:
                 continue
             self._processed_stamp[v] = self._stamp_counter
             self._sweep_stamp[v] = self._current_round
+            old = float(states.values[v])
             new, changed = program.update_vertex(
-                graph, v, view, old_state=float(states.values[v])
+                graph, v, view, old_state=old
             )
             degree = program.gather_degree(graph, v)
             edges_walked += degree
@@ -872,6 +1105,7 @@ class _Run:
                 stats.vertex_updates += 1
                 changed_vertices.add(v)
                 write_counts[v] = write_counts.get(v, 0) + 1
+                self._note_delta(old, float(new))
                 self.activate(list(program.dependents(graph, v)))
             upstream_changed = changed
         return edges_walked
@@ -904,8 +1138,9 @@ class _Run:
         for v in sorted(vertices):
             if not (states.active[v] and self._owner_gpu[v] == gpu_id):
                 continue
+            old = float(states.values[v])
             new, changed = program.update_vertex(
-                graph, v, view, old_state=float(states.values[v])
+                graph, v, view, old_state=old
             )
             degree = program.gather_degree(graph, v)
             items.append(degree)
@@ -925,6 +1160,7 @@ class _Run:
                 stats.vertex_updates += 1
                 changed_vertices.add(v)
                 write_counts[v] = write_counts.get(v, 0) + 1
+                self._note_delta(old, float(new))
                 self.activate(list(program.dependents(graph, v)))
         return items
 
@@ -980,6 +1216,16 @@ class _Run:
         changed_batch = batch[changed]
         if changed_batch.size:
             stats.vertex_updates += int(changed_batch.size)
+            old_changed = old[changed]
+            new_changed = np.asarray(new)[changed]
+            finite = np.isfinite(old_changed) & np.isfinite(new_changed)
+            if not bool(finite.all()):
+                self._round_max_delta = float("inf")
+            else:
+                self._round_max_delta = max(
+                    self._round_max_delta,
+                    float(np.abs(new_changed - old_changed).max()),
+                )
             for v in changed_batch:
                 changed_vertices.add(int(v))
                 write_counts[int(v)] = write_counts.get(int(v), 0) + 1
@@ -1004,6 +1250,11 @@ class _Run:
         )
         if outcome.messages == 0:
             return
+        payload = (
+            self.pre.replicas.payload_by_destination(pid, changed_vertices)
+            if self._track_payloads
+            else None
+        )
         per_batch = max(1, outcome.messages // max(outcome.batches, 1))
         for dest in outcome.destinations:
             dest_gpu = self.dispatcher.current_gpu[dest]
@@ -1017,11 +1268,35 @@ class _Run:
             self.sync_sent_bytes[key] = (
                 self.sync_sent_bytes.get(key, 0) + nbytes
             )
+            if payload is not None:
+                self._pending_sync_payload.setdefault(key, []).extend(
+                    payload.get(dest, ())
+                )
 
-    def _flush_replica_sync(self) -> None:
-        """Send each GPU pair's accumulated replica batch for this round."""
+    def _flush_replica_sync(self) -> Set[Tuple[int, int]]:
+        """Send each GPU pair's accumulated replica batch for this round.
+
+        Batches go through :meth:`Machine.deliver_replica_batch`, so
+        fault injection can drop or corrupt them. Returns the pairs
+        whose batch was lost (the wave boundary must discard their
+        deferred activations too); a corrupted batch that slipped
+        through poisons the payload vertices' master states — garbage
+        the fixed-point oracle is expected to flag.
+        """
+        lost_pairs: Set[Tuple[int, int]] = set()
         for (src_gpu, dst_gpu), nbytes in sorted(
             self._pending_sync_bytes.items()
         ):
-            self.machine.transfer_async(src_gpu, dst_gpu, nbytes)
+            outcome = self.machine.deliver_replica_batch(
+                src_gpu, dst_gpu, nbytes
+            )
+            if outcome.status == "dropped":
+                lost_pairs.add((src_gpu, dst_gpu))
+            elif outcome.status == "corrupted":
+                for v in self._pending_sync_payload.get(
+                    (src_gpu, dst_gpu), ()
+                ):
+                    self.states.values[v] = outcome.poison
         self._pending_sync_bytes.clear()
+        self._pending_sync_payload.clear()
+        return lost_pairs

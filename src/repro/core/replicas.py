@@ -193,6 +193,28 @@ class ReplicaTable:
             destinations=tuple(sorted(per_destination)),
         )
 
+    def payload_by_destination(
+        self, partition_id: int, changed_vertices: Iterable[int]
+    ) -> Dict[int, Tuple[int, ...]]:
+        """The vertices each remote destination receives in the batch.
+
+        The vertex-level view of :meth:`sync_after_partition`: for every
+        remote mirror partition, the (sorted) changed vertices with a
+        replica there — i.e. the modeled message payload. Fault injection
+        uses this to know *which* master states a corrupted batch would
+        garble.
+        """
+        per_destination: Dict[int, List[int]] = {}
+        for v in changed_vertices:
+            v = int(v)
+            for dest in self.mirror_partitions(v):
+                if dest != partition_id:
+                    per_destination.setdefault(dest, []).append(v)
+        return {
+            dest: tuple(sorted(vs))
+            for dest, vs in per_destination.items()
+        }
+
     def contention(
         self, write_counts: Mapping[int, int]
     ) -> ContentionOutcome:

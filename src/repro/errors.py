@@ -37,11 +37,71 @@ class MemoryCapacityError(SimulationError):
 
 
 class InterconnectFault(SimulationError):
-    """A fault injector failed a transfer (robustness testing)."""
+    """A fault injector failed a transfer (robustness testing).
+
+    Carries the transfer endpoints when the injector knows them, so
+    recovery code can tell *which* link misbehaved.
+    """
+
+    def __init__(
+        self,
+        message: str = "interconnect fault",
+        src=None,
+        dst=None,
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+
+
+class TransientInterconnectFault(InterconnectFault):
+    """A transfer failed but the link is expected to recover (retryable)."""
+
+
+class PermanentInterconnectFault(InterconnectFault):
+    """A link is down for good (or retries were exhausted)."""
+
+
+class GPULostError(SimulationError):
+    """A simulated GPU died mid-execution (fault injection)."""
+
+    def __init__(
+        self, message: str = "GPU lost", gpu_id=None
+    ) -> None:
+        super().__init__(message)
+        self.gpu_id = gpu_id
 
 
 class ConvergenceError(ReproError):
-    """An iterative algorithm failed to converge within its round budget."""
+    """An iterative algorithm failed to converge within its round budget.
+
+    Structured fields make stalled runs (chaos runs especially)
+    diagnosable without parsing the message: ``rounds`` actually run,
+    ``active_vertices`` still awaiting updates, and ``last_max_delta``,
+    the largest state change observed in the final round (0.0 means the
+    frontier was live but no state moved — a lost-update smell).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rounds=None,
+        active_vertices=None,
+        last_max_delta=None,
+    ) -> None:
+        details = []
+        if rounds is not None:
+            details.append(f"rounds={rounds}")
+        if active_vertices is not None:
+            details.append(f"active_vertices={active_vertices}")
+        if last_max_delta is not None:
+            details.append(f"last_max_delta={last_max_delta:.6g}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.rounds = rounds
+        self.active_vertices = active_vertices
+        self.last_max_delta = last_max_delta
 
 
 class VerificationError(ReproError):

@@ -1,0 +1,57 @@
+"""Fault injection and recovery for the simulated multi-GPU machine.
+
+The robustness subsystem (see ``docs/robustness.md``):
+
+- :mod:`repro.faults.plan` — seeded, deterministic fault schedules
+  (:class:`FaultPlan`) covering interconnect faults, replica-batch
+  drops/corruptions, GPU deaths, and stragglers;
+- :mod:`repro.faults.injector` — the runtime :class:`FaultInjector`
+  that fires a plan's events against the machine's hooks and records a
+  replayable trace;
+- :mod:`repro.faults.recovery` — :class:`RecoveryPolicy`, the knobs for
+  retries, backoff, straggler re-dispatch, checkpoint/rollback, and
+  GPU-loss degradation;
+- :mod:`repro.faults.chaos` — the golden-vs-faulted chaos harness
+  behind the ``repro chaos`` CLI.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_ENGINES,
+    ChaosCellResult,
+    chaos_sweep,
+    recovery_digest,
+    run_chaos_cell,
+)
+from repro.faults.injector import FaultInjector, TraceEvent
+from repro.faults.plan import (
+    CORRUPT,
+    DEGRADE,
+    DROP,
+    PERMANENT,
+    TRANSIENT,
+    ComputeFault,
+    FaultPlan,
+    SyncFault,
+    TransferFault,
+)
+from repro.faults.recovery import RecoveryPolicy
+
+__all__ = [
+    "CHAOS_ENGINES",
+    "CORRUPT",
+    "DEGRADE",
+    "DROP",
+    "PERMANENT",
+    "TRANSIENT",
+    "ChaosCellResult",
+    "ComputeFault",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "SyncFault",
+    "TraceEvent",
+    "TransferFault",
+    "chaos_sweep",
+    "recovery_digest",
+    "run_chaos_cell",
+]

@@ -1,0 +1,222 @@
+"""Chaos harness: prove recovered runs converge to the fault-free state.
+
+One *chaos cell* is (algorithm, engine, fault plan): the harness runs
+the algorithm fault-free to get the golden fixed point, replays it under
+the plan with recovery enabled, and certifies through the
+:mod:`repro.verify` oracle that the recovered run
+
+- converged,
+- satisfies the program's own fixed-point equations, and
+- matches the golden states (exactly for discrete programs, within the
+  cross-engine tolerance band for contractions).
+
+:func:`chaos_sweep` runs a grid of cells (algorithms x engines x seeds);
+the ``repro chaos`` CLI wraps it. :func:`recovery_digest` hashes the
+injector trace together with the final states — two runs of the same
+seeded cell must produce identical digests (the determinism contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.core.engine import DiGraphConfig, DiGraphEngine
+from repro.core.variants import digraph_t, digraph_w
+from repro.errors import ConfigurationError, ReproError
+from repro.faults.injector import FaultInjector, TraceEvent
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryPolicy
+from repro.gpu.config import MachineSpec
+from repro.verify.oracle import (
+    CONTRACTION_ALGORITHMS,
+    equivalence_band,
+    states_equivalent,
+)
+from repro.verify.structural import check_fixed_point_reached
+
+#: Engines the chaos harness drives (the DiGraph family — the fault
+#: machinery lives in their shared runtime).
+CHAOS_ENGINES = ("digraph", "digraph-t", "digraph-w")
+
+
+def _chaos_engine(name: str, machine: Optional[MachineSpec]):
+    config = DiGraphConfig()
+    if name == "digraph":
+        return DiGraphEngine(machine, config)
+    if name == "digraph-t":
+        return digraph_t(machine, config)
+    if name == "digraph-w":
+        return digraph_w(machine, config)
+    raise ConfigurationError(
+        f"chaos engine must be one of {CHAOS_ENGINES}, got {name!r}"
+    )
+
+
+def recovery_digest(
+    trace: Sequence[TraceEvent], states: np.ndarray
+) -> str:
+    """Hash an injector trace + final states (determinism fingerprint)."""
+    digest = hashlib.sha256()
+    for event in trace:
+        digest.update(str(event).encode())
+        digest.update(b"\n")
+    digest.update(np.ascontiguousarray(states, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class ChaosCellResult:
+    """Outcome of one (algorithm, engine, plan) chaos cell."""
+
+    algorithm: str
+    engine: str
+    seed: Optional[int]
+    passed: bool
+    detail: str
+    faults_injected: int = 0
+    transfer_retries: int = 0
+    sync_retries: int = 0
+    stragglers_detected: int = 0
+    gpu_failures: int = 0
+    rounds_rolled_back: int = 0
+    recovery_time_s: float = 0.0
+    trace_digest: str = ""
+    error: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.algorithm}/{self.engine}/seed={self.seed}"
+
+
+def run_chaos_cell(
+    graph,
+    algorithm: str,
+    plan: FaultPlan,
+    engine_name: str = "digraph",
+    machine: Optional[MachineSpec] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    graph_name: str = "chaos",
+    program_kwargs: Optional[Dict] = None,
+    disable_recovery: bool = False,
+) -> ChaosCellResult:
+    """Golden run vs recovered faulted run for one cell.
+
+    A fresh engine and program are built for each of the two runs (they
+    cache graph-derived state and must not be shared). ``recovery``
+    defaults to :class:`RecoveryPolicy`'s defaults; pass an explicit
+    policy to tighten or disable individual mechanisms, or set
+    ``disable_recovery`` to run the faulted leg with no recovery at all
+    (the non-vacuity mode: injected faults are expected to surface as
+    failures).
+    """
+    if disable_recovery:
+        recovery = None
+    else:
+        recovery = recovery if recovery is not None else RecoveryPolicy()
+    kwargs = dict(program_kwargs or {})
+
+    golden_program = make_program(algorithm, graph, **kwargs)
+    golden_engine = _chaos_engine(engine_name, machine)
+    golden = golden_engine.run(
+        graph, golden_program, graph_name=graph_name
+    )
+
+    injector = FaultInjector(plan)
+    program = make_program(algorithm, graph, **kwargs)
+    engine = _chaos_engine(engine_name, machine)
+    try:
+        faulted = engine.run(
+            graph,
+            program,
+            graph_name=graph_name,
+            fault_injector=injector,
+            recovery=recovery,
+        )
+    except ReproError as exc:
+        return ChaosCellResult(
+            algorithm=algorithm,
+            engine=engine_name,
+            seed=plan.seed,
+            passed=False,
+            detail=f"faulted run raised {type(exc).__name__}",
+            faults_injected=injector.faults_injected,
+            trace_digest=recovery_digest(
+                injector.trace, np.zeros(0, dtype=np.float64)
+            ),
+            error=str(exc),
+        )
+
+    band = 0.0
+    if algorithm in CONTRACTION_ALGORITHMS:
+        band = equivalence_band(golden_program, graph)
+    cmp = states_equivalent(golden.states, faulted.states, band)
+    fixed = check_fixed_point_reached(program, graph, faulted.states)
+    passed = bool(faulted.converged and cmp.passed and fixed.passed)
+    if not faulted.converged:
+        detail = "faulted run did not converge"
+    elif not cmp.passed:
+        detail = f"states diverge from golden: {cmp.detail}"
+    elif not fixed.passed:
+        detail = f"fixed point violated: {fixed.detail}"
+    else:
+        detail = cmp.detail
+    stats = faulted.stats
+    return ChaosCellResult(
+        algorithm=algorithm,
+        engine=engine_name,
+        seed=plan.seed,
+        passed=passed,
+        detail=detail,
+        faults_injected=injector.faults_injected,
+        transfer_retries=stats.transfer_retries,
+        sync_retries=stats.sync_retries,
+        stragglers_detected=stats.stragglers_detected,
+        gpu_failures=stats.gpu_failures,
+        rounds_rolled_back=stats.rounds_rolled_back,
+        recovery_time_s=stats.recovery_time_s,
+        trace_digest=recovery_digest(injector.trace, faulted.states),
+    )
+
+
+def chaos_sweep(
+    graph,
+    algorithms: Sequence[str],
+    engine_names: Sequence[str] = ("digraph",),
+    seeds: Sequence[int] = (0,),
+    machine: Optional[MachineSpec] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    graph_name: str = "chaos",
+    plan_options: Optional[Dict] = None,
+    disable_recovery: bool = False,
+) -> List[ChaosCellResult]:
+    """Run the chaos grid: algorithms x engines x seeds.
+
+    ``plan_options`` are forwarded to :meth:`FaultPlan.generate` (fault
+    rates, kill schedule); the number of GPUs is taken from ``machine``
+    (or the default spec when None).
+    """
+    options = dict(plan_options or {})
+    num_gpus = (machine or MachineSpec()).num_gpus
+    results: List[ChaosCellResult] = []
+    for seed in seeds:
+        plan = FaultPlan.generate(seed, num_gpus, **options)
+        for algorithm in algorithms:
+            for engine_name in engine_names:
+                results.append(
+                    run_chaos_cell(
+                        graph,
+                        algorithm,
+                        plan,
+                        engine_name=engine_name,
+                        machine=machine,
+                        recovery=recovery,
+                        graph_name=graph_name,
+                        disable_recovery=disable_recovery,
+                    )
+                )
+    return results

@@ -1,0 +1,217 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a *pre-computed schedule* of faults keyed by the
+machine's deterministic call counters — the N-th interconnect transfer,
+the N-th replica-batch flush, the N-th kernel wave. Nothing is sampled
+at run time: :meth:`FaultPlan.generate` expands a seed into explicit
+event tables once, so identical (seed, rates) always produce identical
+injections, retries, and recovery traces regardless of how the run
+interleaves. This is the determinism contract the chaos harness and the
+``repro chaos`` CLI rely on (see ``docs/robustness.md``).
+
+Fault kinds (ISSUE-3 fault model):
+
+- **transfer faults** — a :class:`TransferFault` fails (transient or
+  permanent) or degrades one ``Interconnect.transfer`` call;
+- **replica-sync faults** — a :class:`SyncFault` drops or corrupts one
+  batched replica-update flush between two GPUs;
+- **compute faults** — a :class:`ComputeFault` kills a GPU at a kernel
+  wave boundary or slows chosen GPUs down (stragglers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+#: Transfer-fault kinds.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+DEGRADE = "degrade"
+
+#: Replica-sync fault kinds.
+DROP = "drop"
+CORRUPT = "corrupt"
+
+#: Deterministic garbage written by an undetected corrupted replica push.
+DEFAULT_POISON = 2.0 ** 60
+
+
+@dataclass(frozen=True)
+class TransferFault:
+    """One scheduled interconnect fault.
+
+    ``kind`` is :data:`TRANSIENT` (fails, retryable), :data:`PERMANENT`
+    (link down for good), or :data:`DEGRADE` (transfer succeeds at
+    ``factor`` times the nominal cost).
+    """
+
+    kind: str
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TRANSIENT, PERMANENT, DEGRADE):
+            raise ConfigurationError(
+                f"unknown transfer-fault kind {self.kind!r}"
+            )
+        if self.kind == DEGRADE and self.factor < 0:
+            raise ConfigurationError("degrade factor must be non-negative")
+
+
+@dataclass(frozen=True)
+class SyncFault:
+    """One scheduled replica-batch fault (:data:`DROP` or :data:`CORRUPT`).
+
+    ``poison`` is the deterministic garbage value an *undetected*
+    corruption writes into the payload's master slots (recovery detects
+    the bad checksum and resends instead).
+    """
+
+    kind: str
+    poison: float = DEFAULT_POISON
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DROP, CORRUPT):
+            raise ConfigurationError(
+                f"unknown sync-fault kind {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ComputeFault:
+    """One scheduled kernel-wave fault.
+
+    ``kill_gpu`` names a GPU that dies at this wave; ``slowdowns`` maps
+    GPU id -> elapsed-time multiplier (stragglers). A dead target or an
+    unknown GPU id in a generated plan is skipped at injection time.
+    """
+
+    kill_gpu: Optional[int] = None
+    slowdowns: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for gpu, factor in self.slowdowns.items():
+            if factor < 1.0:
+                raise ConfigurationError(
+                    f"straggler factor for GPU {gpu} must be >= 1"
+                )
+
+
+@dataclass
+class FaultPlan:
+    """Explicit fault schedule keyed by deterministic call counters."""
+
+    #: transfer-call index -> fault.
+    transfer_faults: Dict[int, TransferFault] = field(default_factory=dict)
+    #: replica-flush-attempt index -> fault.
+    sync_faults: Dict[int, SyncFault] = field(default_factory=dict)
+    #: kernel-wave (compute_round call) index -> fault.
+    compute_faults: Dict[int, ComputeFault] = field(default_factory=dict)
+    #: Seed the plan was generated from (None for hand-written plans).
+    seed: Optional[int] = None
+
+    @property
+    def num_events(self) -> int:
+        return (
+            len(self.transfer_faults)
+            + len(self.sync_faults)
+            + len(self.compute_faults)
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_gpus: int,
+        transfer_fault_rate: float = 0.0,
+        transient_fraction: float = 1.0,
+        degrade_rate: float = 0.0,
+        degrade_factor: float = 4.0,
+        sync_drop_rate: float = 0.0,
+        sync_corrupt_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        straggler_factor: float = 8.0,
+        kill_gpu: Optional[int] = None,
+        kill_at_round: int = 1,
+        transfer_horizon: int = 5000,
+        sync_horizon: int = 2000,
+        round_horizon: int = 500,
+    ) -> "FaultPlan":
+        """Expand a seed into an explicit event schedule.
+
+        Rates are per-call probabilities sampled *now* with
+        ``random.Random(seed)`` over a fixed horizon of call indices —
+        beyond the horizon the run is fault-free. ``kill_gpu`` schedules
+        exactly one GPU death at kernel wave ``kill_at_round``.
+        """
+        for name, rate in (
+            ("transfer_fault_rate", transfer_fault_rate),
+            ("transient_fraction", transient_fraction),
+            ("degrade_rate", degrade_rate),
+            ("sync_drop_rate", sync_drop_rate),
+            ("sync_corrupt_rate", sync_corrupt_rate),
+            ("straggler_rate", straggler_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if num_gpus < 1:
+            raise ConfigurationError("num_gpus must be >= 1")
+        if kill_gpu is not None and not 0 <= kill_gpu < num_gpus:
+            raise ConfigurationError(f"kill_gpu {kill_gpu} out of range")
+        if kill_at_round < 0:
+            raise ConfigurationError("kill_at_round must be >= 0")
+        if straggler_factor < 1.0:
+            raise ConfigurationError("straggler_factor must be >= 1")
+
+        rng = random.Random(seed)
+        transfer_faults: Dict[int, TransferFault] = {}
+        for index in range(transfer_horizon):
+            roll = rng.random()
+            if roll < transfer_fault_rate:
+                kind = (
+                    TRANSIENT
+                    if rng.random() < transient_fraction
+                    else PERMANENT
+                )
+                transfer_faults[index] = TransferFault(kind=kind)
+            elif roll < transfer_fault_rate + degrade_rate:
+                transfer_faults[index] = TransferFault(
+                    kind=DEGRADE, factor=degrade_factor
+                )
+
+        sync_faults: Dict[int, SyncFault] = {}
+        for index in range(sync_horizon):
+            roll = rng.random()
+            if roll < sync_drop_rate:
+                sync_faults[index] = SyncFault(kind=DROP)
+            elif roll < sync_drop_rate + sync_corrupt_rate:
+                sync_faults[index] = SyncFault(
+                    kind=CORRUPT,
+                    poison=DEFAULT_POISON * (1.0 + rng.random()),
+                )
+
+        compute_faults: Dict[int, ComputeFault] = {}
+        for index in range(round_horizon):
+            slowdowns = {
+                gpu: straggler_factor
+                for gpu in range(num_gpus)
+                if rng.random() < straggler_rate
+            }
+            if slowdowns:
+                compute_faults[index] = ComputeFault(slowdowns=slowdowns)
+        if kill_gpu is not None:
+            existing = compute_faults.get(kill_at_round)
+            compute_faults[kill_at_round] = ComputeFault(
+                kill_gpu=kill_gpu,
+                slowdowns=existing.slowdowns if existing else {},
+            )
+
+        return cls(
+            transfer_faults=transfer_faults,
+            sync_faults=sync_faults,
+            compute_faults=compute_faults,
+            seed=seed,
+        )

@@ -1,0 +1,73 @@
+"""Recovery policy knobs.
+
+A :class:`RecoveryPolicy` turns the fault-tolerance machinery on and
+configures every bound the runtime honours:
+
+- transient transfer faults — bounded retry with exponential backoff
+  at the interconnect, escalating to
+  :class:`~repro.errors.PermanentInterconnectFault` when exhausted;
+- dropped/corrupted replica batches — detected (missing ack / bad
+  checksum in the modeled protocol), bounded resend;
+- stragglers — a timeout relative to the median peer wave time, after
+  which the straggler's wave is re-dispatched;
+- GPU loss — round-level checkpoint/rollback plus redistribution of the
+  dead GPU's path groups across survivors.
+
+Passing ``recovery=None`` to the machine/engine disables all of it:
+faults then surface raw, which is exactly what the non-vacuity tests
+use to prove the injections are real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounds and switches for fault recovery."""
+
+    #: Retries per transfer before a transient fault escalates.
+    max_transfer_retries: int = 4
+    #: First backoff wait (model seconds); doubles by ``backoff_multiplier``.
+    backoff_base_s: float = 1e-4
+    backoff_multiplier: float = 2.0
+    #: Resends per replica batch before a sync fault escalates.
+    max_sync_retries: int = 4
+    #: A GPU is a straggler when its wave exceeds this multiple of the
+    #: median peer wave time.
+    straggler_timeout_factor: float = 4.0
+    #: Re-dispatch straggler waves (cap their elapsed time at timeout +
+    #: one nominal re-execution) instead of waiting them out.
+    redispatch_stragglers: bool = True
+    #: Keep a per-round checkpoint so GPU loss rolls back and replays the
+    #: round instead of aborting the run.
+    checkpoint_rounds: bool = True
+    #: GPU losses survivable in one run before giving up.
+    max_gpu_loss_recoveries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_transfer_retries < 0:
+            raise ConfigurationError("max_transfer_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError("backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.max_sync_retries < 0:
+            raise ConfigurationError("max_sync_retries must be >= 0")
+        if self.straggler_timeout_factor < 1.0:
+            raise ConfigurationError(
+                "straggler_timeout_factor must be >= 1"
+            )
+        if self.max_gpu_loss_recoveries < 0:
+            raise ConfigurationError(
+                "max_gpu_loss_recoveries must be >= 0"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError("attempt must be >= 1")
+        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)

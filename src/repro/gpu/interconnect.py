@@ -10,11 +10,18 @@ messages "in batches" per destination partition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
-from repro.errors import SimulationError
+from repro.errors import (
+    PermanentInterconnectFault,
+    SimulationError,
+    TransientInterconnectFault,
+)
 from repro.gpu.config import MachineSpec
 from repro.gpu.stats import MachineStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from repro.faults.recovery import RecoveryPolicy
 
 #: Endpoint constant for the host.
 HOST = "host"
@@ -37,6 +44,9 @@ class TransferRecord:
 #: may raise :class:`~repro.errors.InterconnectFault` to fail the
 #: transfer, or return a non-negative delay factor (1.0 = nominal) to
 #: model link degradation. Returning None means nominal behavior.
+#: Structured injectors (:class:`repro.faults.FaultInjector`) expose the
+#: same contract through an ``on_transfer`` method instead; plain
+#: callables remain supported.
 FaultInjector = Callable[[Endpoint, Endpoint, int], Optional[float]]
 
 
@@ -57,12 +67,43 @@ class Interconnect:
         spec: MachineSpec,
         stats: MachineStats,
         fault_injector: Optional[FaultInjector] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
     ) -> None:
         self._spec = spec
         self._stats = stats
         self.fault_injector = fault_injector
+        #: When set, transient faults are retried with exponential
+        #: backoff up to ``recovery.max_transfer_retries`` before
+        #: escalating to :class:`PermanentInterconnectFault`. When None,
+        #: faults surface raw.
+        self.recovery = recovery
         self.faults_injected = 0
         self.records: list[TransferRecord] = []
+
+    def _consult_injector(
+        self, src: Endpoint, dst: Endpoint, nbytes: int
+    ) -> float:
+        """Ask the injector about one attempt; returns the delay factor.
+
+        May raise an :class:`~repro.errors.InterconnectFault` (the
+        injector failing the attempt). Supports both structured
+        injectors (``on_transfer`` method) and legacy plain callables.
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return 1.0
+        if hasattr(injector, "on_transfer"):
+            outcome = injector.on_transfer(src, dst, nbytes)
+        else:
+            outcome = injector(src, dst, nbytes)
+        if outcome is None:
+            return 1.0
+        if outcome < 0:
+            raise SimulationError(
+                "fault injector returned a negative delay factor"
+            )
+        self.faults_injected += 1
+        return outcome
 
     def _check_endpoint(self, endpoint: Endpoint) -> None:
         if endpoint == HOST:
@@ -90,35 +131,67 @@ class Interconnect:
         return per_hop * max(hops, 0)
 
     def transfer(self, src: Endpoint, dst: Endpoint, nbytes: int) -> float:
-        """Perform a transfer; records traffic and returns the model time."""
+        """Perform a transfer; records traffic and returns the model time.
+
+        With a :attr:`recovery` policy, transient injected faults are
+        retried in place: each failed attempt charges its wasted wire
+        time plus an exponential backoff wait to the recovery ledgers,
+        and the returned model time covers every attempt. Retries are
+        bounded — exhaustion escalates to
+        :class:`PermanentInterconnectFault`. Fig.-12 traffic counters
+        record the payload once (resent bytes land in
+        ``retransferred_bytes`` instead).
+        """
         self._check_endpoint(src)
         self._check_endpoint(dst)
         if nbytes < 0:
             raise SimulationError("nbytes must be non-negative")
         if src == dst:
             return 0.0
-        delay_factor = 1.0
-        if self.fault_injector is not None:
-            outcome = self.fault_injector(src, dst, nbytes)
-            if outcome is not None:
-                if outcome < 0:
-                    raise SimulationError(
-                        "fault injector returned a negative delay factor"
-                    )
-                delay_factor = outcome
-                self.faults_injected += 1
         if src == HOST:
             hops = 1
-            self._stats.h2d_bytes += nbytes
         elif dst == HOST:
             hops = 1
-            self._stats.d2h_bytes += nbytes
         else:
             hops = self.ring_hops(int(src), int(dst))
+        total_time = 0.0
+        failures = 0
+        while True:
+            try:
+                delay_factor = self._consult_injector(src, dst, nbytes)
+            except TransientInterconnectFault:
+                if self.recovery is None:
+                    raise
+                failures += 1
+                wasted = self.transfer_time(nbytes, hops)
+                if failures > self.recovery.max_transfer_retries:
+                    self._stats.recovery_time_s += wasted
+                    total_time += wasted
+                    raise PermanentInterconnectFault(
+                        f"transfer {src!r}->{dst!r} still failing after "
+                        f"{failures} attempts",
+                        src=src,
+                        dst=dst,
+                    )
+                backoff = self.recovery.backoff_s(failures)
+                self._stats.transfer_retries += 1
+                self._stats.retransferred_bytes += nbytes
+                self._stats.backoff_time_s += backoff
+                self._stats.recovery_time_s += wasted + backoff
+                total_time += wasted + backoff
+                continue
+            break
+        if src == HOST:
+            self._stats.h2d_bytes += nbytes
+        elif dst == HOST:
+            self._stats.d2h_bytes += nbytes
+        else:
             self._stats.p2p_bytes += nbytes * hops
-        time_s = self.transfer_time(nbytes, hops) * delay_factor
-        self.records.append(TransferRecord(src, dst, nbytes, hops, time_s))
-        return time_s
+        total_time += self.transfer_time(nbytes, hops) * delay_factor
+        self.records.append(
+            TransferRecord(src, dst, nbytes, hops, total_time)
+        )
+        return total_time
 
     def broadcast_from_host(self, nbytes_per_gpu: int) -> float:
         """Host sends ``nbytes_per_gpu`` to every GPU; returns total time."""

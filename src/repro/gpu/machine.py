@@ -16,9 +16,15 @@ All counters land in one shared :class:`~repro.gpu.stats.MachineStats`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from statistics import median
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import (
+    GPULostError,
+    PermanentInterconnectFault,
+    SimulationError,
+)
 from repro.gpu.config import GPUSpec, MachineSpec
 from repro.gpu.interconnect import HOST, Endpoint, Interconnect
 from repro.gpu.memory import BoundedMemory
@@ -26,8 +32,27 @@ from repro.gpu.smx import SMX
 from repro.gpu.stats import MachineStats
 from repro.gpu.stream import StreamPool
 
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from repro.faults.recovery import RecoveryPolicy
+
 #: Per-thread work: (edge_steps, atomic_updates).
 WorkItem = Tuple[int, int]
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of one replica-batch delivery (:meth:`Machine.deliver_replica_batch`).
+
+    ``status`` is ``"delivered"``, ``"dropped"`` (batch lost, receiver
+    never sees it), or ``"corrupted"`` (batch arrived garbled; ``poison``
+    is the garbage value the receiver would apply). The latter two only
+    occur without a recovery policy — with one, drops and corruptions
+    are detected and resent until delivered or retries run out.
+    """
+
+    status: str
+    time_s: float
+    poison: float = 0.0
 
 
 class GPU:
@@ -133,20 +158,67 @@ class GPU:
 class Machine:
     """Host + ``spec.num_gpus`` GPUs + ring interconnect + shared stats."""
 
-    def __init__(self, spec: MachineSpec, fault_injector=None) -> None:
+    def __init__(
+        self,
+        spec: MachineSpec,
+        fault_injector=None,
+        recovery: Optional["RecoveryPolicy"] = None,
+    ) -> None:
         self.spec = spec
         self.stats = MachineStats()
+        self.recovery = recovery
         self.interconnect = Interconnect(
-            spec, self.stats, fault_injector=fault_injector
+            spec, self.stats, fault_injector=fault_injector,
+            recovery=recovery,
         )
         self.gpus = [
             GPU(spec.gpu, gpu_id, self.stats, spec.num_streams)
             for gpu_id in range(spec.num_gpus)
         ]
+        #: GPUs lost mid-execution (:meth:`kill_gpu`).
+        self.dead_gpus: set = set()
 
     @property
     def num_gpus(self) -> int:
         return self.spec.num_gpus
+
+    @property
+    def _structured_injector(self):
+        """The fault injector, if it speaks the structured hook protocol."""
+        injector = self.interconnect.fault_injector
+        if injector is not None and hasattr(injector, "on_compute_round"):
+            return injector
+        return None
+
+    # ------------------------------------------------------------------
+    # GPU liveness
+    # ------------------------------------------------------------------
+    def live_gpu_ids(self) -> List[int]:
+        """Ids of GPUs still alive, ascending."""
+        return [g for g in range(self.num_gpus) if g not in self.dead_gpus]
+
+    def kill_gpu(self, gpu_id: int) -> None:
+        """Mark a GPU dead: its memory and in-flight transfers are lost.
+
+        Idempotent. The dead GPU's queued stream transfers are discarded
+        (they must not surface later as phantom time) and its global
+        memory is cleared — survivors re-load whatever they inherit.
+        """
+        if not 0 <= gpu_id < self.num_gpus:
+            raise SimulationError(f"no GPU {gpu_id}")
+        if gpu_id in self.dead_gpus:
+            return
+        self.dead_gpus.add(gpu_id)
+        self.stats.gpu_failures += 1
+        gpu = self.gpus[gpu_id]
+        gpu.streams.drop_pending()
+        gpu.global_memory.clear()
+
+    def _check_alive(self, endpoint: Endpoint) -> None:
+        if isinstance(endpoint, int) and endpoint in self.dead_gpus:
+            raise GPULostError(
+                f"GPU {endpoint} is dead", gpu_id=endpoint
+            )
 
     # ------------------------------------------------------------------
     # transfers
@@ -164,6 +236,8 @@ class Machine:
         GPU's streams and hidden behind its next kernel; otherwise its time
         is charged to :attr:`MachineStats.transfer_time_s` immediately.
         """
+        self._check_alive(src)
+        self._check_alive(dst)
         time_s = self.interconnect.transfer(src, dst, nbytes)
         if overlap_with is not None:
             self.gpus[overlap_with].streams.queue_transfer(time_s)
@@ -178,6 +252,8 @@ class Machine:
         time lands on the machine's communication channel, which runs
         concurrently with compute (NCCL-style pipelined pushes with no
         barrier)."""
+        self._check_alive(src)
+        self._check_alive(dst)
         time_s = self.interconnect.transfer(src, dst, nbytes)
         self.stats.async_comm_time_s += time_s
         if isinstance(src, int) and isinstance(dst, int):
@@ -185,8 +261,72 @@ class Machine:
             self.stats.note_pair_transfer(src, dst, nbytes)
         return time_s
 
+    def deliver_replica_batch(
+        self, src_gpu: int, dst_gpu: int, nbytes: int
+    ) -> DeliveryOutcome:
+        """Deliver one batched replica-update message GPU -> GPU.
+
+        Like :meth:`transfer_async`, but routed through the fault
+        injector's replica hook so the batch can be dropped or corrupted
+        in flight. The receive-side conservation ledger
+        (``replica_pair_bytes``) is credited only when the payload
+        actually lands: a dropped batch leaves a send/receive mismatch
+        for the conservation checker, a corrupted one that slips through
+        undetected *does* land (garbled — the fixed-point oracle catches
+        it instead). With a recovery policy, both are detected by the
+        modeled ack/checksum protocol and resent with backoff, bounded
+        by ``max_sync_retries``.
+        """
+        self._check_alive(src_gpu)
+        self._check_alive(dst_gpu)
+        injector = self._structured_injector
+        failures = 0
+        total = 0.0
+        while True:
+            fault = None
+            if injector is not None:
+                fault = injector.on_replica_flush(src_gpu, dst_gpu, nbytes)
+            time_s = self.interconnect.transfer(src_gpu, dst_gpu, nbytes)
+            self.stats.async_comm_time_s += time_s
+            total += time_s
+            if fault is None:
+                self.stats.note_pair_transfer(src_gpu, dst_gpu, nbytes)
+                return DeliveryOutcome("delivered", total)
+            # Kinds are plain strings (repro.faults.plan.DROP / CORRUPT);
+            # compared literally here to keep gpu/ import-free of faults/.
+            if fault.kind == "drop":
+                self.stats.dropped_replica_batches += 1
+            else:
+                self.stats.corrupted_replica_batches += 1
+            if self.recovery is None:
+                if fault.kind == "corrupt":
+                    # The garbled payload still arrives on the wire, so
+                    # conservation balances; the fixed-point check is
+                    # what flags the poisoned state.
+                    self.stats.note_pair_transfer(src_gpu, dst_gpu, nbytes)
+                    return DeliveryOutcome(
+                        "corrupted", total, poison=fault.poison
+                    )
+                return DeliveryOutcome("dropped", total)
+            failures += 1
+            if failures > self.recovery.max_sync_retries:
+                raise PermanentInterconnectFault(
+                    f"replica batch {src_gpu}->{dst_gpu} still failing "
+                    f"after {failures} attempts",
+                    src=src_gpu,
+                    dst=dst_gpu,
+                )
+            backoff = self.recovery.backoff_s(failures)
+            self.stats.sync_retries += 1
+            self.stats.resent_sync_bytes += nbytes
+            self.stats.backoff_time_s += backoff
+            self.stats.recovery_time_s += time_s + backoff
+            self.stats.async_comm_time_s += backoff
+            total += backoff
+
     def batched_transfer_to_gpu(self, gpu_id: int, nbytes: int) -> float:
         """Host->GPU transfer split into `S_b`-sized batches (Section 3.2.2)."""
+        self._check_alive(gpu_id)
         time_s = self.interconnect.batched_transfer(
             HOST, gpu_id, nbytes, self.spec.transfer_batch_bytes
         )
@@ -195,7 +335,11 @@ class Machine:
 
     def flush_streams(self) -> float:
         """Resolve any still-pending stream transfers at full cost."""
-        total = sum(gpu.streams.flush() for gpu in self.gpus)
+        total = sum(
+            gpu.streams.flush()
+            for gpu in self.gpus
+            if gpu.gpu_id not in self.dead_gpus
+        )
         self.stats.transfer_time_s += total
         return total
 
@@ -218,18 +362,76 @@ class Machine:
         early wait for the slowest one; their wait is charged as idle
         thread-cycles, which is what depresses Fig. 15's utilization for
         the synchronous baseline.
+
+        A structured fault injector is consulted once per wave: it may
+        kill a GPU (the wave aborts with :class:`GPULostError` — the
+        engine's checkpoint/rollback replays the round on the survivors)
+        or slow chosen GPUs down. With a recovery policy, a slowed GPU
+        whose elapsed time exceeds ``straggler_timeout_factor`` times
+        the median of its peers is treated as a straggler: its wave is
+        re-dispatched, capping its cost at the timeout plus one nominal
+        re-execution.
         """
+        slowdowns: Dict[int, float] = {}
+        injector = self._structured_injector
+        if injector is not None:
+            fault = injector.on_compute_round(self.live_gpu_ids())
+            if fault is not None:
+                if fault.kill_gpu is not None:
+                    self.kill_gpu(fault.kill_gpu)
+                    raise GPULostError(
+                        f"GPU {fault.kill_gpu} died during a kernel wave",
+                        gpu_id=fault.kill_gpu,
+                    )
+                slowdowns = dict(fault.slowdowns)
         elapsed_by_gpu: Dict[int, float] = {}
-        wall = 0.0
+        base_by_gpu: Dict[int, float] = {}
         for gpu_id, items in work.items():
             if not 0 <= gpu_id < self.num_gpus:
                 raise SimulationError(f"no GPU {gpu_id}")
+            if gpu_id in self.dead_gpus:
+                if items:
+                    raise GPULostError(
+                        f"work dispatched to dead GPU {gpu_id}",
+                        gpu_id=gpu_id,
+                    )
+                continue
             gpu_atomics = atomics.get(gpu_id) if atomics else None
-            elapsed = self.gpus[gpu_id].execute_balanced(items, gpu_atomics)
-            elapsed_by_gpu[gpu_id] = elapsed
-            wall = max(wall, elapsed)
+            base = self.gpus[gpu_id].execute_balanced(items, gpu_atomics)
+            base_by_gpu[gpu_id] = base
+            elapsed_by_gpu[gpu_id] = base * slowdowns.get(gpu_id, 1.0)
+        if (
+            self.recovery is not None
+            and self.recovery.redispatch_stragglers
+            and slowdowns
+            and len(elapsed_by_gpu) > 1
+        ):
+            for gpu_id in sorted(slowdowns):
+                if gpu_id not in elapsed_by_gpu:
+                    continue
+                elapsed = elapsed_by_gpu[gpu_id]
+                peers = [
+                    t for g, t in elapsed_by_gpu.items() if g != gpu_id
+                ]
+                timeout = (
+                    self.recovery.straggler_timeout_factor * median(peers)
+                )
+                if timeout > 0 and elapsed > timeout:
+                    self.stats.stragglers_detected += 1
+                    # Give up on the straggler at the timeout and re-run
+                    # its wave (modeled at nominal cost) elsewhere.
+                    redone = timeout + base_by_gpu[gpu_id]
+                    if redone < elapsed:
+                        self.stats.straggler_redispatches += 1
+                        self.stats.recovery_time_s += (
+                            redone - base_by_gpu[gpu_id]
+                        )
+                        elapsed_by_gpu[gpu_id] = redone
+        wall = max(elapsed_by_gpu.values(), default=0.0)
         if barrier and wall > 0:
             for gpu in self.gpus:
+                if gpu.gpu_id in self.dead_gpus:
+                    continue
                 waited = wall - elapsed_by_gpu.get(gpu.gpu_id, 0.0)
                 if waited > 0:
                     idle_cycles = int(waited * gpu.spec.clock_hz)
@@ -250,6 +452,7 @@ class Machine:
         """Account a global-memory load into GPU cores."""
         if not 0 <= gpu_id < self.num_gpus:
             raise SimulationError(f"no GPU {gpu_id}")
+        self._check_alive(gpu_id)
         if nbytes < 0 or vertices < 0:
             raise SimulationError("load sizes must be non-negative")
         self.stats.global_load_bytes += nbytes

@@ -93,6 +93,9 @@ class BoundedMemory:
         ------
         MemoryCapacityError
             If the region cannot fit even after evicting everything else.
+            Allocation is atomic: a failed call leaves ``used_bytes`` and
+            the resident set exactly as they were (no partial eviction,
+            no half-resized region).
         """
         if nbytes < 0:
             raise SimulationError("nbytes must be non-negative")
@@ -101,27 +104,37 @@ class BoundedMemory:
                 f"{self._name}: region of {nbytes} bytes exceeds capacity "
                 f"{self._capacity}"
             )
+        # Plan first, mutate only once the allocation is known to fit: a
+        # resize frees the old extent, then victims are chosen (the
+        # ``evict_order`` callback runs at most once per allocation).
+        old_size = self._regions.get(region_id, 0)
+        available = self._capacity - self._used + old_size
+        victims: List[int] = []
+        if nbytes > available:
+            candidates = [r for r in self._regions if r != region_id]
+            if evict_order is not None:
+                ordered = [
+                    r for r in evict_order(candidates) if r in self._regions
+                ]
+                candidates = ordered
+            for victim in candidates:
+                if nbytes <= available:
+                    break
+                victims.append(victim)
+                available += self._regions[victim]
+            if nbytes > available:
+                raise MemoryCapacityError(
+                    f"{self._name}: cannot fit {nbytes} bytes "
+                    f"(used {self._used} of {self._capacity})"
+                )
+        # Commit.
+        for victim in victims:
+            self._used -= self._regions.pop(victim)
         if region_id in self._regions:
             self._used -= self._regions.pop(region_id)
-
-        evicted: List[int] = []
-        if self._used + nbytes > self._capacity:
-            candidates = self.resident_regions()
-            if evict_order is not None:
-                candidates = list(evict_order(candidates))
-            for victim in candidates:
-                if self._used + nbytes <= self._capacity:
-                    break
-                self._used -= self._regions.pop(victim)
-                evicted.append(victim)
-        if self._used + nbytes > self._capacity:
-            raise MemoryCapacityError(
-                f"{self._name}: cannot fit {nbytes} bytes "
-                f"(used {self._used} of {self._capacity})"
-            )
         self._regions[region_id] = nbytes
         self._used += nbytes
-        return evicted
+        return victims
 
     def release(self, region_id: int) -> int:
         """Free a region; returns its size."""

@@ -47,6 +47,24 @@ class MachineStats:
     busy_thread_cycles: int = 0      #: cycles threads spent doing work
     total_thread_cycles: int = 0     #: cycles threads were resident
 
+    # Fault-injection / recovery counters (:mod:`repro.faults`).
+    transfer_retries: int = 0        #: transient-fault retries of transfers
+    retransferred_bytes: int = 0     #: bytes re-sent or re-loaded by recovery
+    sync_retries: int = 0            #: replica-batch resends after drop/corrupt
+    resent_sync_bytes: int = 0       #: replica bytes re-sent by recovery
+    dropped_replica_batches: int = 0 #: injected replica-batch drops
+    corrupted_replica_batches: int = 0  #: injected replica-batch corruptions
+    stragglers_detected: int = 0     #: GPUs that exceeded the straggler timeout
+    straggler_redispatches: int = 0  #: straggler rounds re-dispatched elsewhere
+    gpu_failures: int = 0            #: GPUs lost mid-execution
+    rounds_rolled_back: int = 0      #: rounds replayed from a checkpoint
+    backoff_time_s: float = 0.0      #: model seconds spent in retry backoff
+    #: Model seconds attributed to recovery: backoff waits, wasted failed
+    #: attempts, straggler timeout + re-execution, and work discarded by a
+    #: round rollback. An *attribution* ledger — the underlying time also
+    #: lands on the ordinary compute/transfer channels.
+    recovery_time_s: float = 0.0
+
     # Time accounting (model seconds).
     compute_time_s: float = 0.0
     transfer_time_s: float = 0.0     #: blocking transfers (serialize)
@@ -136,6 +154,18 @@ class MachineStats:
         self.vertex_uses += other.vertex_uses
         self.busy_thread_cycles += other.busy_thread_cycles
         self.total_thread_cycles += other.total_thread_cycles
+        self.transfer_retries += other.transfer_retries
+        self.retransferred_bytes += other.retransferred_bytes
+        self.sync_retries += other.sync_retries
+        self.resent_sync_bytes += other.resent_sync_bytes
+        self.dropped_replica_batches += other.dropped_replica_batches
+        self.corrupted_replica_batches += other.corrupted_replica_batches
+        self.stragglers_detected += other.stragglers_detected
+        self.straggler_redispatches += other.straggler_redispatches
+        self.gpu_failures += other.gpu_failures
+        self.rounds_rolled_back += other.rounds_rolled_back
+        self.backoff_time_s += other.backoff_time_s
+        self.recovery_time_s += other.recovery_time_s
         self.compute_time_s += other.compute_time_s
         self.transfer_time_s += other.transfer_time_s
         self.async_comm_time_s += other.async_comm_time_s

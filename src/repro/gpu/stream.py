@@ -85,3 +85,14 @@ class StreamPool:
         transfer = self.pending_transfer_s
         self._pending.clear()
         return transfer
+
+    def drop_pending(self) -> float:
+        """Discard queued transfers without charging them.
+
+        Used when the owning GPU dies: in-flight prefetches are lost with
+        the device and must not surface later as phantom transfer time.
+        Returns the dropped model seconds (for recovery accounting).
+        """
+        dropped = self.pending_transfer_s
+        self._pending.clear()
+        return dropped

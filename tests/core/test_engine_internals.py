@@ -110,7 +110,11 @@ class TestActivationBookkeeping:
         run.activate([v])
         run._processing_gpu = None
         assert not run.states.active[v]
-        assert v in run._deferred_activations
+        # Deferred entries are (vertex, producing_gpu, owner_gpu): the
+        # GPU pair names the replica batch the activation rides on.
+        deferred = list(run._deferred_activations)
+        assert v in [entry[0] for entry in deferred]
+        assert all(dst == owner_gpu for vv, _, dst in deferred if vv == v)
         run._apply_deferred_activations()
         assert run.states.active[v]
 

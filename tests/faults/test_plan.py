@@ -1,0 +1,124 @@
+"""Fault plans: seeded generation, validation, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    CORRUPT,
+    DEGRADE,
+    DROP,
+    PERMANENT,
+    TRANSIENT,
+    ComputeFault,
+    FaultPlan,
+    SyncFault,
+    TransferFault,
+)
+
+RATES = dict(
+    transfer_fault_rate=0.1,
+    degrade_rate=0.05,
+    sync_drop_rate=0.1,
+    sync_corrupt_rate=0.1,
+    straggler_rate=0.2,
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(7, 4, kill_gpu=2, **RATES)
+        b = FaultPlan.generate(7, 4, kill_gpu=2, **RATES)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(7, 4, **RATES)
+        b = FaultPlan.generate(8, 4, **RATES)
+        assert a != b
+
+    def test_zero_rates_empty(self):
+        plan = FaultPlan.generate(1, 2)
+        assert plan.num_events == 0
+
+    def test_rate_one_saturates_horizon(self):
+        plan = FaultPlan.generate(
+            1, 2, transfer_fault_rate=1.0, transfer_horizon=50,
+            sync_horizon=0, round_horizon=0,
+        )
+        assert len(plan.transfer_faults) == 50
+        assert all(
+            f.kind in (TRANSIENT, PERMANENT)
+            for f in plan.transfer_faults.values()
+        )
+
+    def test_transient_fraction_zero_gives_permanent(self):
+        plan = FaultPlan.generate(
+            1, 2, transfer_fault_rate=1.0, transient_fraction=0.0,
+            transfer_horizon=20, sync_horizon=0, round_horizon=0,
+        )
+        assert all(
+            f.kind == PERMANENT for f in plan.transfer_faults.values()
+        )
+
+    def test_sync_kinds_sampled(self):
+        plan = FaultPlan.generate(
+            3, 2, sync_drop_rate=0.5, sync_corrupt_rate=0.5,
+            sync_horizon=100, transfer_horizon=0, round_horizon=0,
+        )
+        kinds = {f.kind for f in plan.sync_faults.values()}
+        assert kinds == {DROP, CORRUPT}
+        assert all(
+            f.poison > 0
+            for f in plan.sync_faults.values()
+            if f.kind == CORRUPT
+        )
+
+    def test_kill_merges_with_stragglers(self):
+        plan = FaultPlan.generate(
+            5, 2, straggler_rate=1.0, kill_gpu=1, kill_at_round=3,
+            round_horizon=10, transfer_horizon=0, sync_horizon=0,
+        )
+        fault = plan.compute_faults[3]
+        assert fault.kill_gpu == 1
+        assert fault.slowdowns  # the sampled straggler survives the merge
+
+    def test_seed_recorded(self):
+        assert FaultPlan.generate(11, 2).seed == 11
+        assert FaultPlan().seed is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(transfer_fault_rate=1.5),
+            dict(sync_drop_rate=-0.1),
+            dict(straggler_rate=2.0),
+            dict(kill_gpu=5),
+            dict(kill_gpu=-1),
+            dict(kill_at_round=-1, kill_gpu=0),
+            dict(straggler_factor=0.5),
+        ],
+    )
+    def test_bad_generate_args(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.generate(1, 2, **kwargs)
+
+    def test_num_gpus_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.generate(1, 0)
+
+    def test_unknown_transfer_kind(self):
+        with pytest.raises(ConfigurationError):
+            TransferFault(kind="explode")
+
+    def test_negative_degrade_factor(self):
+        with pytest.raises(ConfigurationError):
+            TransferFault(kind=DEGRADE, factor=-1.0)
+
+    def test_unknown_sync_kind(self):
+        with pytest.raises(ConfigurationError):
+            SyncFault(kind="scramble")
+
+    def test_straggler_factor_below_one(self):
+        with pytest.raises(ConfigurationError):
+            ComputeFault(slowdowns={0: 0.5})

@@ -85,3 +85,82 @@ class TestEviction:
         mem.allocate(3, 30)
         evicted = mem.allocate(4, 90)
         assert evicted == [1, 2, 3]
+
+
+class TestFailureAtomicity:
+    def test_oversized_failure_leaves_state_intact(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(2, 40)
+        with pytest.raises(MemoryCapacityError):
+            mem.allocate(3, 101)
+        assert mem.used_bytes == 80
+        assert mem.is_resident(1) and mem.is_resident(2)
+        assert not mem.is_resident(3)
+
+    def test_no_partial_eviction_on_failure(self):
+        """A failed allocation evicts nothing, even when the eviction
+        policy offered some (insufficient) victims."""
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(2, 40)
+        # The policy only surrenders region 1 — 60 free bytes, short of
+        # the 90 requested — so the allocation must fail atomically.
+        with pytest.raises(MemoryCapacityError):
+            mem.allocate(3, 90, evict_order=lambda ids: [1])
+        assert mem.used_bytes == 80
+        assert mem.is_resident(1) and mem.is_resident(2)
+
+    def test_failed_resize_keeps_old_region(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        with pytest.raises(MemoryCapacityError):
+            mem.allocate(1, 200)
+        assert mem.region_size(1) == 40
+        assert mem.used_bytes == 40
+
+
+class TestEvictionCallbackContract:
+    def test_callback_fires_exactly_once(self):
+        calls = []
+
+        def spy(ids):
+            calls.append(list(ids))
+            return sorted(ids)
+
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(2, 40)
+        mem.allocate(3, 40, evict_order=spy)
+        assert len(calls) == 1
+        assert calls[0] == [1, 2]
+
+    def test_callback_not_consulted_when_fitting(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+
+        def forbidden(ids):
+            raise AssertionError("no eviction needed")
+
+        mem.allocate(2, 40, evict_order=forbidden)
+
+    def test_callback_stale_ids_ignored(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        mem.allocate(2, 40)
+        evicted = mem.allocate(
+            3, 40, evict_order=lambda ids: [99, 2, 1]
+        )
+        assert evicted == [2]
+
+
+class TestDoubleFree:
+    def test_double_release_raises_cleanly(self):
+        mem = BoundedMemory(100)
+        mem.allocate(1, 40)
+        assert mem.release(1) == 40
+        with pytest.raises(SimulationError):
+            mem.release(1)
+        # The failed release changed nothing.
+        assert mem.used_bytes == 0
+        assert mem.free_bytes == 100

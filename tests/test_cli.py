@@ -59,6 +59,55 @@ class TestCLI:
         assert code == 0
 
 
+class TestChaosCommand:
+    def test_chaos_recovers_and_exits_zero(self, capsys):
+        code = main(
+            ["chaos", "--dataset", "dblp", "--scale", "0.15",
+             "--algorithms", "bfs", "wcc", "--gpus", "2",
+             "--kill-gpu", "1", "--kill-round", "0", "--seeds", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("PASS") == 2
+        assert "all cells recovered" in out
+
+    def test_chaos_verbose_prints_digests(self, capsys):
+        code = main(
+            ["chaos", "--dataset", "dblp", "--scale", "0.15",
+             "--algorithms", "bfs", "--seeds", "1", "--verbose"]
+        )
+        assert code == 0
+        assert "digest:" in capsys.readouterr().out
+
+    def test_chaos_no_recovery_fails_loudly(self, capsys):
+        code = main(
+            ["chaos", "--dataset", "dblp", "--scale", "0.15",
+             "--algorithms", "pagerank", "--gpus", "2",
+             "--sync-drop-rate", "0.5", "--no-recovery", "--seeds", "3"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_one_with_message(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3 4\n")
+        code = main(["run", "--edge-list", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_debug_reraises(self, tmp_path):
+        from repro.errors import GraphError
+
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3 4\n")
+        with pytest.raises(GraphError):
+            main(["--debug", "run", "--edge-list", str(bad)])
+
+
 class TestTraceFlag:
     def test_run_with_trace(self, capsys):
         code = main(
