@@ -25,3 +25,33 @@ def test_fig16_gpu_scaling(benchmark, results_dir):
         digraph = eff["digraph"][-1]
         assert digraph <= eff["bulk-sync"][-1] + 1e-9, algo
         assert digraph <= eff["async"][-1] * 1.3, algo
+
+
+def test_fig16_faulted_scaling(benchmark, results_dir):
+    """Fig. 16 variant: one GPU dies mid-run at every machine size.
+
+    Every recovered run must be certified against the fault-free golden
+    states, and the degradation (recovered / fault-free modeled time) is
+    reported per redistribution policy with its slope against survivor
+    count.
+    """
+    result = benchmark.pedantic(
+        experiments.fig16_faulted_scalability, rounds=1, iterations=1
+    )
+    save_and_show(results_dir, "fig16_faulted", result["table"])
+
+    # Every cell's recovered state was certified equal to golden.
+    assert result["passed"]
+
+    for policy, ratios in result["degradation"].items():
+        # Recovery costs time (rollback replay + retransfer), never
+        # saves it, and stays bounded: losing one GPU must not blow the
+        # run up by more than an order of magnitude at this scale.
+        assert all(r >= 1.0 - 1e-9 for r in ratios), (policy, ratios)
+        assert max(ratios) < 10.0, (policy, ratios)
+
+    # Both policies report a degradation slope vs survivor count; more
+    # survivors must not make losing a GPU *worse* in any dramatic way.
+    assert set(result["slopes"]) == {"locality", "edge-balance"}
+    for policy, slope in result["slopes"].items():
+        assert abs(slope) < 5.0, (policy, slope)

@@ -18,7 +18,12 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GPULostError,
+    PermanentInterconnectFault,
+)
 from repro.graph.digraph import DiGraphCSR
 from repro.gpu.config import MachineSpec
 from repro.gpu.machine import Machine
@@ -27,6 +32,7 @@ from repro.model.state import StalenessView, VertexStates
 from repro.bench.results import ExecutionResult, RoundRecord
 from repro.core.storage import BYTES_PER_MESSAGE
 from repro.baselines.common import (
+    BaselineFaultHarness,
     resolve_partition_target,
     VertexRangePartition,
     modeled_baseline_preprocess_seconds,
@@ -73,9 +79,13 @@ class AsyncEngine:
         program: VertexProgram,
         graph_name: str = "graph",
         strict_convergence: bool = True,
+        fault_injector=None,
+        recovery=None,
     ) -> ExecutionResult:
         started = time.perf_counter()
-        machine = Machine(self.spec)
+        machine = Machine(
+            self.spec, fault_injector=fault_injector, recovery=recovery
+        )
         stats = machine.stats
         stats.preprocess_time_s = modeled_baseline_preprocess_seconds(
             graph, overhead_factor=1.04, n_workers=self.config.n_workers
@@ -93,127 +103,30 @@ class AsyncEngine:
         states = VertexStates(graph, program)
         round_records: List[RoundRecord] = []
         converged = False
-        # GPU residency per vertex, for the per-round staleness views.
-        gpu_of_vertex = np.empty(graph.num_vertices, dtype=np.int64)
-        for partition in partitions:
-            gpu_of_vertex[partition.lo : partition.hi] = partition.gpu
-        local_masks = [
-            gpu_of_vertex == gpu for gpu in range(machine.num_gpus)
-        ]
+        # With the fault machinery engaged, worklist pushes go through
+        # the modeled ack/checksum protocol (``deliver_replica_batch``)
+        # so they can be dropped, corrupted, retried, and escalated; the
+        # legacy path stays bit-identical for fault-free runs.
+        faulted = fault_injector is not None or recovery is not None
+        harness = BaselineFaultHarness(
+            machine, recovery, partitions, states, round_records
+        )
 
-        for round_index in range(self.config.max_rounds):
+        round_index = 0
+        while round_index < self.config.max_rounds:
             if not states.any_active():
                 converged = True
                 break
-
-            # Snapshot which partitions have active vertices at round start.
-            active_by_partition: Dict[int, List[int]] = {}
-            for v in states.active_vertices():
-                pid = partition_of_vertex(partitions, int(v)).partition_id
-                active_by_partition.setdefault(pid, []).append(int(v))
-
-            work: Dict[int, List[int]] = {g: [] for g in range(machine.num_gpus)}
-            atomics: Dict[int, List[int]] = {
-                g: [] for g in range(machine.num_gpus)
-            }
-            updates_this_round = 0
-            active_snapshot_total = 0
-            touched_vertex_total = 0
-            messages_between: Dict[tuple, int] = {}
-            # Cross-GPU activations deliver with the end-of-round push:
-            # activating them instantly would let them consume the stale
-            # snapshot of the change that activated them and converge
-            # incorrectly.
-            deferred_activations: List[int] = []
-
-            # Multi-GPU staleness: a GPU reads fresh states for its own
-            # vertices but only round-start snapshots of remote ones (new
-            # remote states arrive with the next transfer) — the paper's
-            # Fig. 1/2 one-hop-per-round propagation across partitions.
-            snapshot = states.copy_values()
-            views = [
-                StalenessView(states.values, snapshot, mask)
-                for mask in local_masks
-            ]
-
-            for pid, worklist in sorted(active_by_partition.items()):
-                partition = partitions[pid]
-                stats.note_partition_processed(pid)
-                machine.load_global(
-                    partition.gpu,
-                    nbytes=partition.nbytes,
-                    vertices=partition.num_vertices,
+            harness.maybe_checkpoint(round_index)
+            try:
+                self._async_round(
+                    graph, program, machine, partitions, states,
+                    round_records, round_index, faulted,
                 )
-                active_snapshot_total += len(worklist)
-                touched_vertex_total += partition.num_vertices
-
-                for v in worklist:
-                    if not states.active[v]:
-                        continue
-                    states.deactivate(v)
-                    new, changed = program.update_vertex(
-                        graph,
-                        v,
-                        views[partition.gpu],
-                        old_state=float(states.values[v]),
-                    )
-                    degree = program.gather_degree(graph, v)
-                    stats.apply_calls += 1
-                    stats.edge_traversals += degree
-                    # Demand fetches: gather reads pull each predecessor's
-                    # record into cores individually (random access).
-                    machine.load_global(
-                        partition.gpu, nbytes=8 * degree, vertices=degree
-                    )
-                    machine.note_vertex_uses(1 + degree)
-                    states.values[v] = new
-                    work[partition.gpu].append(degree)
-                    atomics[partition.gpu].append(1 if changed else 0)
-                    if not changed:
-                        continue
-                    updates_this_round += 1
-                    stats.vertex_updates += 1
-                    # No proxy vertices: every changed write is an atomic.
-                    stats.atomic_updates += 1
-                    remote: Set[int] = set()
-                    for u in program.dependents(graph, v):
-                        dst = partition_of_vertex(partitions, int(u))
-                        if dst.gpu != partition.gpu:
-                            remote.add(dst.gpu)
-                            deferred_activations.append(int(u))
-                        else:
-                            states.activate([u])
-                    for dst_gpu in remote:
-                        key = (partition.gpu, dst_gpu)
-                        messages_between[key] = (
-                            messages_between.get(key, 0) + 1
-                        )
-
-            for (src_gpu, dst_gpu), count in messages_between.items():
-                # Groute pushes worklist messages asynchronously over the
-                # ring; they overlap with compute (no barrier).
-                machine.transfer_async(
-                    src_gpu, dst_gpu, count * BYTES_PER_MESSAGE
-                )
-            machine.compute_round(work, atomics, barrier=False)
-            states.activate(deferred_activations)
-
-            stats.rounds += 1
-            round_records.append(
-                RoundRecord(
-                    round_index=round_index,
-                    partitions_processed=len(active_by_partition),
-                    partitions_convergent=(
-                        len(partitions) - len(active_by_partition)
-                    ),
-                    active_fraction_nonconvergent=(
-                        active_snapshot_total / touched_vertex_total
-                        if touched_vertex_total
-                        else 0.0
-                    ),
-                    vertex_updates=updates_this_round,
-                )
-            )
+            except (GPULostError, PermanentInterconnectFault) as exc:
+                round_index = harness.recover(exc, round_index)
+                continue
+            round_index += 1
 
         if not converged and strict_convergence:
             raise ConvergenceError(
@@ -227,6 +140,20 @@ class AsyncEngine:
             VerificationReport(
                 [check_fixed_point_reached(program, graph, states.values)]
             ).raise_if_failed()
+        extras = {"num_partitions": float(len(partitions))}
+        if faulted:
+            extras.update(
+                {
+                    "rollback_replay_rounds": float(
+                        stats.rollback_replay_rounds
+                    ),
+                    "checkpoints_taken": float(stats.checkpoints_taken),
+                    "checkpoint_bytes_spilled": float(
+                        stats.checkpoint_bytes_spilled
+                    ),
+                    "checkpoint_time_s": stats.checkpoint_time_s,
+                }
+            )
         return ExecutionResult(
             engine=self.name,
             algorithm=program.name,
@@ -237,5 +164,159 @@ class AsyncEngine:
             stats=stats,
             round_records=round_records,
             wall_seconds=time.perf_counter() - started,
-            extras={"num_partitions": float(len(partitions))},
+            extras=extras,
+        )
+
+    def _async_round(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        machine: Machine,
+        partitions: List[VertexRangePartition],
+        states: VertexStates,
+        round_records: List[RoundRecord],
+        round_index: int,
+        faulted: bool,
+    ) -> None:
+        stats = machine.stats
+        # GPU residency per vertex, for the staleness views. Recomputed
+        # per round — recovery may re-place partitions mid-run.
+        gpu_of_vertex = np.empty(graph.num_vertices, dtype=np.int64)
+        for partition in partitions:
+            gpu_of_vertex[partition.lo : partition.hi] = partition.gpu
+        local_masks = [
+            gpu_of_vertex == gpu for gpu in range(machine.num_gpus)
+        ]
+        # Snapshot which partitions have active vertices at round start.
+        active_by_partition: Dict[int, List[int]] = {}
+        for v in states.active_vertices():
+            pid = partition_of_vertex(partitions, int(v)).partition_id
+            active_by_partition.setdefault(pid, []).append(int(v))
+
+        work: Dict[int, List[int]] = {g: [] for g in range(machine.num_gpus)}
+        atomics: Dict[int, List[int]] = {
+            g: [] for g in range(machine.num_gpus)
+        }
+        updates_this_round = 0
+        active_snapshot_total = 0
+        touched_vertex_total = 0
+        messages_between: Dict[tuple, int] = {}
+        # Cross-GPU activations deliver with the end-of-round push:
+        # activating them instantly would let them consume the stale
+        # snapshot of the change that activated them and converge
+        # incorrectly. On the fault path they are kept per GPU pair so a
+        # dropped batch loses exactly its own activations.
+        deferred_activations: List[int] = []
+        pair_activations: Dict[tuple, List[int]] = {}
+        pair_sources: Dict[tuple, List[int]] = {}
+
+        # Multi-GPU staleness: a GPU reads fresh states for its own
+        # vertices but only round-start snapshots of remote ones (new
+        # remote states arrive with the next transfer) — the paper's
+        # Fig. 1/2 one-hop-per-round propagation across partitions.
+        snapshot = states.copy_values()
+        views = [
+            StalenessView(states.values, snapshot, mask)
+            for mask in local_masks
+        ]
+
+        for pid, worklist in sorted(active_by_partition.items()):
+            partition = partitions[pid]
+            stats.note_partition_processed(pid)
+            machine.load_global(
+                partition.gpu,
+                nbytes=partition.nbytes,
+                vertices=partition.num_vertices,
+            )
+            active_snapshot_total += len(worklist)
+            touched_vertex_total += partition.num_vertices
+
+            for v in worklist:
+                if not states.active[v]:
+                    continue
+                states.deactivate(v)
+                new, changed = program.update_vertex(
+                    graph,
+                    v,
+                    views[partition.gpu],
+                    old_state=float(states.values[v]),
+                )
+                degree = program.gather_degree(graph, v)
+                stats.apply_calls += 1
+                stats.edge_traversals += degree
+                # Demand fetches: gather reads pull each predecessor's
+                # record into cores individually (random access).
+                machine.load_global(
+                    partition.gpu, nbytes=8 * degree, vertices=degree
+                )
+                machine.note_vertex_uses(1 + degree)
+                states.values[v] = new
+                work[partition.gpu].append(degree)
+                atomics[partition.gpu].append(1 if changed else 0)
+                if not changed:
+                    continue
+                updates_this_round += 1
+                stats.vertex_updates += 1
+                # No proxy vertices: every changed write is an atomic.
+                stats.atomic_updates += 1
+                remote: Set[int] = set()
+                for u in program.dependents(graph, v):
+                    dst = partition_of_vertex(partitions, int(u))
+                    if dst.gpu != partition.gpu:
+                        remote.add(dst.gpu)
+                        if faulted:
+                            pair_activations.setdefault(
+                                (partition.gpu, dst.gpu), []
+                            ).append(int(u))
+                        else:
+                            deferred_activations.append(int(u))
+                    else:
+                        states.activate([u])
+                for dst_gpu in remote:
+                    key = (partition.gpu, dst_gpu)
+                    messages_between[key] = (
+                        messages_between.get(key, 0) + 1
+                    )
+                    pair_sources.setdefault(key, []).append(v)
+
+        delivered_pairs: List[tuple] = []
+        for (src_gpu, dst_gpu), count in messages_between.items():
+            # Groute pushes worklist messages asynchronously over the
+            # ring; they overlap with compute (no barrier).
+            if not faulted:
+                machine.transfer_async(
+                    src_gpu, dst_gpu, count * BYTES_PER_MESSAGE
+                )
+                continue
+            outcome = machine.deliver_replica_batch(
+                src_gpu, dst_gpu, count * BYTES_PER_MESSAGE
+            )
+            if outcome.status == "dropped":
+                # The push never arrived: its activations are lost.
+                continue
+            if outcome.status == "corrupted" and outcome.poison is not None:
+                # The garbled payload overwrites the states it carried.
+                for v in pair_sources[(src_gpu, dst_gpu)]:
+                    states.values[v] = outcome.poison
+            delivered_pairs.append((src_gpu, dst_gpu))
+        machine.compute_round(work, atomics, barrier=False)
+        states.activate(deferred_activations)
+        for key in delivered_pairs:
+            states.activate(pair_activations.get(key, []))
+
+        stats.rounds += 1
+        round_records.append(
+            RoundRecord(
+                round_index=round_index,
+                partitions_processed=len(active_by_partition),
+                partitions_convergent=(
+                    len(partitions) - len(active_by_partition)
+                ),
+                active_fraction_nonconvergent=(
+                    active_snapshot_total / touched_vertex_total
+                    if touched_vertex_total
+                    else 0.0
+                ),
+                vertex_updates=updates_this_round,
+            )
         )

@@ -17,7 +17,12 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GPULostError,
+    PermanentInterconnectFault,
+)
 from repro.graph.digraph import DiGraphCSR
 from repro.gpu.config import MachineSpec
 from repro.gpu.machine import Machine
@@ -28,6 +33,7 @@ from repro.model.state import VertexStates
 from repro.bench.results import ExecutionResult, RoundRecord
 from repro.core.storage import BYTES_PER_MESSAGE
 from repro.baselines.common import (
+    BaselineFaultHarness,
     resolve_partition_target,
     VertexRangePartition,
     modeled_baseline_preprocess_seconds,
@@ -82,9 +88,13 @@ class BulkSyncEngine:
         program: VertexProgram,
         graph_name: str = "graph",
         strict_convergence: bool = True,
+        fault_injector=None,
+        recovery=None,
     ) -> ExecutionResult:
         started = time.perf_counter()
-        machine = Machine(self.spec)
+        machine = Machine(
+            self.spec, fault_injector=fault_injector, recovery=recovery
+        )
         stats = machine.stats
         stats.preprocess_time_s = modeled_baseline_preprocess_seconds(
             graph, overhead_factor=1.0, n_workers=self.config.n_workers
@@ -103,14 +113,25 @@ class BulkSyncEngine:
         states = VertexStates(graph, program)
         round_records: List[RoundRecord] = []
         converged = False
+        # With the fault machinery engaged, cross-GPU state broadcasts go
+        # through the modeled ack/checksum protocol
+        # (``deliver_replica_batch``) so they can be dropped, corrupted,
+        # retried, and escalated; the legacy path stays bit-identical for
+        # fault-free runs.
+        faulted = fault_injector is not None or recovery is not None
+        harness = BaselineFaultHarness(
+            machine, recovery, partitions, states, round_records
+        )
 
         if self.config.use_vectorized_kernels:
             converged = self._run_vectorized(
-                graph, program, machine, partitions, states, round_records
+                graph, program, machine, partitions, states, round_records,
+                harness, faulted,
             )
         else:
             converged = self._run_scalar(
-                graph, program, machine, partitions, states, round_records
+                graph, program, machine, partitions, states, round_records,
+                harness, faulted,
             )
 
         if not converged and strict_convergence:
@@ -125,6 +146,20 @@ class BulkSyncEngine:
             VerificationReport(
                 [check_fixed_point_reached(program, graph, states.values)]
             ).raise_if_failed()
+        extras = {"num_partitions": float(len(partitions))}
+        if faulted:
+            extras.update(
+                {
+                    "rollback_replay_rounds": float(
+                        stats.rollback_replay_rounds
+                    ),
+                    "checkpoints_taken": float(stats.checkpoints_taken),
+                    "checkpoint_bytes_spilled": float(
+                        stats.checkpoint_bytes_spilled
+                    ),
+                    "checkpoint_time_s": stats.checkpoint_time_s,
+                }
+            )
         return ExecutionResult(
             engine=self.name,
             algorithm=program.name,
@@ -135,7 +170,7 @@ class BulkSyncEngine:
             stats=stats,
             round_records=round_records,
             wall_seconds=time.perf_counter() - started,
-            extras={"num_partitions": float(len(partitions))},
+            extras=extras,
         )
 
     def _run_scalar(
@@ -146,111 +181,162 @@ class BulkSyncEngine:
         partitions: List[VertexRangePartition],
         states: VertexStates,
         round_records: List[RoundRecord],
+        harness: BaselineFaultHarness,
+        faulted: bool,
     ) -> bool:
         """The per-vertex round loop (the original code path)."""
         stats = machine.stats
         converged = False
-        for round_index in range(self.config.max_rounds):
+        round_index = 0
+        while round_index < self.config.max_rounds:
             frontier = Frontier.from_mask(states.active)
             if not frontier:
                 converged = True
                 break
-
-            snapshot = states.copy_values()
-            work: Dict[int, List[int]] = {g: [] for g in range(machine.num_gpus)}
-            atomics: Dict[int, List[int]] = {
-                g: [] for g in range(machine.num_gpus)
-            }
-            pending: List = []  # (v, new_state, changed)
-            touched_partitions: Set[int] = set()
-
-            for v in frontier:
-                partition = partition_of_vertex(partitions, v)
-                touched_partitions.add(partition.partition_id)
-                acc = program.identity
-                degree = 0
-                for src, weight in program.gather_edges(graph, v):
-                    acc = program.accumulate(
-                        acc, program.gather(float(snapshot[src]), weight, src, v)
-                    )
-                    degree += 1
-                old = float(snapshot[v])
-                new = program.apply(v, old, acc)
-                changed = not program.has_converged(old, new)
-                pending.append((v, new, changed))
-                stats.apply_calls += 1
-                stats.edge_traversals += degree
-                # Demand fetches for gather reads (random access).
-                machine.load_global(
-                    partition.gpu, nbytes=8 * degree, vertices=degree
+            harness.maybe_checkpoint(round_index)
+            try:
+                self._scalar_round(
+                    graph, program, machine, partitions, states,
+                    round_records, round_index, frontier, faulted,
                 )
-                machine.note_vertex_uses(1 + degree)
-                work[partition.gpu].append(degree)
-                atomics[partition.gpu].append(1 if changed else 0)
-
-            # Whole-partition loads for every touched partition (Fig. 13's
-            # denominator: many loaded vertices, few used).
-            convergent = 0
-            for partition in partitions:
-                if partition.partition_id in touched_partitions:
-                    machine.load_global(
-                        partition.gpu,
-                        nbytes=partition.nbytes,
-                        vertices=partition.num_vertices,
-                    )
-                    stats.note_partition_processed(partition.partition_id)
-                else:
-                    convergent += 1
-
-            machine.compute_round(work, atomics, barrier=True)
-
-            # Barrier + state synchronization: changed vertices whose
-            # dependents live on another GPU are broadcast there.
-            updates_this_round = 0
-            messages_between: Dict[tuple, int] = {}
-            for v, new, changed in pending:
-                states.deactivate(v)
-            for v, new, changed in pending:
-                states.values[v] = new
-                if not changed:
-                    continue
-                updates_this_round += 1
-                stats.vertex_updates += 1
-                src_gpu = partition_of_vertex(partitions, v).gpu
-                remote_gpus: Set[int] = set()
-                for u in program.dependents(graph, v):
-                    states.activate([u])
-                    dst_gpu = partition_of_vertex(partitions, int(u)).gpu
-                    if dst_gpu != src_gpu:
-                        remote_gpus.add(dst_gpu)
-                for dst_gpu in remote_gpus:
-                    key = (src_gpu, dst_gpu)
-                    messages_between[key] = messages_between.get(key, 0) + 1
-            for (src_gpu, dst_gpu), count in messages_between.items():
-                machine.transfer(src_gpu, dst_gpu, count * BYTES_PER_MESSAGE)
-            # The barrier itself: an all-to-all control exchange.
-            for gpu in range(machine.num_gpus):
-                machine.transfer(gpu, "host", BARRIER_SYNC_BYTES)
-
-            stats.rounds += 1
-            active_vertices = len(frontier)
-            touched_vertex_total = sum(
-                partitions[pid].num_vertices for pid in touched_partitions
-            )
-            round_records.append(
-                RoundRecord(
-                    round_index=round_index,
-                    partitions_processed=len(touched_partitions),
-                    partitions_convergent=convergent,
-                    active_fraction_nonconvergent=(
-                        active_vertices / touched_vertex_total
-                        if touched_vertex_total
-                        else 0.0
-                    ),
-                    vertex_updates=updates_this_round,
-                )
-            )
+            except (GPULostError, PermanentInterconnectFault) as exc:
+                round_index = harness.recover(exc, round_index)
+                continue
+            round_index += 1
         return converged
+
+    def _scalar_round(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        machine: Machine,
+        partitions: List[VertexRangePartition],
+        states: VertexStates,
+        round_records: List[RoundRecord],
+        round_index: int,
+        frontier: Frontier,
+        faulted: bool,
+    ) -> None:
+        stats = machine.stats
+        snapshot = states.copy_values()
+        work: Dict[int, List[int]] = {g: [] for g in range(machine.num_gpus)}
+        atomics: Dict[int, List[int]] = {
+            g: [] for g in range(machine.num_gpus)
+        }
+        pending: List = []  # (v, new_state, changed)
+        touched_partitions: Set[int] = set()
+
+        for v in frontier:
+            partition = partition_of_vertex(partitions, v)
+            touched_partitions.add(partition.partition_id)
+            acc = program.identity
+            degree = 0
+            for src, weight in program.gather_edges(graph, v):
+                acc = program.accumulate(
+                    acc, program.gather(float(snapshot[src]), weight, src, v)
+                )
+                degree += 1
+            old = float(snapshot[v])
+            new = program.apply(v, old, acc)
+            changed = not program.has_converged(old, new)
+            pending.append((v, new, changed))
+            stats.apply_calls += 1
+            stats.edge_traversals += degree
+            # Demand fetches for gather reads (random access).
+            machine.load_global(
+                partition.gpu, nbytes=8 * degree, vertices=degree
+            )
+            machine.note_vertex_uses(1 + degree)
+            work[partition.gpu].append(degree)
+            atomics[partition.gpu].append(1 if changed else 0)
+
+        # Whole-partition loads for every touched partition (Fig. 13's
+        # denominator: many loaded vertices, few used).
+        convergent = 0
+        for partition in partitions:
+            if partition.partition_id in touched_partitions:
+                machine.load_global(
+                    partition.gpu,
+                    nbytes=partition.nbytes,
+                    vertices=partition.num_vertices,
+                )
+                stats.note_partition_processed(partition.partition_id)
+            else:
+                convergent += 1
+
+        machine.compute_round(work, atomics, barrier=True)
+
+        # Barrier + state synchronization: changed vertices whose
+        # dependents live on another GPU are broadcast there. On the
+        # fault path a remote dependent activates only when its pair's
+        # batch actually lands.
+        updates_this_round = 0
+        messages_between: Dict[tuple, int] = {}
+        pair_activations: Dict[tuple, List[int]] = {}
+        pair_sources: Dict[tuple, List[int]] = {}
+        for v, new, changed in pending:
+            states.deactivate(v)
+        for v, new, changed in pending:
+            states.values[v] = new
+            if not changed:
+                continue
+            updates_this_round += 1
+            stats.vertex_updates += 1
+            src_gpu = partition_of_vertex(partitions, v).gpu
+            remote_gpus: Set[int] = set()
+            for u in program.dependents(graph, v):
+                dst_gpu = partition_of_vertex(partitions, int(u)).gpu
+                if faulted and dst_gpu != src_gpu:
+                    pair_activations.setdefault(
+                        (src_gpu, dst_gpu), []
+                    ).append(int(u))
+                else:
+                    states.activate([u])
+                if dst_gpu != src_gpu:
+                    remote_gpus.add(dst_gpu)
+            for dst_gpu in remote_gpus:
+                key = (src_gpu, dst_gpu)
+                messages_between[key] = messages_between.get(key, 0) + 1
+                pair_sources.setdefault(key, []).append(v)
+        for (src_gpu, dst_gpu), count in messages_between.items():
+            if not faulted:
+                machine.transfer(
+                    src_gpu, dst_gpu, count * BYTES_PER_MESSAGE
+                )
+                continue
+            outcome = machine.deliver_replica_batch(
+                src_gpu, dst_gpu, count * BYTES_PER_MESSAGE
+            )
+            if outcome.status == "dropped":
+                # The batch never arrived: its activations are lost.
+                continue
+            if outcome.status == "corrupted" and outcome.poison is not None:
+                # The garbled payload overwrites the states it carried.
+                for v in pair_sources[(src_gpu, dst_gpu)]:
+                    states.values[v] = outcome.poison
+            states.activate(pair_activations.get((src_gpu, dst_gpu), []))
+        # The barrier itself: an all-to-all control exchange.
+        for gpu in machine.live_gpu_ids():
+            machine.transfer(gpu, "host", BARRIER_SYNC_BYTES)
+
+        stats.rounds += 1
+        active_vertices = len(frontier)
+        touched_vertex_total = sum(
+            partitions[pid].num_vertices for pid in touched_partitions
+        )
+        round_records.append(
+            RoundRecord(
+                round_index=round_index,
+                partitions_processed=len(touched_partitions),
+                partitions_convergent=convergent,
+                active_fraction_nonconvergent=(
+                    active_vertices / touched_vertex_total
+                    if touched_vertex_total
+                    else 0.0
+                ),
+                vertex_updates=updates_this_round,
+            )
+        )
 
     def _run_vectorized(
         self,
@@ -260,6 +346,8 @@ class BulkSyncEngine:
         partitions: List[VertexRangePartition],
         states: VertexStates,
         round_records: List[RoundRecord],
+        harness: BaselineFaultHarness,
+        faulted: bool,
     ) -> bool:
         """Batched round loop: one kernel call per round.
 
@@ -270,124 +358,172 @@ class BulkSyncEngine:
         messages) match the scalar path — the loops just run as NumPy
         array operations instead of per-vertex Python.
         """
-        stats = machine.stats
         kernel = resolve_kernel(program, graph)
-        num_gpus = machine.num_gpus
-        # Vertex -> partition lookup arrays (the scalar path binary-
-        # searches per vertex).
+        # Vertex -> partition lookup array (the scalar path binary-
+        # searches per vertex). The gpu half is recomputed per round —
+        # recovery may re-place partitions mid-run.
         part_lo = np.array([p.lo for p in partitions], dtype=np.int64)
-        part_gpu = np.array([p.gpu for p in partitions], dtype=np.int64)
         converged = False
-
-        for round_index in range(self.config.max_rounds):
+        round_index = 0
+        while round_index < self.config.max_rounds:
             frontier = np.flatnonzero(states.active)
             if frontier.size == 0:
                 converged = True
                 break
-
-            snapshot = states.copy_values()
-            old = snapshot[frontier]
-            new, changed = kernel.batch_update(frontier, snapshot, old)
-            degrees = kernel.gather_degrees(frontier)
-            pidx = np.searchsorted(part_lo, frontier, side="right") - 1
-            gpus = part_gpu[pidx]
-            touched_partitions = set(int(p) for p in np.unique(pidx))
-
-            stats.apply_calls += int(frontier.size)
-            stats.edge_traversals += int(degrees.sum())
-            machine.note_vertex_uses(int(frontier.size + degrees.sum()))
-            work: Dict[int, List[int]] = {}
-            atomics: Dict[int, List[int]] = {}
-            for gpu in range(num_gpus):
-                on_gpu = gpus == gpu
-                gpu_degrees = degrees[on_gpu]
-                degree_sum = int(gpu_degrees.sum())
-                if degree_sum:
-                    # Demand fetches for gather reads (random access).
-                    machine.load_global(
-                        gpu, nbytes=8 * degree_sum, vertices=degree_sum
-                    )
-                work[gpu] = gpu_degrees.tolist()
-                atomics[gpu] = changed[on_gpu].astype(np.int64).tolist()
-
-            # Whole-partition loads for every touched partition (Fig. 13's
-            # denominator: many loaded vertices, few used).
-            convergent = 0
-            for partition in partitions:
-                if partition.partition_id in touched_partitions:
-                    machine.load_global(
-                        partition.gpu,
-                        nbytes=partition.nbytes,
-                        vertices=partition.num_vertices,
-                    )
-                    stats.note_partition_processed(partition.partition_id)
-                else:
-                    convergent += 1
-
-            machine.compute_round(work, atomics, barrier=True)
-
-            # Barrier + state synchronization.
-            states.active[frontier] = False
-            states.values[frontier] = new
-            changed_frontier = frontier[changed]
-            updates_this_round = int(changed_frontier.size)
-            stats.vertex_updates += updates_this_round
-            if updates_this_round:
-                targets, seg_offsets = kernel.batch_dependents(
-                    changed_frontier
+            harness.maybe_checkpoint(round_index)
+            try:
+                self._vectorized_round(
+                    machine, partitions, states, round_records,
+                    round_index, frontier, kernel, part_lo, faulted,
                 )
-                states.active[targets] = True
-                # Replica messages: one per (changed vertex, remote GPU
-                # holding a dependent) pair, accumulated per GPU pair.
-                src_gpus = gpus[changed]
-                target_gpus = part_gpu[
-                    np.searchsorted(part_lo, targets, side="right") - 1
-                ]
-                seg_ids = np.repeat(
-                    np.arange(changed_frontier.size, dtype=np.int64),
-                    np.diff(seg_offsets),
-                )
-                remote = target_gpus != src_gpus[seg_ids]
-                if remote.any():
-                    per_vertex_remote = np.unique(
-                        seg_ids[remote] * num_gpus + target_gpus[remote]
-                    )
-                    pair_keys, pair_first, pair_counts = np.unique(
-                        src_gpus[per_vertex_remote // num_gpus] * num_gpus
-                        + per_vertex_remote % num_gpus,
-                        return_index=True,
-                        return_counts=True,
-                    )
-                    # Emit transfers in first-occurrence order — the order
-                    # the scalar path inserts pairs into its dict while
-                    # sweeping vertices ascending — so the float
-                    # accumulation of transfer_time_s is bit-identical.
-                    for i in np.argsort(pair_first, kind="stable"):
-                        machine.transfer(
-                            int(pair_keys[i]) // num_gpus,
-                            int(pair_keys[i]) % num_gpus,
-                            int(pair_counts[i]) * BYTES_PER_MESSAGE,
-                        )
-            # The barrier itself: an all-to-all control exchange.
-            for gpu in range(num_gpus):
-                machine.transfer(gpu, "host", BARRIER_SYNC_BYTES)
-
-            stats.rounds += 1
-            active_vertices = int(frontier.size)
-            touched_vertex_total = sum(
-                partitions[pid].num_vertices for pid in touched_partitions
-            )
-            round_records.append(
-                RoundRecord(
-                    round_index=round_index,
-                    partitions_processed=len(touched_partitions),
-                    partitions_convergent=convergent,
-                    active_fraction_nonconvergent=(
-                        active_vertices / touched_vertex_total
-                        if touched_vertex_total
-                        else 0.0
-                    ),
-                    vertex_updates=updates_this_round,
-                )
-            )
+            except (GPULostError, PermanentInterconnectFault) as exc:
+                round_index = harness.recover(exc, round_index)
+                continue
+            round_index += 1
         return converged
+
+    def _vectorized_round(
+        self,
+        machine: Machine,
+        partitions: List[VertexRangePartition],
+        states: VertexStates,
+        round_records: List[RoundRecord],
+        round_index: int,
+        frontier: np.ndarray,
+        kernel,
+        part_lo: np.ndarray,
+        faulted: bool,
+    ) -> None:
+        stats = machine.stats
+        num_gpus = machine.num_gpus
+        part_gpu = np.array([p.gpu for p in partitions], dtype=np.int64)
+        snapshot = states.copy_values()
+        old = snapshot[frontier]
+        new, changed = kernel.batch_update(frontier, snapshot, old)
+        degrees = kernel.gather_degrees(frontier)
+        pidx = np.searchsorted(part_lo, frontier, side="right") - 1
+        gpus = part_gpu[pidx]
+        touched_partitions = set(int(p) for p in np.unique(pidx))
+
+        stats.apply_calls += int(frontier.size)
+        stats.edge_traversals += int(degrees.sum())
+        machine.note_vertex_uses(int(frontier.size + degrees.sum()))
+        work: Dict[int, List[int]] = {}
+        atomics: Dict[int, List[int]] = {}
+        for gpu in range(num_gpus):
+            on_gpu = gpus == gpu
+            gpu_degrees = degrees[on_gpu]
+            degree_sum = int(gpu_degrees.sum())
+            if degree_sum:
+                # Demand fetches for gather reads (random access).
+                machine.load_global(
+                    gpu, nbytes=8 * degree_sum, vertices=degree_sum
+                )
+            work[gpu] = gpu_degrees.tolist()
+            atomics[gpu] = changed[on_gpu].astype(np.int64).tolist()
+
+        # Whole-partition loads for every touched partition (Fig. 13's
+        # denominator: many loaded vertices, few used).
+        convergent = 0
+        for partition in partitions:
+            if partition.partition_id in touched_partitions:
+                machine.load_global(
+                    partition.gpu,
+                    nbytes=partition.nbytes,
+                    vertices=partition.num_vertices,
+                )
+                stats.note_partition_processed(partition.partition_id)
+            else:
+                convergent += 1
+
+        machine.compute_round(work, atomics, barrier=True)
+
+        # Barrier + state synchronization.
+        states.active[frontier] = False
+        states.values[frontier] = new
+        changed_frontier = frontier[changed]
+        updates_this_round = int(changed_frontier.size)
+        stats.vertex_updates += updates_this_round
+        if updates_this_round:
+            targets, seg_offsets = kernel.batch_dependents(
+                changed_frontier
+            )
+            # Replica messages: one per (changed vertex, remote GPU
+            # holding a dependent) pair, accumulated per GPU pair.
+            src_gpus = gpus[changed]
+            target_gpus = part_gpu[
+                np.searchsorted(part_lo, targets, side="right") - 1
+            ]
+            seg_ids = np.repeat(
+                np.arange(changed_frontier.size, dtype=np.int64),
+                np.diff(seg_offsets),
+            )
+            remote = target_gpus != src_gpus[seg_ids]
+            if faulted:
+                # Remote dependents activate only when their pair's
+                # batch lands (mirrors the scalar fault path).
+                states.active[targets[~remote]] = True
+            else:
+                states.active[targets] = True
+            if remote.any():
+                per_vertex_remote = np.unique(
+                    seg_ids[remote] * num_gpus + target_gpus[remote]
+                )
+                pair_keys, pair_first, pair_counts = np.unique(
+                    src_gpus[per_vertex_remote // num_gpus] * num_gpus
+                    + per_vertex_remote % num_gpus,
+                    return_index=True,
+                    return_counts=True,
+                )
+                pair_of_msg = src_gpus[seg_ids] * num_gpus + target_gpus
+                # Emit transfers in first-occurrence order — the order
+                # the scalar path inserts pairs into its dict while
+                # sweeping vertices ascending — so the float
+                # accumulation of transfer_time_s and the fault plan's
+                # consumption order are bit-identical to the scalar path.
+                for i in np.argsort(pair_first, kind="stable"):
+                    key = int(pair_keys[i])
+                    nbytes = int(pair_counts[i]) * BYTES_PER_MESSAGE
+                    if not faulted:
+                        machine.transfer(
+                            key // num_gpus, key % num_gpus, nbytes
+                        )
+                        continue
+                    outcome = machine.deliver_replica_batch(
+                        key // num_gpus, key % num_gpus, nbytes
+                    )
+                    if outcome.status == "dropped":
+                        continue
+                    msg_mask = remote & (pair_of_msg == key)
+                    if (
+                        outcome.status == "corrupted"
+                        and outcome.poison is not None
+                    ):
+                        states.values[
+                            np.unique(
+                                changed_frontier[seg_ids[msg_mask]]
+                            )
+                        ] = outcome.poison
+                    states.active[targets[msg_mask]] = True
+        # The barrier itself: an all-to-all control exchange.
+        for gpu in machine.live_gpu_ids():
+            machine.transfer(gpu, "host", BARRIER_SYNC_BYTES)
+
+        stats.rounds += 1
+        active_vertices = int(frontier.size)
+        touched_vertex_total = sum(
+            partitions[pid].num_vertices for pid in touched_partitions
+        )
+        round_records.append(
+            RoundRecord(
+                round_index=round_index,
+                partitions_processed=len(touched_partitions),
+                partitions_convergent=convergent,
+                active_fraction_nonconvergent=(
+                    active_vertices / touched_vertex_total
+                    if touched_vertex_total
+                    else 0.0
+                ),
+                vertex_updates=updates_this_round,
+            )
+        )

@@ -8,8 +8,8 @@ is active — the low loaded-data utilization the paper measures in Fig. 13.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,6 +118,128 @@ def partition_of_vertex(
     los = [p.lo for p in partitions]
     idx = int(np.searchsorted(los, v, side="right") - 1)
     return partitions[idx]
+
+
+class BaselineFaultHarness:
+    """Checkpoint client + GPU-loss recovery shared by the baselines.
+
+    The range-partitioned baselines have far simpler state than the
+    DiGraph engine — two vertex arrays plus the partition->GPU placement
+    — so one harness covers both. It doubles as the duck-typed client of
+    :class:`~repro.faults.checkpoint.CheckpointManager` (built through
+    ``recovery.make_checkpoint_manager`` so this layer never imports
+    ``repro.faults``) and owns the rollback + redistribution path a GPU
+    death takes. Dead GPUs' partitions are re-placed on the least-loaded
+    survivors by edge count (there is no dependency structure to keep
+    local in a 1-D vertex-range sharding).
+    """
+
+    def __init__(
+        self,
+        machine,
+        recovery,
+        partitions: List[VertexRangePartition],
+        states,
+        round_records: List,
+    ) -> None:
+        self.machine = machine
+        self.recovery = recovery
+        self.partitions = partitions
+        self.states = states
+        self.round_records = round_records
+        self.rollbacks = 0
+        self.manager = None
+        if (
+            recovery is not None
+            and getattr(recovery, "checkpoint_rounds", False)
+            and hasattr(recovery, "make_checkpoint_manager")
+        ):
+            self.manager = recovery.make_checkpoint_manager(machine, self)
+
+    # ------------------------------------------------------------------
+    # CheckpointManager client protocol
+    # ------------------------------------------------------------------
+    def vertex_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "values": self.states.values,
+            "active": self.states.active,
+        }
+
+    def vertex_gpu(self) -> np.ndarray:
+        out = np.full(self.states.values.shape[0], -1, dtype=np.int64)
+        for partition in self.partitions:
+            out[partition.lo : partition.hi] = partition.gpu
+        return out
+
+    def capture_scalars(self) -> Dict:
+        return {
+            "partition_gpu": [p.gpu for p in self.partitions],
+            "num_round_records": len(self.round_records),
+        }
+
+    def restore_scalars(self, scalars: Dict) -> None:
+        for i, gpu in enumerate(scalars["partition_gpu"]):
+            if self.partitions[i].gpu != gpu:
+                self.partitions[i] = replace(self.partitions[i], gpu=gpu)
+        del self.round_records[scalars["num_round_records"] :]
+
+    # ------------------------------------------------------------------
+    # round-loop hooks
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, round_index: int) -> None:
+        if self.manager is not None and self.manager.due(round_index):
+            self.manager.checkpoint(round_index)
+
+    def recover(self, exc: Exception, round_index: int) -> int:
+        """Roll back after a GPU loss; returns the round to resume from.
+
+        Re-raises ``exc`` when recovery is off, no checkpoint exists,
+        the loss budget is exhausted, no GPU survives, or the failure
+        names no GPU. A permanently failed link is pinned on the GPU at
+        its device endpoint, mirroring the DiGraph engine.
+        """
+        gpu_id = getattr(exc, "gpu_id", None)
+        if gpu_id is None:
+            dst = getattr(exc, "dst", None)
+            gpu_id = dst if isinstance(dst, int) else getattr(exc, "src", None)
+        if (
+            self.manager is None
+            or not self.manager.has_checkpoint
+            or not isinstance(gpu_id, int)
+        ):
+            raise exc
+        self.rollbacks += 1
+        if self.rollbacks > self.recovery.max_gpu_loss_recoveries:
+            raise exc
+        self.machine.kill_gpu(gpu_id)
+        resume = self.manager.rollback(round_index)
+        live = self.machine.live_gpu_ids()
+        if not live:
+            raise exc
+        # The restored placement predates any death since the checkpoint
+        # — sweep every dead GPU, not just today's casualty.
+        load = {g: 0 for g in live}
+        for partition in self.partitions:
+            if partition.gpu in load:
+                load[partition.gpu] += partition.num_edges
+        moved = 0
+        for i, partition in enumerate(self.partitions):
+            if partition.gpu not in self.machine.dead_gpus:
+                continue
+            target = min(live, key=lambda g: (load[g], g))
+            self.partitions[i] = replace(partition, gpu=target)
+            load[target] += partition.num_edges
+            moved += 1
+            # The dead GPU's memory is gone: the survivor re-loads the
+            # partition from the host copy.
+            self.machine.batched_transfer_to_gpu(target, partition.nbytes)
+            self.machine.stats.retransferred_bytes += partition.nbytes
+        injector = self.machine._structured_injector
+        if injector is not None:
+            injector.note_recovery(
+                "gpu_loss", gpu=gpu_id, moved=moved, round=round_index
+            )
+        return resume
 
 
 def modeled_baseline_preprocess_seconds(

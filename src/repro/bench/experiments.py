@@ -451,6 +451,87 @@ def fig16_scalability(
     }
 
 
+def fig16_faulted_scalability(
+    scale: float = DEFAULT_SCALE,
+    gpu_counts: Sequence[int] = (2, 3, 4),
+    graph_name: str = "webbase",
+    algo: str = "pagerank",
+    kill_round: int = 1,
+    checkpoint_interval: int = 2,
+) -> dict:
+    """Fig. 16 variant with a mid-run GPU kill (robustness scaling).
+
+    For each GPU count the highest-numbered GPU dies at kernel wave
+    ``kill_round``; the run rolls back to the last checkpoint and
+    degrades onto the survivors under both redistribution policies.
+    Reported per policy: recovered modeled time, degradation relative to
+    the fault-free run, and the least-squares slope of that degradation
+    against survivor count — the flatter the slope, the more gracefully
+    losing one GPU amortizes as the machine grows.
+    """
+    from repro.faults import FaultPlan, RecoveryPolicy, run_chaos_cell
+
+    graph = load_graph(graph_name, algo, scale)
+    policies = ("locality", "edge-balance")
+    recovered: Dict[str, List[float]] = {p: [] for p in policies}
+    golden: List[float] = []
+    passed = True
+    for num_gpus in gpu_counts:
+        spec = SCALED_MACHINE.scaled(num_gpus)
+        plan = FaultPlan.generate(
+            0, num_gpus, kill_gpu=num_gpus - 1, kill_at_round=kill_round
+        )
+        golden_ms = 0.0
+        for policy in policies:
+            cell = run_chaos_cell(
+                graph,
+                algo,
+                plan,
+                engine_name="digraph",
+                machine=spec,
+                recovery=RecoveryPolicy(
+                    checkpoint_interval=checkpoint_interval,
+                    redistribution_policy=policy,
+                ),
+                graph_name=graph_name,
+            )
+            passed = passed and cell.passed
+            recovered[policy].append(cell.recovered_time_s * 1e3)
+            golden_ms = cell.golden_time_s * 1e3
+        golden.append(golden_ms)
+    survivors = [n - 1 for n in gpu_counts]
+    degradation = {
+        p: [r / g for r, g in zip(recovered[p], golden)] for p in policies
+    }
+    slopes = {
+        p: float(np.polyfit(survivors, degradation[p], 1)[0])
+        for p in policies
+    }
+    series = {"fault-free": golden, **recovered}
+    tables = [
+        series_table(
+            f"Fig 16-faulted ({algo} on {graph_name}): time (ms) vs "
+            f"GPUs, one GPU killed at wave {kill_round}",
+            "gpus",
+            list(gpu_counts),
+            series,
+        ),
+        series_table(
+            f"Fig 16-faulted ({algo}): recovered / fault-free time",
+            "gpus",
+            list(gpu_counts),
+            degradation,
+        ),
+    ]
+    return {
+        "series": series,
+        "degradation": degradation,
+        "slopes": slopes,
+        "passed": passed,
+        "table": "\n\n".join(tables),
+    }
+
+
 def fig17_cpu_threads(
     scale: float = DEFAULT_SCALE,
     worker_counts: Sequence[int] = (1, 2, 4, 8),

@@ -202,7 +202,7 @@ def cmd_verify(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.faults import chaos_sweep
+    from repro.faults import RecoveryPolicy, chaos_sweep
 
     if args.edge_list:
         graph = read_edge_list(args.edge_list)
@@ -221,33 +221,80 @@ def cmd_chaos(args) -> int:
         "kill_gpu": args.kill_gpu,
         "kill_at_round": args.kill_round,
     }
-    results = chaos_sweep(
-        graph,
-        algorithms=tuple(args.algorithms),
-        engine_names=tuple(args.engines),
-        seeds=tuple(args.seeds),
-        machine=spec,
-        graph_name=name,
-        plan_options=plan_options,
-        disable_recovery=args.no_recovery,
-    )
+
+    def sweep(redistribution_policy):
+        recovery = RecoveryPolicy(
+            checkpoint_interval=args.checkpoint_interval,
+            incremental_checkpoints=args.incremental_checkpoints,
+            full_checkpoint_period=args.full_checkpoint_period,
+            redistribution_policy=redistribution_policy,
+        )
+        return chaos_sweep(
+            graph,
+            algorithms=tuple(args.algorithms),
+            engine_names=tuple(args.engines),
+            seeds=tuple(args.seeds),
+            machine=spec,
+            recovery=recovery,
+            graph_name=name,
+            plan_options=plan_options,
+            disable_recovery=args.no_recovery,
+        )
+
+    results = sweep(args.redistribution)
     all_passed = True
     for cell in results:
         all_passed = all_passed and cell.passed
+        if args.strict_digests:
+            all_passed = all_passed and cell.digest_match
         status = "PASS" if cell.passed else "FAIL"
+        digest = "ok" if cell.digest_match else "MISMATCH"
         print(
             f"{cell.label:<34}{status}  "
             f"faults={cell.faults_injected:<3} "
             f"retries={cell.transfer_retries}+{cell.sync_retries} "
             f"stragglers={cell.stragglers_detected} "
             f"gpu_lost={cell.gpu_failures} "
-            f"rollbacks={cell.rounds_rolled_back}"
+            f"rollbacks={cell.rounds_rolled_back} "
+            f"replay={cell.rollback_replay_rounds} "
+            f"ckpt={cell.checkpoints_taken}"
+            f"/{cell.incremental_checkpoints_taken}inc "
+            f"spill={cell.checkpoint_bytes_spilled}B"
+            f"/{cell.checkpoint_time_s:.2e}s "
+            f"recov={cell.recovery_time_s:.2e}s "
+            f"digest={digest}"
         )
         if args.verbose:
             print(f"  detail: {cell.detail}")
-            print(f"  digest: {cell.trace_digest}")
-        if not cell.passed:
+            print(f"  trace digest: {cell.trace_digest}")
+            print(f"  golden state digest:    {cell.golden_digest}")
+            print(f"  recovered state digest: {cell.recovered_digest}")
+        if not cell.passed or (args.strict_digests and not cell.digest_match):
             print(f"  {cell.error or cell.detail}", file=sys.stderr)
+
+    if args.compare_redistribution and not args.no_recovery:
+        other = (
+            "edge-balance"
+            if args.redistribution == "locality"
+            else "locality"
+        )
+        alternate = sweep(other)
+        print(
+            f"redistribution comparison "
+            f"({args.redistribution} vs {other}, recovered modeled time):"
+        )
+        for cell, alt in zip(results, alternate):
+            delta = alt.recovered_time_s - cell.recovered_time_s
+            sign = "+" if delta >= 0 else ""
+            print(
+                f"  {cell.label:<34}"
+                f"{cell.recovered_time_s:.3e}s vs "
+                f"{alt.recovered_time_s:.3e}s "
+                f"({sign}{delta:.3e}s, alt "
+                f"{'PASS' if alt.passed else 'FAIL'})"
+            )
+            all_passed = all_passed and alt.passed
+
     summary = "all cells recovered" if all_passed else "FAILURES above"
     print(f"{name}: {len(results)} chaos cells, {summary}")
     return 0 if all_passed else 1
@@ -424,9 +471,19 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--engines",
         nargs="+",
-        choices=["digraph", "digraph-t", "digraph-w"],
+        choices=[
+            "digraph",
+            "digraph-t",
+            "digraph-w",
+            "digraph-vec",
+            "bulk-sync",
+            "bulk-sync-vec",
+            "async",
+        ],
         default=["digraph"],
-        help="DiGraph-family engines to sweep (default: digraph)",
+        help="engines to sweep: the DiGraph family (digraph-vec runs "
+        "the vectorized batch kernels) and the baseline comparators "
+        "(default: digraph)",
     )
     ch.add_argument(
         "--seeds",
@@ -470,6 +527,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="compute round at which --kill-gpu dies (default: 1)",
+    )
+    ch.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="checkpoint every K rounds; a rollback replays up to K "
+        "rounds (default: 1)",
+    )
+    ch.add_argument(
+        "--incremental-checkpoints",
+        action="store_true",
+        help="spill only vertices dirtied since the previous checkpoint "
+        "(full snapshots every --full-checkpoint-period)",
+    )
+    ch.add_argument(
+        "--full-checkpoint-period",
+        type=int,
+        default=8,
+        help="with --incremental-checkpoints, force a full snapshot "
+        "every Nth checkpoint (default: 8)",
+    )
+    ch.add_argument(
+        "--redistribution",
+        choices=["locality", "edge-balance"],
+        default="locality",
+        help="dead-GPU partition re-placement policy (default: locality)",
+    )
+    ch.add_argument(
+        "--compare-redistribution",
+        action="store_true",
+        help="re-run the sweep under the other redistribution policy "
+        "and print the recovered-run modeled time deltas",
+    )
+    ch.add_argument(
+        "--strict-digests",
+        action="store_true",
+        help="also require recovered state digests to equal the golden "
+        "digests (bit-exact when the equivalence band is 0)",
     )
     ch.add_argument(
         "--no-recovery",

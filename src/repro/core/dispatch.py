@@ -30,13 +30,25 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import GPULostError
+from repro.errors import ConfigurationError, GPULostError
 from repro.graph.builder import GraphBuilder
 from repro.graph.scc import condensation
 from repro.graph.traversal import dag_layers
 from repro.gpu.machine import Machine
 from repro.core.dependency import DependencyDAG
 from repro.core.storage import PathStorage
+
+#: GPU-loss redistribution: keep each dependency-connected cluster of
+#: the dead GPU's partitions co-resident on one survivor, chosen by
+#: inter-group edge cut (dependency edges to partitions already there).
+REDISTRIBUTE_LOCALITY = "locality"
+#: GPU-loss redistribution: spread the dead GPU's partitions to the
+#: least-loaded survivors one by one, balancing by edge count.
+REDISTRIBUTE_EDGE_BALANCE = "edge-balance"
+REDISTRIBUTION_POLICIES = (
+    REDISTRIBUTE_LOCALITY,
+    REDISTRIBUTE_EDGE_BALANCE,
+)
 
 
 @dataclass(frozen=True)
@@ -274,19 +286,38 @@ class Dispatcher:
     # ------------------------------------------------------------------
     # graceful degradation
     # ------------------------------------------------------------------
-    def redistribute_dead_gpu(self, dead_gpu: int) -> List[int]:
+    def redistribute_dead_gpu(
+        self, dead_gpu: int, policy: str = REDISTRIBUTE_EDGE_BALANCE
+    ) -> List[int]:
         """Reassign a dead GPU's partitions across the survivors.
 
-        Walks dispatch groups in layer order (preserving the paper's
-        scheduling structure) and moves every partition currently placed
-        on ``dead_gpu`` to the least-loaded survivor, balancing by edge
-        count. Both ``current_gpu`` and ``home_gpu`` are updated — the
-        dead GPU is gone for good. The partitions' arrays are re-loaded
-        from the host lazily by :meth:`ensure_resident` (the dead GPU's
-        memory was lost, nothing can be copied out of it).
+        Two placement policies:
+
+        - :data:`REDISTRIBUTE_EDGE_BALANCE` walks dispatch groups in
+          layer order (preserving the paper's scheduling structure) and
+          moves each dead-resident partition to the least-loaded
+          survivor, balancing by edge count;
+        - :data:`REDISTRIBUTE_LOCALITY` first clusters the dead GPU's
+          partitions by dependency connectivity (a cluster is a set of
+          partitions linked through the path-dependency edges — an
+          iterating SCC's dispatch group always stays whole) and lands
+          each cluster *entirely* on the survivor with the largest
+          inter-group edge cut to its resident partitions, so replica
+          sync inside and around the moved work stays on-GPU instead of
+          crossing the ring every wave; load breaks ties.
+
+        Both ``current_gpu`` and ``home_gpu`` are updated — the dead GPU
+        is gone for good. The partitions' arrays are re-loaded from the
+        host lazily by :meth:`ensure_resident` (the dead GPU's memory
+        was lost, nothing can be copied out of it).
 
         Returns the reassigned partition ids in assignment order.
         """
+        if policy not in REDISTRIBUTION_POLICIES:
+            raise ConfigurationError(
+                f"redistribution policy must be one of "
+                f"{REDISTRIBUTION_POLICIES}, got {policy!r}"
+            )
         live = self._machine.live_gpu_ids()
         if not live:
             raise GPULostError(
@@ -296,6 +327,8 @@ class Dispatcher:
         for pid, gpu in self.current_gpu.items():
             if gpu in load:
                 load[gpu] += self._storage.partitions[pid].num_edges
+        if policy == REDISTRIBUTE_LOCALITY:
+            return self._redistribute_locality(dead_gpu, live, load)
         moved: List[int] = []
         for group in self.groups_in_layer_order():
             for pid in group.partition_ids:
@@ -305,6 +338,72 @@ class Dispatcher:
                 self.current_gpu[pid] = target
                 self.home_gpu[pid] = target
                 load[target] += self._storage.partitions[pid].num_edges
+                moved.append(pid)
+        return moved
+
+    def _redistribute_locality(
+        self, dead_gpu: int, live: List[int], load: Dict[int, int]
+    ) -> List[int]:
+        """Cluster-at-a-time placement maximizing dependency locality."""
+        dead_pids = sorted(
+            pid
+            for pid, gpu in self.current_gpu.items()
+            if gpu == dead_gpu
+        )
+        if not dead_pids:
+            return []
+        # Union-find over dependency edges restricted to the dead set:
+        # mutually-dependent partitions (one dispatch group) and
+        # producer->consumer chains stranded together move together.
+        parent = {pid: pid for pid in dead_pids}
+
+        def find(pid: int) -> int:
+            while parent[pid] != pid:
+                parent[pid] = parent[parent[pid]]
+                pid = parent[pid]
+            return pid
+
+        for a, b in sorted(self._partition_deps):
+            if a in parent and b in parent:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+        clusters: Dict[int, List[int]] = {}
+        for pid in dead_pids:
+            clusters.setdefault(find(pid), []).append(pid)
+
+        partitions = self._storage.partitions
+        layer_of = {
+            pid: self.groups[self.group_of_partition(pid)].layer
+            for pid in dead_pids
+        }
+
+        def cluster_key(item: Tuple[int, List[int]]) -> Tuple:
+            _, pids = item
+            return (
+                min(layer_of[p] for p in pids),
+                -sum(partitions[p].num_edges for p in pids),
+                pids[0],
+            )
+
+        moved: List[int] = []
+        for _, pids in sorted(clusters.items(), key=cluster_key):
+            members = set(pids)
+            affinity: Dict[int, int] = {g: 0 for g in live}
+            for a, b in self._partition_deps:
+                if (a in members) == (b in members):
+                    continue
+                outside = b if a in members else a
+                gpu = self.current_gpu[outside]
+                if gpu in affinity:
+                    affinity[gpu] += 1
+            target = max(
+                live, key=lambda g: (affinity[g], -load[g], -g)
+            )
+            for pid in pids:
+                self.current_gpu[pid] = target
+                self.home_gpu[pid] = target
+                load[target] += partitions[pid].num_edges
                 moved.append(pid)
         return moved
 

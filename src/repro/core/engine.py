@@ -262,6 +262,14 @@ class DiGraphEngine:
                     "stragglers_detected": float(stats.stragglers_detected),
                     "gpu_failures": float(stats.gpu_failures),
                     "rounds_rolled_back": float(stats.rounds_rolled_back),
+                    "rollback_replay_rounds": float(
+                        stats.rollback_replay_rounds
+                    ),
+                    "checkpoints_taken": float(stats.checkpoints_taken),
+                    "checkpoint_bytes_spilled": float(
+                        stats.checkpoint_bytes_spilled
+                    ),
+                    "checkpoint_time_s": stats.checkpoint_time_s,
                     "recovery_time_s": stats.recovery_time_s,
                 }
             )
@@ -371,7 +379,26 @@ class _Run:
         self._wave_counter = 0
         self._current_round = 0
         self._stamp_counter = 0
+        self._rounds_done = 0
         self._apply_layer_aware_owners()
+        # Per-vertex owner partition (post-override), for the checkpoint
+        # manager's spill attribution.
+        self._owner_pid = np.full(graph.num_vertices, -1, dtype=np.int64)
+        for v in range(graph.num_vertices):
+            pid = pre.replicas.owner_partition(v)
+            if pid is not None:
+                self._owner_pid[v] = pid
+        # Checkpoint lifecycle: built by the policy itself (duck-typed),
+        # so this layer never imports repro.faults.
+        self.checkpoints = (
+            self.recovery.make_checkpoint_manager(
+                machine, _EngineCheckpointClient(self)
+            )
+            if self.recovery is not None
+            and getattr(self.recovery, "checkpoint_rounds", False)
+            and hasattr(self.recovery, "make_checkpoint_manager")
+            else None
+        )
         self.scheduler.reset_counts(self.states.active)
         for v in self.states.active_vertices():
             self._bump_partitions(int(v), +1)
@@ -516,29 +543,28 @@ class _Run:
         layers). A partition runs at most once per sweep; a group that
         stays active (an iterating SCC) waits for the next sweep.
 
-        With a recovery policy, each round starts from a checkpoint of
-        the logical state: a GPU death (or a permanently failed link)
-        mid-round rolls the round back, fences the dead GPU off,
-        redistributes its partitions across the survivors, and replays.
-        Replayed rounds do not consume the convergence budget (they are
-        bounded separately by ``max_gpu_loss_recoveries``).
+        With a recovery policy, the checkpoint manager snapshots the
+        logical state every ``checkpoint_interval`` rounds (spill cost
+        charged on the PCIe ring): a GPU death (or a permanently failed
+        link) mid-round rolls back to the last checkpoint, fences the
+        dead GPU off, redistributes its partitions across the survivors,
+        and replays the discarded rounds. Replayed rounds do not consume
+        the convergence budget (they are bounded separately by
+        ``max_gpu_loss_recoveries``).
         """
         self._process_isolated_vertices()
         stats = self.machine.stats
-        recovery = self.recovery
-        rounds_done = 0
-        while rounds_done < self.cfg.max_rounds:
+        manager = self.checkpoints
+        self._rounds_done = 0
+        while self._rounds_done < self.cfg.max_rounds:
             if not self.states.any_active():
                 return True
-            checkpoint = (
-                self._checkpoint_round()
-                if recovery is not None and recovery.checkpoint_rounds
-                else None
-            )
+            if manager is not None and manager.due(self._rounds_done):
+                manager.checkpoint(self._rounds_done)
             try:
                 swept_any = self._execute_round()
             except GPULostError as exc:
-                self._recover_gpu_loss(exc.gpu_id, checkpoint, exc)
+                self._recover_gpu_loss(exc.gpu_id, exc)
                 continue
             except PermanentInterconnectFault as exc:
                 # A link that stays dead is indistinguishable from the
@@ -547,9 +573,9 @@ class _Run:
                 gpu_id = exc.dst if isinstance(exc.dst, int) else exc.src
                 if not isinstance(gpu_id, int):
                     raise
-                self._recover_gpu_loss(gpu_id, checkpoint, exc)
+                self._recover_gpu_loss(gpu_id, exc)
                 continue
-            rounds_done += 1
+            self._rounds_done += 1
             stats.rounds += 1
             if not swept_any:
                 # Active vertices exist only outside any partition —
@@ -588,107 +614,27 @@ class _Run:
         return swept_any
 
     # ------------------------------------------------------------------
-    # checkpoint / rollback / GPU-loss recovery
+    # GPU-loss recovery
     # ------------------------------------------------------------------
-    def _checkpoint_round(self) -> Dict[str, object]:
-        """Snapshot the logical state a round rollback must restore.
-
-        Covers vertex values and activity, the partition/group activity
-        counters, the staleness stamps, pending cross-GPU messages, BOTH
-        replica-conservation ledgers (send side here, receive side in
-        ``MachineStats`` — restoring only one would leave a phantom
-        mismatch after replay), and partition placement. Time and work
-        counters are deliberately *not* restored: the aborted attempt
-        really happened; its cost is surfaced via ``recovery_time_s``.
-        """
-        stats = self.machine.stats
-        return {
-            "values": self.states.values.copy(),
-            "active": self.states.active.copy(),
-            "partition_active": self.partition_active.copy(),
-            "group_active": self.group_active.copy(),
-            "was_active": self._partition_was_active.copy(),
-            "processed_stamp": self._processed_stamp.copy(),
-            "sweep_stamp": self._sweep_stamp.copy(),
-            "written_gpu": self._written_gpu.copy(),
-            "written_stamp": self._written_stamp.copy(),
-            "wave_counter": self._wave_counter,
-            "stamp_counter": self._stamp_counter,
-            "current_round": self._current_round,
-            "deferred": list(self._deferred_activations),
-            "pending_sync": dict(self._pending_sync_bytes),
-            "pending_payload": {
-                pair: list(vs)
-                for pair, vs in self._pending_sync_payload.items()
-            },
-            "sent_ledger": dict(self.sync_sent_bytes),
-            "recv_ledger": dict(stats.replica_pair_bytes),
-            "current_gpu": dict(self.dispatcher.current_gpu),
-            "num_round_records": len(self.round_records),
-            "compute_time": stats.compute_time_s,
-            "transfer_time": stats.transfer_time_s,
-            "async_time": stats.async_comm_time_s,
-        }
-
-    def _rollback_round(self, checkpoint: Dict[str, object]) -> None:
-        """Restore a round checkpoint after an aborted attempt."""
-        stats = self.machine.stats
-        self.states.values[:] = checkpoint["values"]
-        self.states.active[:] = checkpoint["active"]
-        self.partition_active[:] = checkpoint["partition_active"]
-        self.group_active[:] = checkpoint["group_active"]
-        self._partition_was_active[:] = checkpoint["was_active"]
-        self._processed_stamp[:] = checkpoint["processed_stamp"]
-        self._sweep_stamp[:] = checkpoint["sweep_stamp"]
-        self._written_gpu[:] = checkpoint["written_gpu"]
-        self._written_stamp[:] = checkpoint["written_stamp"]
-        self._wave_counter = checkpoint["wave_counter"]
-        self._stamp_counter = checkpoint["stamp_counter"]
-        self._current_round = checkpoint["current_round"]
-        self._deferred_activations = list(checkpoint["deferred"])
-        self._pending_sync_bytes = dict(checkpoint["pending_sync"])
-        self._pending_sync_payload = {
-            pair: list(vs)
-            for pair, vs in checkpoint["pending_payload"].items()
-        }
-        self.sync_sent_bytes = dict(checkpoint["sent_ledger"])
-        stats.replica_pair_bytes = dict(checkpoint["recv_ledger"])
-        self.dispatcher.current_gpu = dict(checkpoint["current_gpu"])
-        del self.round_records[checkpoint["num_round_records"]:]
-        self.scheduler.reset_counts(self.states.active)
-        lost_time = (
-            (stats.compute_time_s - checkpoint["compute_time"])
-            + (stats.transfer_time_s - checkpoint["transfer_time"])
-            + (stats.async_comm_time_s - checkpoint["async_time"])
-        )
-        if lost_time > 0:
-            stats.recovery_time_s += lost_time
-        stats.rounds_rolled_back += 1
-
     def _recover_gpu_loss(
-        self,
-        gpu_id: Optional[int],
-        checkpoint: Optional[Dict[str, object]],
-        cause: Exception,
+        self, gpu_id: Optional[int], cause: Exception
     ) -> None:
         """Degrade gracefully after losing a GPU mid-round.
 
-        Fences the GPU off, rolls the aborted round back to its
-        checkpoint, and redistributes the dead GPU's partitions across
-        the survivors in dispatch-layer order. The moved partitions'
-        arrays are gone with the dead GPU's memory — survivors reload
-        them from the host (lazily, via ``ensure_resident``), accounted
-        eagerly as ``retransferred_bytes``. Re-raises ``cause`` when
-        recovery is off, no checkpoint exists, the loss budget is
-        exhausted, or nobody survives.
+        Fences the GPU off, rolls back to the checkpoint manager's last
+        snapshot, and redistributes every dead GPU's partitions across
+        the survivors (the restored placement predates *any* death since
+        the last checkpoint, so the sweep must cover earlier casualties
+        too, not just today's). The moved partitions' arrays are gone
+        with the dead GPUs' memory — survivors reload them from the host
+        (lazily, via ``ensure_resident``), accounted eagerly as
+        ``retransferred_bytes``. Re-raises ``cause`` when recovery is
+        off, no checkpoint exists, the loss budget is exhausted, or
+        nobody survives.
         """
         recovery = self.recovery
-        if (
-            recovery is None
-            or checkpoint is None
-            or not recovery.checkpoint_rounds
-            or gpu_id is None
-        ):
+        manager = self.checkpoints
+        if manager is None or not manager.has_checkpoint or gpu_id is None:
             raise cause
         self._rollbacks += 1
         if self._rollbacks > recovery.max_gpu_loss_recoveries:
@@ -696,8 +642,13 @@ class _Run:
         # Idempotent: a compute-wave kill already marked the GPU dead; a
         # permanently failed link reaches here with the GPU still "up".
         self.machine.kill_gpu(gpu_id)
-        self._rollback_round(checkpoint)
-        moved = self.dispatcher.redistribute_dead_gpu(gpu_id)
+        self._rounds_done = manager.rollback(self._rounds_done)
+        policy = getattr(recovery, "redistribution_policy", "edge-balance")
+        moved: List[int] = []
+        for dead in sorted(self.machine.dead_gpus):
+            moved.extend(
+                self.dispatcher.redistribute_dead_gpu(dead, policy=policy)
+            )
         self.machine.stats.retransferred_bytes += sum(
             self.pre.storage.partition_bytes(pid) for pid in moved
         )
@@ -1300,3 +1251,85 @@ class _Run:
         self._pending_sync_bytes.clear()
         self._pending_sync_payload.clear()
         return lost_pairs
+
+
+class _EngineCheckpointClient:
+    """Checkpoint-protocol adapter for a DiGraph run.
+
+    Exposes the logical state a rollback must restore (see
+    ``repro.faults.checkpoint`` for the duck-typed protocol): vertex
+    values and activity, the staleness stamps, the partition/group
+    activity counters, pending cross-GPU messages, BOTH
+    replica-conservation ledgers (send side on the run, receive side in
+    ``MachineStats`` — restoring only one would leave a phantom mismatch
+    after replay), and partition placement. Time and work counters are
+    deliberately *not* covered: the aborted attempt really happened; its
+    cost is surfaced via ``recovery_time_s``.
+    """
+
+    def __init__(self, run: "_Run") -> None:
+        self._run = run
+
+    def vertex_arrays(self) -> Dict[str, np.ndarray]:
+        run = self._run
+        return {
+            "values": run.states.values,
+            "active": run.states.active,
+            "processed_stamp": run._processed_stamp,
+            "sweep_stamp": run._sweep_stamp,
+            "written_gpu": run._written_gpu,
+            "written_stamp": run._written_stamp,
+        }
+
+    def vertex_gpu(self) -> np.ndarray:
+        run = self._run
+        pid_gpu = np.full(
+            run.pre.storage.num_partitions + 1, -1, dtype=np.int64
+        )
+        for pid, gpu in run.dispatcher.current_gpu.items():
+            pid_gpu[pid] = gpu
+        # Unowned vertices (owner_pid == -1) map to the -1 sentinel slot.
+        return pid_gpu[run._owner_pid]
+
+    def capture_scalars(self) -> Dict[str, object]:
+        run = self._run
+        return {
+            "partition_active": run.partition_active.copy(),
+            "group_active": run.group_active.copy(),
+            "was_active": run._partition_was_active.copy(),
+            "wave_counter": run._wave_counter,
+            "stamp_counter": run._stamp_counter,
+            "current_round": run._current_round,
+            "deferred": list(run._deferred_activations),
+            "pending_sync": dict(run._pending_sync_bytes),
+            "pending_payload": {
+                pair: list(vs)
+                for pair, vs in run._pending_sync_payload.items()
+            },
+            "sent_ledger": dict(run.sync_sent_bytes),
+            "recv_ledger": dict(run.machine.stats.replica_pair_bytes),
+            "current_gpu": dict(run.dispatcher.current_gpu),
+            "num_round_records": len(run.round_records),
+        }
+
+    def restore_scalars(self, scalars: Dict[str, object]) -> None:
+        run = self._run
+        run.partition_active[:] = scalars["partition_active"]
+        run.group_active[:] = scalars["group_active"]
+        run._partition_was_active[:] = scalars["was_active"]
+        run._wave_counter = scalars["wave_counter"]
+        run._stamp_counter = scalars["stamp_counter"]
+        run._current_round = scalars["current_round"]
+        run._deferred_activations = list(scalars["deferred"])
+        run._pending_sync_bytes = dict(scalars["pending_sync"])
+        run._pending_sync_payload = {
+            pair: list(vs)
+            for pair, vs in scalars["pending_payload"].items()
+        }
+        run.sync_sent_bytes = dict(scalars["sent_ledger"])
+        run.machine.stats.replica_pair_bytes = dict(
+            scalars["recv_ledger"]
+        )
+        run.dispatcher.current_gpu = dict(scalars["current_gpu"])
+        del run.round_records[scalars["num_round_records"]:]
+        run.scheduler.reset_counts(run.states.active)

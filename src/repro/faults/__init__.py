@@ -11,17 +11,24 @@ The robustness subsystem (see ``docs/robustness.md``):
 - :mod:`repro.faults.recovery` — :class:`RecoveryPolicy`, the knobs for
   retries, backoff, straggler re-dispatch, checkpoint/rollback, and
   GPU-loss degradation;
+- :mod:`repro.faults.checkpoint` — :class:`CheckpointManager`, the
+  interval/incremental checkpoint lifecycle with host-spill cost
+  modeling shared by the DiGraph engines and the baselines;
 - :mod:`repro.faults.chaos` — the golden-vs-faulted chaos harness
   behind the ``repro chaos`` CLI.
 """
 
 from repro.faults.chaos import (
+    ALL_CHAOS_ENGINES,
+    BASELINE_CHAOS_ENGINES,
     CHAOS_ENGINES,
     ChaosCellResult,
     chaos_sweep,
     recovery_digest,
     run_chaos_cell,
+    state_digest,
 )
+from repro.faults.checkpoint import CheckpointManager, CheckpointRecord
 from repro.faults.injector import FaultInjector, TraceEvent
 from repro.faults.plan import (
     CORRUPT,
@@ -37,6 +44,8 @@ from repro.faults.plan import (
 from repro.faults.recovery import RecoveryPolicy
 
 __all__ = [
+    "ALL_CHAOS_ENGINES",
+    "BASELINE_CHAOS_ENGINES",
     "CHAOS_ENGINES",
     "CORRUPT",
     "DEGRADE",
@@ -44,6 +53,8 @@ __all__ = [
     "PERMANENT",
     "TRANSIENT",
     "ChaosCellResult",
+    "CheckpointManager",
+    "CheckpointRecord",
     "ComputeFault",
     "FaultInjector",
     "FaultPlan",
@@ -54,4 +65,5 @@ __all__ = [
     "chaos_sweep",
     "recovery_digest",
     "run_chaos_cell",
+    "state_digest",
 ]

@@ -19,12 +19,14 @@ seeded cell must produce identical digests (the determinism contract).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.algorithms import make_program
+from repro.baselines.async_engine import AsyncEngine
+from repro.baselines.bulk_sync import BulkSyncConfig, BulkSyncEngine
 from repro.core.engine import DiGraphConfig, DiGraphEngine
 from repro.core.variants import digraph_t, digraph_w
 from repro.errors import ConfigurationError, ReproError
@@ -39,9 +41,19 @@ from repro.verify.oracle import (
 )
 from repro.verify.structural import check_fixed_point_reached
 
-#: Engines the chaos harness drives (the DiGraph family — the fault
-#: machinery lives in their shared runtime).
-CHAOS_ENGINES = ("digraph", "digraph-t", "digraph-w")
+#: Engines the chaos harness drives from the DiGraph family (the fault
+#: machinery lives in their shared runtime). ``digraph-vec`` runs the
+#: vectorized batch kernels under faults.
+CHAOS_ENGINES = ("digraph", "digraph-t", "digraph-w", "digraph-vec")
+#: Baseline comparators under the same fault plans (they share the
+#: checkpoint manager through ``RecoveryPolicy.make_checkpoint_manager``).
+BASELINE_CHAOS_ENGINES = ("bulk-sync", "bulk-sync-vec", "async")
+ALL_CHAOS_ENGINES = CHAOS_ENGINES + BASELINE_CHAOS_ENGINES
+
+#: Vectorized cells certify against their *scalar* sibling's golden run:
+#: a recovered vectorized run must land on the scalar fixed point, the
+#: strongest form of the batch-kernel equivalence contract under faults.
+_SCALAR_GOLDEN = {"digraph-vec": "digraph", "bulk-sync-vec": "bulk-sync"}
 
 
 def _chaos_engine(name: str, machine: Optional[MachineSpec]):
@@ -52,8 +64,21 @@ def _chaos_engine(name: str, machine: Optional[MachineSpec]):
         return digraph_t(machine, config)
     if name == "digraph-w":
         return digraph_w(machine, config)
+    if name == "digraph-vec":
+        return DiGraphEngine(
+            machine, replace(config, use_vectorized_kernels=True)
+        )
+    if name == "bulk-sync":
+        return BulkSyncEngine(machine_spec=machine)
+    if name == "bulk-sync-vec":
+        return BulkSyncEngine(
+            machine_spec=machine,
+            config=BulkSyncConfig(use_vectorized_kernels=True),
+        )
+    if name == "async":
+        return AsyncEngine(machine_spec=machine)
     raise ConfigurationError(
-        f"chaos engine must be one of {CHAOS_ENGINES}, got {name!r}"
+        f"chaos engine must be one of {ALL_CHAOS_ENGINES}, got {name!r}"
     )
 
 
@@ -67,6 +92,32 @@ def recovery_digest(
         digest.update(b"\n")
     digest.update(np.ascontiguousarray(states, dtype=np.float64).tobytes())
     return digest.hexdigest()
+
+
+def state_digest(states: np.ndarray, band: float = 0.0) -> str:
+    """sha256 fingerprint of a state vector.
+
+    With ``band == 0`` (discrete programs) the digest covers the raw
+    float64 bytes, so digest equality *is* bit-equality. A positive band
+    (contraction programs certified within a tolerance) quantizes to the
+    band grid first; two states within band/2 of each other digest
+    identically except at grid boundaries — the chaos report pairs the
+    digests with the exact :func:`states_equivalent` verdict rather than
+    replacing it.
+    """
+    arr = np.ascontiguousarray(states, dtype=np.float64)
+    if band > 0.0:
+        quantized = np.round(arr / band)
+        finite = np.isfinite(quantized)
+        out = np.where(finite, quantized, 0.0).astype(np.int64)
+        digest = hashlib.sha256()
+        digest.update(out.tobytes())
+        # Non-finite sentinels (unreached +inf, NaN poison) hash by kind.
+        digest.update(np.isnan(arr).tobytes())
+        digest.update(np.isposinf(arr).tobytes())
+        digest.update(np.isneginf(arr).tobytes())
+        return digest.hexdigest()
+    return hashlib.sha256(arr.tobytes()).hexdigest()
 
 
 @dataclass
@@ -87,6 +138,20 @@ class ChaosCellResult:
     recovery_time_s: float = 0.0
     trace_digest: str = ""
     error: Optional[str] = None
+    # Checkpoint lifecycle (overhead vs recovery-time tradeoff).
+    checkpoints_taken: int = 0
+    incremental_checkpoints_taken: int = 0
+    checkpoint_bytes_spilled: int = 0
+    checkpoint_time_s: float = 0.0
+    rollback_replay_rounds: int = 0
+    # State digests: recovered must equal golden (bit-exact when the
+    # equivalence band is 0, band-quantized otherwise).
+    golden_digest: str = ""
+    recovered_digest: str = ""
+    digest_match: bool = False
+    # Modeled end-to-end times, for the redistribution-policy comparison.
+    golden_time_s: float = 0.0
+    recovered_time_s: float = 0.0
 
     @property
     def label(self) -> str:
@@ -121,7 +186,11 @@ def run_chaos_cell(
     kwargs = dict(program_kwargs or {})
 
     golden_program = make_program(algorithm, graph, **kwargs)
-    golden_engine = _chaos_engine(engine_name, machine)
+    # Vectorized cells take their golden from the scalar sibling: the
+    # recovered batched run must converge to the scalar fixed point.
+    golden_engine = _chaos_engine(
+        _SCALAR_GOLDEN.get(engine_name, engine_name), machine
+    )
     golden = golden_engine.run(
         graph, golden_program, graph_name=graph_name
     )
@@ -156,6 +225,8 @@ def run_chaos_cell(
         band = equivalence_band(golden_program, graph)
     cmp = states_equivalent(golden.states, faulted.states, band)
     fixed = check_fixed_point_reached(program, graph, faulted.states)
+    golden_digest = state_digest(golden.states, band)
+    recovered_digest = state_digest(faulted.states, band)
     passed = bool(faulted.converged and cmp.passed and fixed.passed)
     if not faulted.converged:
         detail = "faulted run did not converge"
@@ -180,6 +251,16 @@ def run_chaos_cell(
         rounds_rolled_back=stats.rounds_rolled_back,
         recovery_time_s=stats.recovery_time_s,
         trace_digest=recovery_digest(injector.trace, faulted.states),
+        checkpoints_taken=stats.checkpoints_taken,
+        incremental_checkpoints_taken=stats.incremental_checkpoints_taken,
+        checkpoint_bytes_spilled=stats.checkpoint_bytes_spilled,
+        checkpoint_time_s=stats.checkpoint_time_s,
+        rollback_replay_rounds=stats.rollback_replay_rounds,
+        golden_digest=golden_digest,
+        recovered_digest=recovered_digest,
+        digest_match=golden_digest == recovered_digest,
+        golden_time_s=golden.stats.total_time_s,
+        recovered_time_s=stats.total_time_s,
     )
 
 

@@ -1,0 +1,263 @@
+"""Checkpoint lifecycle management for rollback recovery.
+
+:class:`CheckpointManager` owns everything between "a round is about to
+run" and "a failed round was rolled back":
+
+- **interval** — a checkpoint is taken every ``checkpoint_interval``
+  rounds (``RecoveryPolicy``), so a rollback replays up to K rounds from
+  the last snapshot instead of exactly one;
+- **incremental checkpoints** — with ``incremental_checkpoints`` on,
+  only the vertices whose state changed since the previous checkpoint
+  are spilled (a delta against the host-side shadow copy), falling back
+  to a full snapshot every ``full_checkpoint_period``-th checkpoint so
+  delta chains stay bounded;
+- **host-spill cost** — checkpoint bytes cross the PCIe ring as real
+  d2h transfers (:meth:`~repro.gpu.machine.Machine.checkpoint_spill`),
+  surfacing as ``checkpoint_bytes_spilled`` / ``checkpoint_time_s`` in
+  :class:`~repro.gpu.stats.MachineStats`; rollback reloads survivors'
+  state h2d, attributed to recovery;
+- **replay accounting** — ``rollback_replay_rounds`` counts the
+  completed rounds a rollback discards plus the aborted attempt, the
+  recovery-time half of the interval tradeoff.
+
+The manager is engine-agnostic: clients expose their state through a
+small duck-typed protocol (no inheritance required) —
+
+- ``vertex_arrays() -> Dict[str, np.ndarray]`` — the per-vertex arrays
+  (values, activity, stamps, ...) the checkpoint must cover, as live
+  references; the manager copies;
+- ``vertex_gpu() -> np.ndarray`` — each vertex's current GPU id (``-1``
+  for host-resident/unowned vertices, which spill for free);
+- ``capture_scalars() -> Dict`` — everything else (ledgers, counters,
+  pending batches, placement) as fresh copies;
+- ``restore_scalars(scalars) -> None`` — apply a captured scalar dict
+  (the manager passes a private deep copy, so a checkpoint survives
+  being restored more than once).
+
+Restores are always bit-exact regardless of the incremental setting:
+the shadow copy *is* the checkpoint, the full/incremental distinction
+only changes the modeled spill cost — which keeps replay determinism
+(recovered state must equal the golden run) trivially independent of
+the cost knobs.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.faults.recovery import RecoveryPolicy
+
+#: Per-checkpoint metadata spilled alongside the payload (round index,
+#: array manifest, dirty-set framing).
+CHECKPOINT_HEADER_BYTES = 64
+#: Modeled size of one ledger entry ((src, dst) pair + byte count).
+BYTES_PER_LEDGER_ENTRY = 24
+#: Modeled size of one pending/deferred list element.
+BYTES_PER_LIST_ENTRY = 8
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One taken checkpoint, for inspection and reporting."""
+
+    round_index: int
+    kind: str  # "full" | "incremental"
+    bytes_spilled: int
+    dirty_vertices: int
+    time_s: float
+
+
+def _modeled_scalar_bytes(scalars: Dict) -> int:
+    """Modeled wire size of the non-vertex checkpoint payload."""
+    total = 0
+    for value in scalars.values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, dict):
+            total += len(value) * BYTES_PER_LEDGER_ENTRY
+        elif isinstance(value, (list, tuple)):
+            total += len(value) * BYTES_PER_LIST_ENTRY
+        else:
+            total += 8
+    return total
+
+
+class CheckpointManager:
+    """Interval/incremental checkpoints with host-spill cost modeling."""
+
+    def __init__(
+        self,
+        policy: "RecoveryPolicy",
+        machine: Machine,
+        client,
+    ) -> None:
+        self.policy = policy
+        self.machine = machine
+        self.client = client
+        self.records: List[CheckpointRecord] = []
+        #: Round index of the live checkpoint (None before the first).
+        self.last_checkpoint_round: Optional[int] = None
+        #: Host-side shadow of every vertex array at the last checkpoint
+        #: — both the restore source and the dirty-diff baseline.
+        self._shadow: Dict[str, np.ndarray] = {}
+        self._shadow_vertex_gpu: Optional[np.ndarray] = None
+        self._scalars: Optional[Dict] = None
+        self._incrementals_since_full = 0
+        self._rounds_mark = 0
+        self._time_mark = (0.0, 0.0, 0.0)
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self._scalars is not None
+
+    # ------------------------------------------------------------------
+    # taking checkpoints
+    # ------------------------------------------------------------------
+    def due(self, round_index: int) -> bool:
+        """Whether a checkpoint should be taken before this round.
+
+        The first round is always checkpointed; afterwards one is due
+        every ``checkpoint_interval`` completed rounds. After a rollback
+        the restored round equals ``last_checkpoint_round``, so replay
+        resumes without redundantly re-spilling the state it just
+        reloaded.
+        """
+        if self.last_checkpoint_round is None:
+            return True
+        interval = max(int(self.policy.checkpoint_interval), 1)
+        return round_index - self.last_checkpoint_round >= interval
+
+    def checkpoint(self, round_index: int) -> CheckpointRecord:
+        """Snapshot the client's state and charge the host spill."""
+        arrays = self.client.vertex_arrays()
+        vertex_gpu = np.asarray(self.client.vertex_gpu())
+        full = (
+            not self.policy.incremental_checkpoints
+            or not self._shadow
+            or self._incrementals_since_full + 1
+            >= max(int(self.policy.full_checkpoint_period), 1)
+        )
+        if full or not self._shadow:
+            dirty = np.ones(vertex_gpu.shape[0], dtype=bool)
+        else:
+            dirty = np.zeros(vertex_gpu.shape[0], dtype=bool)
+            for name, arr in arrays.items():
+                # != is elementwise and exact; inf == inf holds, so
+                # untouched sentinel states (SSSP's +inf) stay clean.
+                dirty |= arr != self._shadow[name]
+        if full:
+            self._incrementals_since_full = 0
+        else:
+            self._incrementals_since_full += 1
+
+        for name, arr in arrays.items():
+            self._shadow[name] = arr.copy()
+        self._shadow_vertex_gpu = vertex_gpu.copy()
+        self._scalars = self.client.capture_scalars()
+
+        stats = self.machine.stats
+        bytes_per_vertex = sum(arr.itemsize for arr in arrays.values())
+        dirty_count = int(np.count_nonzero(dirty))
+        scalar_bytes = _modeled_scalar_bytes(self._scalars)
+        total_spilled = 0
+        total_time = 0.0
+        live = self.machine.live_gpu_ids()
+        for i, gpu in enumerate(live):
+            nbytes = (
+                int(np.count_nonzero(dirty & (vertex_gpu == gpu)))
+                * bytes_per_vertex
+                + CHECKPOINT_HEADER_BYTES
+            )
+            if i == 0:
+                # The bookkeeping payload (ledgers, pending batches,
+                # placement) is gathered through one GPU's channel.
+                nbytes += scalar_bytes
+            total_time += self.machine.checkpoint_spill(gpu, nbytes)
+            total_spilled += nbytes
+        stats.checkpoints_taken += 1
+        if not full:
+            stats.incremental_checkpoints_taken += 1
+        # Work/time marks for rollback: taken AFTER the spill charges,
+        # so checkpoint overhead is never mis-attributed as lost work.
+        self._rounds_mark = stats.rounds
+        self._time_mark = (
+            stats.compute_time_s,
+            stats.transfer_time_s,
+            stats.async_comm_time_s,
+        )
+        self.last_checkpoint_round = round_index
+        record = CheckpointRecord(
+            round_index=round_index,
+            kind="full" if full else "incremental",
+            bytes_spilled=total_spilled,
+            dirty_vertices=dirty_count,
+            time_s=total_time,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def rollback(self, failed_round_index: int) -> int:
+        """Restore the live checkpoint; returns its round index.
+
+        ``failed_round_index`` is the round counter at the failure, so
+        ``failed - checkpointed`` completed rounds are discarded; those
+        plus the aborted attempt land in ``rollback_replay_rounds``.
+        Work and time counters are deliberately *not* restored (the
+        aborted work really happened); the time lost since the
+        checkpoint is attributed to ``recovery_time_s``, and survivors'
+        state reload is charged as h2d traffic.
+        """
+        if self._scalars is None:
+            raise SimulationError("rollback without a checkpoint")
+        stats = self.machine.stats
+        lost = (
+            (stats.compute_time_s - self._time_mark[0])
+            + (stats.transfer_time_s - self._time_mark[1])
+            + (stats.async_comm_time_s - self._time_mark[2])
+        )
+        if lost > 0:
+            stats.recovery_time_s += lost
+
+        arrays = self.client.vertex_arrays()
+        for name, arr in arrays.items():
+            arr[:] = self._shadow[name]
+        self.client.restore_scalars(copy.deepcopy(self._scalars))
+
+        # Survivors reload their full vertex state from the host copy;
+        # a dead GPU's share is gone with it (its partitions' reload is
+        # accounted by the redistribution path instead).
+        bytes_per_vertex = sum(arr.itemsize for arr in arrays.values())
+        vertex_gpu = self._shadow_vertex_gpu
+        for gpu in self.machine.live_gpu_ids():
+            owned = int(np.count_nonzero(vertex_gpu == gpu))
+            if owned:
+                self.machine.checkpoint_restore(
+                    gpu, owned * bytes_per_vertex
+                )
+
+        replayed = max(
+            failed_round_index - int(self.last_checkpoint_round), 0
+        ) + 1
+        stats.rollback_replay_rounds += replayed
+        stats.rounds_rolled_back += 1
+        # Convergence budget: replayed rounds don't consume it.
+        stats.rounds = self._rounds_mark
+        # Re-mark time so a second rollback from this same checkpoint
+        # doesn't re-attribute this restore's cost as lost work.
+        self._time_mark = (
+            stats.compute_time_s,
+            stats.transfer_time_s,
+            stats.async_comm_time_s,
+        )
+        return int(self.last_checkpoint_round)

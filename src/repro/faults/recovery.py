@@ -10,8 +10,10 @@ configures every bound the runtime honours:
   checksum in the modeled protocol), bounded resend;
 - stragglers — a timeout relative to the median peer wave time, after
   which the straggler's wave is re-dispatched;
-- GPU loss — round-level checkpoint/rollback plus redistribution of the
-  dead GPU's path groups across survivors.
+- GPU loss — checkpoint/rollback (every ``checkpoint_interval`` rounds,
+  optionally incremental, spill cost modeled on the PCIe ring — see
+  :mod:`repro.faults.checkpoint`) plus redistribution of the dead GPU's
+  path groups across survivors (``redistribution_policy``).
 
 Passing ``recovery=None`` to the machine/engine disables all of it:
 faults then surface raw, which is exactly what the non-vacuity tests
@@ -42,9 +44,26 @@ class RecoveryPolicy:
     #: Re-dispatch straggler waves (cap their elapsed time at timeout +
     #: one nominal re-execution) instead of waiting them out.
     redispatch_stragglers: bool = True
-    #: Keep a per-round checkpoint so GPU loss rolls back and replays the
-    #: round instead of aborting the run.
+    #: Keep checkpoints so GPU loss rolls back and replays instead of
+    #: aborting the run.
     checkpoint_rounds: bool = True
+    #: Checkpoint every K rounds. K = 1 snapshots every round (cheapest
+    #: recovery, highest overhead); larger K amortizes the spill cost
+    #: but a rollback replays up to K rounds.
+    checkpoint_interval: int = 1
+    #: Spill only the vertices dirtied since the previous checkpoint (a
+    #: delta against the host-side shadow copy) instead of the full
+    #: state. Restores stay bit-exact either way — the knob only changes
+    #: the modeled spill cost.
+    incremental_checkpoints: bool = False
+    #: With incremental checkpoints, force a full snapshot every Nth
+    #: checkpoint so delta chains stay bounded (1 = always full).
+    full_checkpoint_period: int = 8
+    #: How a dead GPU's partitions are re-placed: ``"locality"`` keeps
+    #: each dependency-connected cluster co-resident on the survivor
+    #: with the highest inter-group edge cut to its resident partitions;
+    #: ``"edge-balance"`` spreads them to the least-loaded survivors.
+    redistribution_policy: str = "locality"
     #: GPU losses survivable in one run before giving up.
     max_gpu_loss_recoveries: int = 8
 
@@ -61,10 +80,35 @@ class RecoveryPolicy:
             raise ConfigurationError(
                 "straggler_timeout_factor must be >= 1"
             )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.full_checkpoint_period < 1:
+            raise ConfigurationError(
+                "full_checkpoint_period must be >= 1"
+            )
+        if self.redistribution_policy not in (
+            "locality",
+            "edge-balance",
+        ):
+            raise ConfigurationError(
+                "redistribution_policy must be 'locality' or "
+                f"'edge-balance', got {self.redistribution_policy!r}"
+            )
         if self.max_gpu_loss_recoveries < 0:
             raise ConfigurationError(
                 "max_gpu_loss_recoveries must be >= 0"
             )
+
+    def make_checkpoint_manager(self, machine, client):
+        """Build a :class:`~repro.faults.checkpoint.CheckpointManager`
+        bound to this policy.
+
+        Engines call this through the policy object (duck-typed), so the
+        ``core``/``gpu``/``baselines`` layers never import
+        ``repro.faults`` at runtime."""
+        from repro.faults.checkpoint import CheckpointManager
+
+        return CheckpointManager(self, machine, client)
 
     def backoff_s(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (1-based)."""

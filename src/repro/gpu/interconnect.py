@@ -213,3 +213,37 @@ class Interconnect:
             total += self.transfer(src, dst, chunk)
             remaining -= chunk
         return total
+
+    def spill_transfer(
+        self, src: Endpoint, dst: Endpoint, nbytes: int, batch_bytes: int
+    ) -> float:
+        """Host<->GPU checkpoint spill over the PCIe link.
+
+        Same per-hop cost model and Fig.-12 traffic accounting as
+        :meth:`batched_transfer`, but routed around the fault injector:
+        checkpoint DMA rides a reserved channel whose failures are out of
+        the modeled fault surface (a half-taken checkpoint would leave
+        nothing to roll back to), and consuming injector indices here
+        would shift every planned fault whenever the checkpoint interval
+        changes, breaking seed-for-seed comparability across intervals.
+        """
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if batch_bytes <= 0:
+            raise SimulationError("batch_bytes must be positive")
+        if nbytes < 0:
+            raise SimulationError("nbytes must be non-negative")
+        if src != HOST and dst != HOST:
+            raise SimulationError("checkpoint spill must touch the host")
+        total = 0.0
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(batch_bytes, remaining)
+            total += self.transfer_time(chunk, hops=1)
+            remaining -= chunk
+        if src == HOST:
+            self._stats.h2d_bytes += nbytes
+        else:
+            self._stats.d2h_bytes += nbytes
+        self.records.append(TransferRecord(src, dst, nbytes, 1, total))
+        return total

@@ -324,6 +324,38 @@ class Machine:
             self.stats.async_comm_time_s += backoff
             total += backoff
 
+    def checkpoint_spill(self, gpu_id: int, nbytes: int) -> float:
+        """Spill one GPU's checkpoint delta to the host (GPU -> host).
+
+        The bytes cross the PCIe link like any d2h transfer (serializing
+        with compute), and are additionally attributed to the checkpoint
+        ledgers so the overhead-vs-recovery tradeoff is measurable.
+        """
+        self._check_alive(gpu_id)
+        time_s = self.interconnect.spill_transfer(
+            gpu_id, HOST, nbytes, self.spec.transfer_batch_bytes
+        )
+        self.stats.transfer_time_s += time_s
+        self.stats.checkpoint_bytes_spilled += nbytes
+        self.stats.checkpoint_time_s += time_s
+        return time_s
+
+    def checkpoint_restore(self, gpu_id: int, nbytes: int) -> float:
+        """Reload checkpointed state onto a GPU after a rollback.
+
+        Host -> GPU on the same reserved DMA channel as the spill; the
+        time is attributed to ``recovery_time_s`` (restores only happen
+        while recovering) and the bytes to ``retransferred_bytes``.
+        """
+        self._check_alive(gpu_id)
+        time_s = self.interconnect.spill_transfer(
+            HOST, gpu_id, nbytes, self.spec.transfer_batch_bytes
+        )
+        self.stats.transfer_time_s += time_s
+        self.stats.recovery_time_s += time_s
+        self.stats.retransferred_bytes += nbytes
+        return time_s
+
     def batched_transfer_to_gpu(self, gpu_id: int, nbytes: int) -> float:
         """Host->GPU transfer split into `S_b`-sized batches (Section 3.2.2)."""
         self._check_alive(gpu_id)

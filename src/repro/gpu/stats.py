@@ -58,6 +58,19 @@ class MachineStats:
     straggler_redispatches: int = 0  #: straggler rounds re-dispatched elsewhere
     gpu_failures: int = 0            #: GPUs lost mid-execution
     rounds_rolled_back: int = 0      #: rounds replayed from a checkpoint
+    #: Completed rounds discarded by rollbacks, plus the aborted attempt
+    #: itself — with a checkpoint interval of K, one rollback replays up
+    #: to K rounds (exactly 1 when K == 1).
+    rollback_replay_rounds: int = 0
+    checkpoints_taken: int = 0       #: checkpoints spilled to the host
+    incremental_checkpoints_taken: int = 0  #: of which dirty-only deltas
+    #: Bytes moved GPU->host by checkpoint spills (charged on the PCIe
+    #: ring as d2h traffic; restores land in ``retransferred_bytes``).
+    checkpoint_bytes_spilled: int = 0
+    #: Model seconds spent spilling checkpoints — an attribution ledger
+    #: like ``recovery_time_s``: the time also lands on
+    #: ``transfer_time_s``, so checkpointing makes a run strictly slower.
+    checkpoint_time_s: float = 0.0
     backoff_time_s: float = 0.0      #: model seconds spent in retry backoff
     #: Model seconds attributed to recovery: backoff waits, wasted failed
     #: attempts, straggler timeout + re-execution, and work discarded by a
@@ -164,6 +177,13 @@ class MachineStats:
         self.straggler_redispatches += other.straggler_redispatches
         self.gpu_failures += other.gpu_failures
         self.rounds_rolled_back += other.rounds_rolled_back
+        self.rollback_replay_rounds += other.rollback_replay_rounds
+        self.checkpoints_taken += other.checkpoints_taken
+        self.incremental_checkpoints_taken += (
+            other.incremental_checkpoints_taken
+        )
+        self.checkpoint_bytes_spilled += other.checkpoint_bytes_spilled
+        self.checkpoint_time_s += other.checkpoint_time_s
         self.backoff_time_s += other.backoff_time_s
         self.recovery_time_s += other.recovery_time_s
         self.compute_time_s += other.compute_time_s

@@ -4,9 +4,12 @@ golden state for every algorithm, and seeded runs are deterministic."""
 import pytest
 
 from repro.faults import (
+    ALL_CHAOS_ENGINES,
+    BASELINE_CHAOS_ENGINES,
     CHAOS_ENGINES,
     FaultInjector,
     FaultPlan,
+    RecoveryPolicy,
     chaos_sweep,
     recovery_digest,
     run_chaos_cell,
@@ -65,13 +68,117 @@ class TestAcceptance:
         )
         assert result.passed, result.detail
 
+    @pytest.mark.parametrize("engine_name", BASELINE_CHAOS_ENGINES)
+    def test_baseline_engines_recover(self, chaos_graph, engine_name):
+        """The baselines join the sweep: same plans, same certification."""
+        plan = FaultPlan.generate(3, SPEC.num_gpus, **PLAN_OPTIONS)
+        result = run_chaos_cell(
+            chaos_graph, "wcc", plan, engine_name=engine_name,
+            machine=SPEC,
+        )
+        assert result.passed, result.detail
+        assert result.gpu_failures == 1
+        assert result.digest_match
+
     def test_unknown_engine_rejected(self, chaos_graph):
         from repro.errors import ConfigurationError
 
         with pytest.raises(ConfigurationError):
             run_chaos_cell(
-                chaos_graph, "pagerank", FaultPlan(), engine_name="async"
+                chaos_graph, "pagerank", FaultPlan(), engine_name="gunrock"
             )
+
+
+class TestDigests:
+    def test_digest_fields_populated_and_match_on_pass(self, chaos_graph):
+        plan = FaultPlan.generate(3, SPEC.num_gpus, **PLAN_OPTIONS)
+        result = run_chaos_cell(chaos_graph, "wcc", plan, machine=SPEC)
+        assert result.passed, result.detail
+        assert result.golden_digest and result.recovered_digest
+        # wcc is discrete (band 0): digest equality IS bit-equality.
+        assert result.digest_match
+        assert result.golden_digest == result.recovered_digest
+        assert result.golden_time_s > 0
+        assert result.recovered_time_s > result.golden_time_s
+
+    def test_state_digest_band_semantics(self):
+        import numpy as np
+
+        from repro.faults import state_digest
+
+        a = np.array([1.0, 2.0, np.inf])
+        b = np.array([1.0, 2.0 + 1e-12, np.inf])
+        assert state_digest(a) != state_digest(b)  # raw bytes differ
+        assert state_digest(a, band=1e-6) == state_digest(b, band=1e-6)
+        c = np.array([1.0, 2.0, np.nan])
+        assert state_digest(a, band=1e-6) != state_digest(c, band=1e-6)
+
+    @pytest.mark.parametrize(
+        "engine_name", ["digraph-vec", "bulk-sync-vec"]
+    )
+    def test_vectorized_recovers_to_scalar_golden(
+        self, chaos_graph, engine_name
+    ):
+        """Faulted vectorized runs converge to the SCALAR sibling's
+        golden state — the batch-kernel equivalence contract survives
+        rollback and replay."""
+        plan = FaultPlan.generate(3, SPEC.num_gpus, **PLAN_OPTIONS)
+        result = run_chaos_cell(
+            chaos_graph, "wcc", plan, engine_name=engine_name,
+            machine=SPEC,
+        )
+        assert result.passed, result.detail
+        assert result.digest_match
+
+
+class TestCheckpointKnobs:
+    @pytest.mark.parametrize("interval", [1, 2, 4])
+    def test_interval_sweep_digests_hold(self, chaos_graph, interval):
+        plan = FaultPlan.generate(3, SPEC.num_gpus, **PLAN_OPTIONS)
+        result = run_chaos_cell(
+            chaos_graph, "wcc", plan, machine=SPEC,
+            recovery=RecoveryPolicy(checkpoint_interval=interval),
+        )
+        assert result.passed, result.detail
+        assert result.digest_match
+        assert result.checkpoints_taken >= 1
+        assert result.checkpoint_bytes_spilled > 0
+        assert result.checkpoint_time_s > 0
+        assert result.rollback_replay_rounds >= 1
+
+    def test_larger_interval_cheaper_checkpoints(self, chaos_graph):
+        plan = FaultPlan.generate(3, SPEC.num_gpus, **PLAN_OPTIONS)
+        by_interval = {}
+        for interval in (1, 4):
+            result = run_chaos_cell(
+                chaos_graph, "wcc", plan, machine=SPEC,
+                recovery=RecoveryPolicy(checkpoint_interval=interval),
+            )
+            assert result.passed, result.detail
+            by_interval[interval] = result
+        assert (
+            by_interval[4].checkpoints_taken
+            < by_interval[1].checkpoints_taken
+        )
+        assert (
+            by_interval[4].checkpoint_bytes_spilled
+            < by_interval[1].checkpoint_bytes_spilled
+        )
+
+    def test_incremental_reduces_spill(self, chaos_graph):
+        plan = FaultPlan.generate(3, SPEC.num_gpus, **PLAN_OPTIONS)
+        spilled = {}
+        for incremental in (False, True):
+            result = run_chaos_cell(
+                chaos_graph, "wcc", plan, machine=SPEC,
+                recovery=RecoveryPolicy(
+                    checkpoint_interval=2,
+                    incremental_checkpoints=incremental,
+                ),
+            )
+            assert result.passed, result.detail
+            spilled[incremental] = result.checkpoint_bytes_spilled
+        assert spilled[True] < spilled[False]
 
 
 class TestDeterminism:

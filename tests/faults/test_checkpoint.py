@@ -1,0 +1,341 @@
+"""Checkpoint lifecycle: interval due-ness, incremental spills,
+interval-boundary rollback exactness, locality-aware redistribution, and
+baseline-engine fault recovery through the shared manager."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.algorithms.pagerank import PageRank
+from repro.baselines.async_engine import AsyncEngine
+from repro.baselines.bulk_sync import BulkSyncConfig, BulkSyncEngine
+from repro.core.engine import DiGraphConfig, DiGraphEngine, _Run
+from repro.errors import ConfigurationError, GPULostError
+from repro.faults import (
+    ComputeFault,
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from repro.gpu.config import GPUSpec, MachineSpec
+from repro.gpu.machine import Machine
+
+SPEC = MachineSpec(
+    num_gpus=2,
+    gpu=GPUSpec(num_smxs=2, warp_slots_per_smx=2),
+    pcie_latency_s=1e-6,
+    transfer_batch_bytes=1 << 20,
+)
+
+WIDE_SPEC = MachineSpec(
+    num_gpus=4,
+    gpu=GPUSpec(num_smxs=2, warp_slots_per_smx=2),
+    pcie_latency_s=1e-6,
+    transfer_batch_bytes=1 << 20,
+)
+
+
+def kill_plan(gpu=1, at_round=0):
+    return FaultPlan(
+        compute_faults={at_round: ComputeFault(kill_gpu=gpu)}
+    )
+
+
+def make_run(graph, spec, **policy_kwargs):
+    engine = DiGraphEngine(spec)
+    pre = engine.preprocess(graph)
+    machine = Machine(spec, recovery=RecoveryPolicy(**policy_kwargs))
+    run = _Run(engine, machine, graph, PageRank(), pre)
+    assert run.checkpoints is not None
+    return machine, run
+
+
+class TestInterval:
+    def test_first_round_always_due(self, medium_graph):
+        _, run = make_run(medium_graph, SPEC, checkpoint_interval=4)
+        assert run.checkpoints.due(0)
+
+    @pytest.mark.parametrize("interval", [1, 2, 4])
+    def test_due_every_k_rounds(self, medium_graph, interval):
+        _, run = make_run(
+            medium_graph, SPEC, checkpoint_interval=interval
+        )
+        run.checkpoints.checkpoint(0)
+        for r in range(1, interval):
+            assert not run.checkpoints.due(r), r
+        assert run.checkpoints.due(interval)
+
+    def test_not_due_right_after_rollback(self, medium_graph):
+        """Replay resumes from the restored round without re-spilling
+        the state it just reloaded."""
+        _, run = make_run(medium_graph, SPEC, checkpoint_interval=2)
+        run.checkpoints.checkpoint(4)
+        resume = run.checkpoints.rollback(5)
+        assert resume == 4
+        assert not run.checkpoints.due(resume)
+        assert run.checkpoints.due(resume + 2)
+
+    def test_larger_interval_fewer_checkpoints(self, medium_graph):
+        plan_counts = {}
+        for interval in (1, 4):
+            clean = DiGraphEngine(SPEC).run(
+                medium_graph, make_program("wcc", medium_graph)
+            )
+            result = DiGraphEngine(SPEC).run(
+                medium_graph,
+                make_program("wcc", medium_graph),
+                fault_injector=FaultInjector(kill_plan()),
+                recovery=RecoveryPolicy(checkpoint_interval=interval),
+            )
+            assert result.converged
+            assert np.array_equal(clean.states, result.states)
+            plan_counts[interval] = (
+                result.stats.checkpoints_taken,
+                result.stats.checkpoint_bytes_spilled,
+            )
+        assert plan_counts[1][0] > plan_counts[4][0]
+        assert plan_counts[1][1] > plan_counts[4][1]
+
+
+class TestIncremental:
+    def test_delta_smaller_than_full(self, medium_graph):
+        _, run = make_run(
+            medium_graph,
+            SPEC,
+            incremental_checkpoints=True,
+            full_checkpoint_period=8,
+        )
+        full = run.checkpoints.checkpoint(0)
+        assert full.kind == "full"
+        run.states.values[0] += 1.0
+        delta = run.checkpoints.checkpoint(1)
+        assert delta.kind == "incremental"
+        assert delta.dirty_vertices == 1
+        assert delta.bytes_spilled < full.bytes_spilled
+
+    def test_full_period_bounds_delta_chain(self, medium_graph):
+        machine, run = make_run(
+            medium_graph,
+            SPEC,
+            incremental_checkpoints=True,
+            full_checkpoint_period=2,
+        )
+        kinds = [run.checkpoints.checkpoint(r).kind for r in range(4)]
+        assert kinds == ["full", "incremental", "full", "incremental"]
+        assert machine.stats.checkpoints_taken == 4
+        assert machine.stats.incremental_checkpoints_taken == 2
+
+    def test_incremental_restore_still_bit_exact(self, medium_graph):
+        """The cost knob never changes restore semantics."""
+        _, run = make_run(
+            medium_graph,
+            SPEC,
+            incremental_checkpoints=True,
+            full_checkpoint_period=8,
+        )
+        run.checkpoints.checkpoint(0)
+        run.states.values[3] = 42.0
+        run.checkpoints.checkpoint(1)  # incremental covers the change
+        expect = run.states.values.copy()
+        run.states.values[:] = -1.0
+        run.checkpoints.rollback(2)
+        assert np.array_equal(run.states.values, expect)
+
+    def test_unreached_inf_sentinels_stay_clean(self, medium_graph):
+        """inf == inf: untouched SSSP-style sentinels are not dirty."""
+        _, run = make_run(
+            medium_graph,
+            SPEC,
+            incremental_checkpoints=True,
+            full_checkpoint_period=8,
+        )
+        run.states.values[:] = np.inf
+        run.checkpoints.checkpoint(0)
+        delta = run.checkpoints.checkpoint(1)
+        assert delta.kind == "incremental"
+        assert delta.dirty_vertices == 0
+
+
+class TestIntervalBoundaryRollback:
+    """The property at the heart of the interval knob: killing a GPU in
+    any round, under any checkpoint interval, replays up to K rounds and
+    still lands bit-exactly on the fault-free fixed point."""
+
+    @pytest.mark.parametrize("interval", [1, 2, 4])
+    @pytest.mark.parametrize("kill_round", [0, 1, 2, 3])
+    def test_bit_exact_after_replay(
+        self, medium_graph, interval, kill_round
+    ):
+        clean = DiGraphEngine(SPEC).run(
+            medium_graph, make_program("wcc", medium_graph)
+        )
+        result = DiGraphEngine(SPEC).run(
+            medium_graph,
+            make_program("wcc", medium_graph),
+            fault_injector=FaultInjector(
+                kill_plan(at_round=kill_round)
+            ),
+            recovery=RecoveryPolicy(checkpoint_interval=interval),
+        )
+        assert result.converged
+        assert result.stats.gpu_failures == 1
+        assert result.stats.rollback_replay_rounds >= 1
+        assert np.array_equal(clean.states, result.states)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("interval", [1, 2, 4])
+    def test_seeded_plans_bit_exact(self, medium_graph, seed, interval):
+        clean = DiGraphEngine(SPEC).run(
+            medium_graph, make_program("wcc", medium_graph)
+        )
+        plan = FaultPlan.generate(
+            seed,
+            SPEC.num_gpus,
+            kill_gpu=1,
+            kill_at_round=seed,
+            sync_drop_rate=0.05,
+            sync_corrupt_rate=0.05,
+        )
+        result = DiGraphEngine(SPEC).run(
+            medium_graph,
+            make_program("wcc", medium_graph),
+            fault_injector=FaultInjector(plan),
+            recovery=RecoveryPolicy(
+                checkpoint_interval=interval,
+                incremental_checkpoints=bool(seed % 2),
+            ),
+        )
+        assert result.converged
+        assert np.array_equal(clean.states, result.states)
+
+
+class TestRedistributionPolicies:
+    def _dispatcher_with_dead_gpu(self, medium_graph):
+        engine = DiGraphEngine(WIDE_SPEC)
+        pre = engine.preprocess(medium_graph)
+        machine = Machine(WIDE_SPEC)
+        run = _Run(engine, machine, medium_graph, PageRank(), pre)
+        dead = 3
+        on_dead = [
+            pid
+            for pid, gpu in run.dispatcher.current_gpu.items()
+            if gpu == dead
+        ]
+        assert on_dead
+        machine.kill_gpu(dead)
+        return run.dispatcher, dead, on_dead
+
+    def test_unknown_policy_rejected(self, medium_graph):
+        dispatcher, dead, _ = self._dispatcher_with_dead_gpu(medium_graph)
+        with pytest.raises(ConfigurationError):
+            dispatcher.redistribute_dead_gpu(dead, policy="bogus")
+
+    @pytest.mark.parametrize("policy", ["locality", "edge-balance"])
+    def test_everything_moves_off_the_dead_gpu(self, medium_graph, policy):
+        dispatcher, dead, on_dead = self._dispatcher_with_dead_gpu(
+            medium_graph
+        )
+        moved = dispatcher.redistribute_dead_gpu(dead, policy=policy)
+        assert sorted(moved) == sorted(on_dead)
+        assert dead not in set(dispatcher.current_gpu.values())
+
+    def test_locality_keeps_clusters_co_resident(self, medium_graph):
+        dispatcher, dead, on_dead = self._dispatcher_with_dead_gpu(
+            medium_graph
+        )
+        dispatcher.redistribute_dead_gpu(dead, policy="locality")
+        # Recompute the dependency-connected clusters of the dead set;
+        # locality's contract is that each cluster lands on ONE survivor.
+        parent = {pid: pid for pid in on_dead}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        dead_set = set(on_dead)
+        for a, b in dispatcher._partition_deps:
+            if a in dead_set and b in dead_set:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+        clusters = {}
+        for pid in on_dead:
+            clusters.setdefault(find(pid), []).append(pid)
+        for members in clusters.values():
+            targets = {dispatcher.current_gpu[pid] for pid in members}
+            assert len(targets) == 1, members
+
+
+class TestBaselineRecovery:
+    """The baselines share the checkpoint manager: a mid-run GPU kill
+    rolls back and converges to the fault-free fixed point."""
+
+    def _clean_states(self, medium_graph, engine):
+        return engine.run(
+            medium_graph, make_program("wcc", medium_graph)
+        ).states
+
+    @pytest.mark.parametrize(
+        "make_engine",
+        [
+            lambda: BulkSyncEngine(machine_spec=SPEC),
+            lambda: BulkSyncEngine(
+                machine_spec=SPEC,
+                config=BulkSyncConfig(use_vectorized_kernels=True),
+            ),
+            lambda: AsyncEngine(machine_spec=SPEC),
+        ],
+        ids=["bulk-sync", "bulk-sync-vec", "async"],
+    )
+    @pytest.mark.parametrize("interval", [1, 2, 4])
+    def test_kill_recovers_bit_exact(
+        self, medium_graph, make_engine, interval
+    ):
+        # Vectorized bulk-sync certifies against the SCALAR golden run:
+        # batch kernels must land on the scalar fixed point even when
+        # the run is interrupted and replayed.
+        clean = self._clean_states(
+            medium_graph, BulkSyncEngine(machine_spec=SPEC)
+            if isinstance(make_engine(), BulkSyncEngine)
+            else make_engine()
+        )
+        result = make_engine().run(
+            medium_graph,
+            make_program("wcc", medium_graph),
+            fault_injector=FaultInjector(kill_plan(at_round=2)),
+            recovery=RecoveryPolicy(checkpoint_interval=interval),
+        )
+        assert result.converged
+        assert result.stats.gpu_failures == 1
+        assert result.stats.checkpoints_taken >= 1
+        assert result.stats.rollback_replay_rounds >= 1
+        assert result.stats.retransferred_bytes > 0
+        assert np.array_equal(clean, result.states)
+
+    def test_incremental_reduces_baseline_spill(self, medium_graph):
+        spilled = {}
+        for incremental in (False, True):
+            result = BulkSyncEngine(machine_spec=SPEC).run(
+                medium_graph,
+                make_program("wcc", medium_graph),
+                fault_injector=FaultInjector(kill_plan(at_round=2)),
+                recovery=RecoveryPolicy(
+                    checkpoint_interval=2,
+                    incremental_checkpoints=incremental,
+                ),
+            )
+            assert result.converged
+            spilled[incremental] = result.stats.checkpoint_bytes_spilled
+        assert spilled[True] < spilled[False]
+
+    def test_kill_without_recovery_raises(self, medium_graph):
+        """Non-vacuity: the injected death is real when nothing arms
+        the recovery path."""
+        with pytest.raises(GPULostError):
+            BulkSyncEngine(machine_spec=SPEC).run(
+                medium_graph,
+                make_program("wcc", medium_graph),
+                fault_injector=FaultInjector(kill_plan(at_round=2)),
+            )

@@ -59,6 +59,10 @@ class TestPolicy:
             dict(max_sync_retries=-1),
             dict(straggler_timeout_factor=0.9),
             dict(max_gpu_loss_recoveries=-1),
+            dict(checkpoint_interval=0),
+            dict(checkpoint_interval=-3),
+            dict(full_checkpoint_period=0),
+            dict(redistribution_policy="bogus"),
         ],
     )
     def test_validation(self, kwargs):
@@ -259,16 +263,23 @@ class TestGPULoss:
 
 
 class TestCheckpointRollback:
+    def _run_with_manager(self, medium_graph, test_machine, **policy_kwargs):
+        engine = DiGraphEngine(test_machine)
+        pre = engine.preprocess(medium_graph)
+        machine = Machine(
+            test_machine, recovery=RecoveryPolicy(**policy_kwargs)
+        )
+        run = _Run(engine, machine, medium_graph, PageRank(), pre)
+        assert run.checkpoints is not None
+        return machine, run
+
     def test_rollback_restores_state_and_ledgers(
         self, medium_graph, test_machine
     ):
-        engine = DiGraphEngine(test_machine)
-        pre = engine.preprocess(medium_graph)
-        machine = Machine(test_machine)
-        run = _Run(engine, machine, medium_graph, PageRank(), pre)
+        machine, run = self._run_with_manager(medium_graph, test_machine)
         values = run.states.values.copy()
         active = run.states.active.copy()
-        checkpoint = run._checkpoint_round()
+        run.checkpoints.checkpoint(0)
 
         run.states.values[:] = -1.0
         run.states.active[:] = False
@@ -277,25 +288,67 @@ class TestCheckpointRollback:
         machine.stats.replica_pair_bytes[(1, 0)] = 777
         run._deferred_activations.append((0, 0, 1))
 
-        run._rollback_round(checkpoint)
+        resume = run.checkpoints.rollback(0)
+        assert resume == 0
         assert np.array_equal(run.states.values, values)
         assert np.array_equal(run.states.active, active)
         assert run.sync_sent_bytes == {}
         assert machine.stats.replica_pair_bytes == {}
         assert run._deferred_activations == []
         assert machine.stats.rounds_rolled_back == 1
+        assert machine.stats.rollback_replay_rounds == 1
 
     def test_rollback_attributes_lost_time(self, medium_graph, test_machine):
-        engine = DiGraphEngine(test_machine)
-        pre = engine.preprocess(medium_graph)
-        machine = Machine(test_machine)
-        run = _Run(engine, machine, medium_graph, PageRank(), pre)
-        checkpoint = run._checkpoint_round()
+        machine, run = self._run_with_manager(medium_graph, test_machine)
+        run.checkpoints.checkpoint(0)
         machine.stats.compute_time_s += 2.5
-        run._rollback_round(checkpoint)
-        assert machine.stats.recovery_time_s == pytest.approx(2.5)
+        run.checkpoints.rollback(0)
+        # Lost work since the checkpoint plus the survivors' state
+        # reload, both attributed to recovery.
+        assert machine.stats.recovery_time_s >= 2.5
+        assert machine.stats.retransferred_bytes > 0
         # Work-time channels keep the aborted attempt (it really ran).
         assert machine.stats.compute_time_s >= 2.5
+
+    def test_rollback_without_checkpoint_raises(
+        self, medium_graph, test_machine
+    ):
+        from repro.errors import SimulationError
+
+        _, run = self._run_with_manager(medium_graph, test_machine)
+        assert not run.checkpoints.has_checkpoint
+        with pytest.raises(SimulationError):
+            run.checkpoints.rollback(0)
+
+    def test_checkpoint_spill_is_charged(self, medium_graph, test_machine):
+        machine, run = self._run_with_manager(medium_graph, test_machine)
+        record = run.checkpoints.checkpoint(0)
+        assert record.kind == "full"
+        assert record.bytes_spilled > 0
+        assert record.time_s > 0
+        assert machine.stats.checkpoints_taken == 1
+        assert machine.stats.checkpoint_bytes_spilled == record.bytes_spilled
+        assert machine.stats.checkpoint_time_s == pytest.approx(
+            record.time_s
+        )
+
+    def test_checkpoint_survives_repeated_rollback(
+        self, medium_graph, test_machine
+    ):
+        """One checkpoint restores bit-exactly more than once (its
+        scalars are handed out as private copies)."""
+        machine, run = self._run_with_manager(medium_graph, test_machine)
+        values = run.states.values.copy()
+        run.checkpoints.checkpoint(0)
+        for failed_round in (2, 3):
+            run.states.values[:] = -1.0
+            run.sync_sent_bytes[(0, 1)] = 999
+            assert run.checkpoints.rollback(failed_round) == 0
+            assert np.array_equal(run.states.values, values)
+            assert run.sync_sent_bytes == {}
+        assert machine.stats.rounds_rolled_back == 2
+        # 2 completed rounds + the aborted one, then 3 + 1.
+        assert machine.stats.rollback_replay_rounds == 3 + 4
 
 
 class TestConvergenceErrorFields:
