@@ -14,7 +14,11 @@ Subcommands:
   (:mod:`repro.verify`) over a workload or the canonical fixtures;
 - ``chaos`` — sweep algorithms x engines under a seeded fault plan and
   certify recovered runs against the fault-free golden state
-  (:mod:`repro.faults`).
+  (:mod:`repro.faults`);
+- ``stream`` — replay a seeded mutation trace through the streaming
+  subsystem (:mod:`repro.streaming`): incremental path repair + delta
+  recompute per batch, with per-batch certification against a
+  from-scratch golden run and incremental-vs-rebuild modeled time.
 
 Any :class:`~repro.errors.ReproError` raised by a subcommand is printed
 as a one-line ``error: ...`` on stderr with exit status 1; pass
@@ -300,6 +304,83 @@ def cmd_chaos(args) -> int:
     return 0 if all_passed else 1
 
 
+def cmd_stream(args) -> int:
+    from repro.graph.generators import mutation_trace
+    from repro.streaming import StreamingSession
+
+    if args.edge_list:
+        graph = read_edge_list(args.edge_list)
+        name = args.edge_list
+    else:
+        graph = datasets.load(args.dataset, scale=args.scale)
+        name = args.dataset
+    spec = SCALED_MACHINE
+    if args.gpus:
+        spec = spec.scaled(args.gpus)
+    if args.strict:
+        args.certify = True  # strict mode is meaningless without the oracle
+
+    all_passed = True
+    for algorithm in args.algorithms:
+        trace = mutation_trace(
+            graph,
+            args.batches,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            mix=args.mix,
+        )
+        session = StreamingSession(
+            graph,
+            algorithm,
+            machine_spec=spec,
+            graph_name=name,
+            verify_structure=args.strict,
+        )
+        incr_total = 0.0
+        rebuild_total = 0.0
+        print(
+            f"{name}/{algorithm}: {args.batches} batches "
+            f"(mix={args.mix}, batch_size={args.batch_size}, "
+            f"seed={args.seed})"
+        )
+        for batch in trace:
+            outcome = session.apply(batch, certify=args.certify)
+            stats = outcome.result.stats
+            line = (
+                f"  batch {batch.batch_id}: mode={outcome.mode:<6} "
+                f"seeds={len(outcome.plan.seed_vertices):<5} "
+                f"reactivated={stats.vertices_reactivated:<6} "
+                f"rounds={stats.incremental_rounds:<4} "
+                f"repaired={stats.paths_repaired:<4} "
+                f"incr={outcome.incremental_total_s:.3e}s"
+            )
+            incr_total += outcome.incremental_total_s
+            if outcome.rebuild_total_s is not None:
+                rebuild_total += outcome.rebuild_total_s
+                line += (
+                    f" rebuild={outcome.rebuild_total_s:.3e}s "
+                    f"speedup=x{outcome.speedup:.2f}"
+                )
+            if outcome.certification is not None:
+                ok = outcome.certification.passed
+                all_passed = all_passed and ok
+                line += f" cert={'ok' if ok else 'FAIL'}"
+                if not ok or args.verbose:
+                    line += f" ({outcome.certification.detail})"
+            print(line)
+        summary = f"  total incremental={incr_total:.3e}s"
+        if rebuild_total:
+            summary += (
+                f" rebuild={rebuild_total:.3e}s "
+                f"speedup=x{rebuild_total / incr_total:.2f}"
+            )
+        print(summary)
+    if args.strict and not all_passed:
+        print("stream: certification FAILURES above", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.bench import experiments
 
@@ -308,7 +389,7 @@ def cmd_experiment(args) -> int:
         names = [
             name
             for name in dir(experiments)
-            if name.startswith(("fig", "table", "ablation"))
+            if name.startswith(("fig", "table", "ablation", "stream"))
         ]
         print(
             f"unknown experiment {args.name!r}; available: "
@@ -578,6 +659,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-cell detail and determinism digests",
     )
     ch.set_defaults(func=cmd_chaos)
+
+    st = sub.add_parser(
+        "stream",
+        help="replay a seeded mutation trace with incremental path "
+        "repair + delta recompute, certifying each batch against a "
+        "from-scratch golden run",
+    )
+    st.add_argument(
+        "--dataset",
+        choices=datasets.DATASET_NAMES,
+        default="cnr",
+        help="built-in dataset stand-in (default: cnr)",
+    )
+    st.add_argument(
+        "--edge-list",
+        help="path to a 'src dst [weight]' file (overrides --dataset)",
+    )
+    st.add_argument(
+        "--scale", type=float, default=0.25, help="dataset scale factor"
+    )
+    st.add_argument(
+        "--gpus", type=int, default=None, help="override simulated GPU count"
+    )
+    st.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=ALGORITHMS,
+        default=list(ALGORITHMS),
+        help="algorithms to stream (default: all eight)",
+    )
+    st.add_argument(
+        "--batches", type=int, default=4, help="trace length (default: 4)"
+    )
+    st.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="mutations per batch (default: 8)",
+    )
+    st.add_argument("--seed", type=int, default=7)
+    st.add_argument(
+        "--mix",
+        choices=["insert", "delete", "mixed"],
+        default="mixed",
+        help="trace shape: insert-only, delete-heavy, or mixed "
+        "(default: mixed)",
+    )
+    st.add_argument(
+        "--certify",
+        action="store_true",
+        help="run a from-scratch golden run per batch and certify the "
+        "incremental fixpoint against it",
+    )
+    st.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any certification failure and verify the "
+        "repaired decomposition's structural invariants per batch",
+    )
+    st.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print certification detail for passing batches too",
+    )
+    st.set_defaults(func=cmd_stream)
 
     return parser
 

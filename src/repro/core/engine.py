@@ -197,6 +197,8 @@ class DiGraphEngine:
         strict_convergence: bool = True,
         fault_injector=None,
         recovery=None,
+        initial_values=None,
+        initial_active=None,
     ) -> ExecutionResult:
         """Run ``program`` to convergence and return the result record.
 
@@ -206,6 +208,13 @@ class DiGraphEngine:
         retries, replica resends, straggler re-dispatch, and round-level
         checkpoint/rollback with GPU-loss redistribution. Without a
         policy, injected faults surface raw.
+
+        ``initial_values`` / ``initial_active`` warm-start the run for
+        delta recompute (:mod:`repro.streaming`): vertex states resume
+        from a prior fixpoint and only the provided active set is
+        reactivated. The run's rounds are then accounted as
+        ``incremental_rounds`` and the activation count as
+        ``vertices_reactivated``.
         """
         cfg = self.config
         started = time.perf_counter()
@@ -215,8 +224,22 @@ class DiGraphEngine:
         )
         machine.stats.preprocess_time_s = pre.modeled_seconds
 
-        run = _Run(self, machine, graph, program, pre)
+        run = _Run(
+            self,
+            machine,
+            graph,
+            program,
+            pre,
+            initial_values=initial_values,
+            initial_active=initial_active,
+        )
+        if initial_active is not None:
+            machine.stats.vertices_reactivated += int(
+                np.count_nonzero(np.asarray(initial_active, dtype=bool))
+            )
         converged = run.execute()
+        if initial_values is not None or initial_active is not None:
+            machine.stats.incremental_rounds += machine.stats.rounds
         if not converged and strict_convergence:
             raise ConvergenceError(
                 f"{program.name} did not converge within "
@@ -305,6 +328,8 @@ class _Run:
         graph: DiGraphCSR,
         program: VertexProgram,
         pre: Preprocessed,
+        initial_values=None,
+        initial_active=None,
     ) -> None:
         self.engine = engine
         self.cfg = engine.config
@@ -312,7 +337,12 @@ class _Run:
         self.graph = graph
         self.program = program
         self.pre = pre
-        self.states = VertexStates(graph, program)
+        self.states = VertexStates(
+            graph,
+            program,
+            initial_values=initial_values,
+            initial_active=initial_active,
+        )
         self.scheduler = PathScheduler(
             pre.path_set,
             pre.dag,

@@ -104,6 +104,16 @@ class ConvergenceError(ReproError):
         self.last_max_delta = last_max_delta
 
 
+class StreamingError(ReproError):
+    """A mutation batch could not be applied to the evolving graph.
+
+    Raised for structurally invalid mutations (deleting an edge that does
+    not exist, inserting a duplicate or self-loop edge, endpoints outside
+    the vertex range) before any state is modified — a failed batch
+    leaves the streaming session untouched.
+    """
+
+
 class VerificationError(ReproError):
     """A machine-checked invariant of :mod:`repro.verify` was violated."""
 

@@ -7,10 +7,13 @@ run" and "a failed round was rolled back":
   rounds (``RecoveryPolicy``), so a rollback replays up to K rounds from
   the last snapshot instead of exactly one;
 - **incremental checkpoints** — with ``incremental_checkpoints`` on,
-  only the vertices whose state changed since the previous checkpoint
-  are spilled (a delta against the host-side shadow copy), falling back
-  to a full snapshot every ``full_checkpoint_period``-th checkpoint so
-  delta chains stay bounded;
+  only what changed since the previous checkpoint is spilled (a delta
+  against the host-side shadow copy), falling back to a full snapshot
+  every ``full_checkpoint_period``-th checkpoint so delta chains stay
+  bounded. The diff is **per array**: each vertex array spills only its
+  own dirty entries — activity flags flip far more often than the
+  staleness stamps, so charging every array for the union of dirty
+  vertices would overstate the delta;
 - **host-spill cost** — checkpoint bytes cross the PCIe ring as real
   d2h transfers (:meth:`~repro.gpu.machine.Machine.checkpoint_spill`),
   surfacing as ``checkpoint_bytes_spilled`` / ``checkpoint_time_s`` in
@@ -146,13 +149,20 @@ class CheckpointManager:
             >= max(int(self.policy.full_checkpoint_period), 1)
         )
         if full or not self._shadow:
-            dirty = np.ones(vertex_gpu.shape[0], dtype=bool)
+            dirty_by_array = {
+                name: np.ones(vertex_gpu.shape[0], dtype=bool)
+                for name in arrays
+            }
         else:
-            dirty = np.zeros(vertex_gpu.shape[0], dtype=bool)
-            for name, arr in arrays.items():
-                # != is elementwise and exact; inf == inf holds, so
-                # untouched sentinel states (SSSP's +inf) stay clean.
-                dirty |= arr != self._shadow[name]
+            # != is elementwise and exact; inf == inf holds, so
+            # untouched sentinel states (SSSP's +inf) stay clean.
+            dirty_by_array = {
+                name: arr != self._shadow[name]
+                for name, arr in arrays.items()
+            }
+        dirty = np.zeros(vertex_gpu.shape[0], dtype=bool)
+        for mask in dirty_by_array.values():
+            dirty |= mask
         if full:
             self._incrementals_since_full = 0
         else:
@@ -164,17 +174,17 @@ class CheckpointManager:
         self._scalars = self.client.capture_scalars()
 
         stats = self.machine.stats
-        bytes_per_vertex = sum(arr.itemsize for arr in arrays.values())
         dirty_count = int(np.count_nonzero(dirty))
         scalar_bytes = _modeled_scalar_bytes(self._scalars)
         total_spilled = 0
         total_time = 0.0
         live = self.machine.live_gpu_ids()
         for i, gpu in enumerate(live):
-            nbytes = (
-                int(np.count_nonzero(dirty & (vertex_gpu == gpu)))
-                * bytes_per_vertex
-                + CHECKPOINT_HEADER_BYTES
+            owned = vertex_gpu == gpu
+            nbytes = CHECKPOINT_HEADER_BYTES + sum(
+                int(np.count_nonzero(dirty_by_array[name] & owned))
+                * arr.itemsize
+                for name, arr in arrays.items()
             )
             if i == 0:
                 # The bookkeeping payload (ledgers, pending batches,

@@ -78,6 +78,15 @@ class MachineStats:
     #: lands on the ordinary compute/transfer channels.
     recovery_time_s: float = 0.0
 
+    # Streaming / incremental-recompute counters (:mod:`repro.streaming`).
+    paths_repaired: int = 0          #: paths split/extended/merged/rebuilt by repair
+    #: Vertices reactivated by a delta-recompute warm start (the affected
+    #: set handed to the engine instead of the whole vertex set).
+    vertices_reactivated: int = 0
+    #: Rounds run by warm-started (incremental) executions, as opposed to
+    #: from-scratch runs — the round-count half of the stream speedup.
+    incremental_rounds: int = 0
+
     # Time accounting (model seconds).
     compute_time_s: float = 0.0
     transfer_time_s: float = 0.0     #: blocking transfers (serialize)
@@ -186,6 +195,9 @@ class MachineStats:
         self.checkpoint_time_s += other.checkpoint_time_s
         self.backoff_time_s += other.backoff_time_s
         self.recovery_time_s += other.recovery_time_s
+        self.paths_repaired += other.paths_repaired
+        self.vertices_reactivated += other.vertices_reactivated
+        self.incremental_rounds += other.incremental_rounds
         self.compute_time_s += other.compute_time_s
         self.transfer_time_s += other.transfer_time_s
         self.async_comm_time_s += other.async_comm_time_s

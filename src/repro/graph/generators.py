@@ -466,3 +466,99 @@ def bowtie_graph(
         edges.append((source, next_id))
         next_id += 1
     return from_edges(edges, num_vertices=core + in_tail + out_tail)
+
+
+def mutation_trace(
+    graph: DiGraphCSR,
+    n_batches: int,
+    seed: int = 0,
+    batch_size: int = 8,
+    mix: str = "mixed",
+):
+    """Seeded, replayable mutation trace for streaming benchmarks.
+
+    Produces ``n_batches`` :class:`~repro.streaming.mutations.MutationBatch`
+    objects that are valid to apply *in sequence* starting from
+    ``graph`` — the generator tracks the evolving edge set, so deletes
+    always target a live edge and inserts never duplicate one. The same
+    ``(graph, n_batches, seed, batch_size, mix)`` always yields the
+    identical trace.
+
+    ``mix`` selects the workload shape:
+
+    - ``"insert"`` — inserts only (the growth-safe resume fast path);
+    - ``"delete"`` — ~80% deletes / 20% inserts (exercises the
+      reset-and-recompute fallback);
+    - ``"mixed"`` — inserts, deletes, weight changes, and the occasional
+      vertex addition.
+    """
+    # Import here to avoid a module cycle.
+    from repro.streaming.mutations import Mutation, MutationBatch
+
+    if n_batches < 0:
+        raise GraphError("n_batches must be >= 0")
+    if batch_size < 1:
+        raise GraphError("batch_size must be >= 1")
+    if mix not in ("insert", "delete", "mixed"):
+        raise GraphError(f"unknown trace mix {mix!r}")
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    edges: Set[Tuple[int, int]] = set()
+    for src, dst, _ in graph.edges():
+        edges.add((int(src), int(dst)))
+
+    def draw_insert() -> Optional[Tuple[int, int]]:
+        for _ in range(64):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u != v and (u, v) not in edges:
+                return u, v
+        return None
+
+    batches: List[MutationBatch] = []
+    for batch_id in range(n_batches):
+        mutations: List[Mutation] = []
+        while len(mutations) < batch_size:
+            if mix == "insert":
+                kind = "insert"
+            elif mix == "delete":
+                kind = "delete" if rng.random() < 0.8 else "insert"
+            else:
+                roll = rng.random()
+                if roll < 0.45:
+                    kind = "insert"
+                elif roll < 0.75:
+                    kind = "delete"
+                elif roll < 0.95:
+                    kind = "reweight"
+                else:
+                    kind = "vertex_add"
+            if kind == "insert":
+                pick = draw_insert()
+                if pick is None:
+                    continue
+                u, v = pick
+                weight = float(rng.uniform(1.0, 10.0))
+                mutations.append(Mutation.insert(u, v, weight=weight))
+                edges.add((u, v))
+            elif kind == "delete":
+                if not edges:
+                    continue
+                candidates = sorted(edges)
+                u, v = candidates[int(rng.integers(0, len(candidates)))]
+                mutations.append(Mutation.delete(u, v))
+                edges.discard((u, v))
+            elif kind == "reweight":
+                if not edges:
+                    continue
+                candidates = sorted(edges)
+                u, v = candidates[int(rng.integers(0, len(candidates)))]
+                weight = float(rng.uniform(1.0, 10.0))
+                mutations.append(Mutation.reweight(u, v, weight))
+            else:
+                mutations.append(Mutation.add_vertices(1))
+                n += 1
+        batches.append(
+            MutationBatch(tuple(mutations), batch_id=batch_id)
+        )
+    return batches

@@ -11,7 +11,7 @@ write them so the engines can run on real data:
 
 from __future__ import annotations
 
-import io
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -35,30 +35,54 @@ def read_edge_list(
     Raises
     ------
     GraphError
-        On malformed lines (wrong field count, non-numeric fields,
-        negative ids), with the offending line number.
+        On unreadable or non-text files, and on malformed lines (wrong
+        field count, non-numeric fields, negative ids) with the
+        offending line number. Always carries the file path.
     """
     builder = GraphBuilder(num_vertices=num_vertices, deduplicate=deduplicate)
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith(comment):
-                continue
-            fields = line.split()
-            if len(fields) not in (2, 3):
-                raise GraphError(
-                    f"{path}:{lineno}: expected 'src dst [weight]', "
-                    f"got {len(fields)} fields"
-                )
-            try:
-                src, dst = int(fields[0]), int(fields[1])
-                weight = float(fields[2]) if len(fields) == 3 else 1.0
-            except ValueError as exc:
-                raise GraphError(
-                    f"{path}:{lineno}: non-numeric field ({exc})"
-                ) from None
-            builder.add_edge(src, dst, weight)
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise GraphError(f"{path}: cannot read edge list ({exc})") from None
+    with handle:
+        try:
+            lines = enumerate(handle, start=1)
+            for lineno, raw in lines:
+                _parse_edge_line(builder, path, lineno, raw, comment)
+        except UnicodeDecodeError as exc:
+            raise GraphError(
+                f"{path}: not a text edge list ({exc})"
+            ) from None
     return builder.build()
+
+
+def _parse_edge_line(
+    builder: GraphBuilder,
+    path: PathLike,
+    lineno: int,
+    raw: str,
+    comment: str,
+) -> None:
+    line = raw.strip()
+    if not line or line.startswith(comment):
+        return
+    fields = line.split()
+    if len(fields) not in (2, 3):
+        raise GraphError(
+            f"{path}:{lineno}: expected 'src dst [weight]', "
+            f"got {len(fields)} fields"
+        )
+    try:
+        src, dst = int(fields[0]), int(fields[1])
+        weight = float(fields[2]) if len(fields) == 3 else 1.0
+    except ValueError as exc:
+        raise GraphError(
+            f"{path}:{lineno}: non-numeric field ({exc})"
+        ) from None
+    try:
+        builder.add_edge(src, dst, weight)
+    except GraphError as exc:
+        raise GraphError(f"{path}:{lineno}: {exc}") from None
 
 
 def write_edge_list(
@@ -93,13 +117,55 @@ def save_npz(graph: DiGraphCSR, path: PathLike) -> None:
 
 
 def load_npz(path: PathLike) -> DiGraphCSR:
-    """Load a graph saved by :func:`save_npz`."""
-    with np.load(path) as data:
+    """Load a graph saved by :func:`save_npz`.
+
+    Raises
+    ------
+    GraphError
+        On unreadable/corrupt archives, missing arrays, wrong
+        dimensionality or dtype kind, and structurally inconsistent CSR
+        arrays. Always carries the file path, so a bad file in a batch
+        job is identifiable from the error alone.
+    """
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise GraphError(
+            f"{path}: not a readable .npz archive ({exc})"
+        ) from None
+    with archive as data:
         for key in ("indptr", "indices", "weights"):
             if key not in data:
                 raise GraphError(f"{path}: missing array {key!r}")
-        return DiGraphCSR(
-            data["indptr"].copy(),
-            data["indices"].copy(),
-            data["weights"].copy(),
-        )
+        try:
+            arrays = {
+                key: data[key]
+                for key in ("indptr", "indices", "weights")
+            }
+        except (ValueError, OSError) as exc:
+            raise GraphError(
+                f"{path}: corrupt array payload ({exc})"
+            ) from None
+        for key in ("indptr", "indices"):
+            arr = arrays[key]
+            if arr.ndim != 1 or arr.dtype.kind not in "iu":
+                raise GraphError(
+                    f"{path}: {key!r} must be a 1-D integer array, got "
+                    f"{arr.ndim}-D {arr.dtype}"
+                )
+        weights = arrays["weights"]
+        if weights.ndim != 1 or weights.dtype.kind not in "fiu":
+            raise GraphError(
+                f"{path}: 'weights' must be a 1-D numeric array, got "
+                f"{weights.ndim}-D {weights.dtype}"
+            )
+        try:
+            return DiGraphCSR(
+                arrays["indptr"].astype(np.int64),
+                arrays["indices"].astype(np.int64),
+                weights.astype(np.float64),
+            )
+        except (GraphError, ValueError, IndexError) as exc:
+            raise GraphError(
+                f"{path}: inconsistent CSR arrays ({exc})"
+            ) from None

@@ -18,9 +18,24 @@ from repro.model.gas import VertexProgram
 
 
 class VertexStates:
-    """State values + active flags for one algorithm run."""
+    """State values + active flags for one algorithm run.
 
-    def __init__(self, graph: DiGraphCSR, program: VertexProgram) -> None:
+    ``initial_values`` / ``initial_active`` warm-start the run from a
+    caller-provided state (delta recompute over an evolving graph)
+    instead of the program's own initial state. The program's
+    ``initial_states`` still runs first either way — programs cache
+    graph-derived arrays (out-degrees, teleport vectors, weight
+    normalizers) there, and a warm start must prime those caches on the
+    *current* graph before its values are overridden.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraphCSR,
+        program: VertexProgram,
+        initial_values: Optional[np.ndarray] = None,
+        initial_active: Optional[np.ndarray] = None,
+    ) -> None:
         self.graph = graph
         self.program = program
         self.values = np.asarray(
@@ -35,6 +50,20 @@ class VertexStates:
             raise SimulationError(
                 "initial_active must return one flag per vertex"
             )
+        if initial_values is not None:
+            override = np.asarray(initial_values, dtype=np.float64)
+            if override.shape != (graph.num_vertices,):
+                raise SimulationError(
+                    "initial_values must provide one float per vertex"
+                )
+            self.values = override.copy()
+        if initial_active is not None:
+            override = np.asarray(initial_active, dtype=bool)
+            if override.shape != (graph.num_vertices,):
+                raise SimulationError(
+                    "initial_active must provide one flag per vertex"
+                )
+            self.active = override.copy()
 
     @property
     def num_active(self) -> int:

@@ -1,0 +1,45 @@
+"""Streaming mutation subsystem: evolving graphs on the DiGraph engine.
+
+Mutation batches (:mod:`repro.streaming.mutations`) evolve the CSR
+graph; the path repairer (:mod:`repro.streaming.repair`) patches the
+decomposition and dependency DAG instead of re-running Algorithm 1; the
+delta planner (:mod:`repro.streaming.delta`) reactivates only affected
+vertices resuming from the prior ``V_val``; and
+:class:`~repro.streaming.session.StreamingSession` drives the whole
+loop with optional certification against from-scratch golden runs
+(:mod:`repro.verify.streaming`).
+"""
+
+from repro.streaming.delta import (
+    ACCUMULATIVE,
+    GROWTH_SAFE,
+    SHRINK_SAFE,
+    WEIGHT_SENSITIVE,
+    DeltaPlan,
+    plan_delta,
+)
+from repro.streaming.mutations import (
+    AppliedBatch,
+    Mutation,
+    MutationBatch,
+    apply_batch,
+)
+from repro.streaming.repair import PathRepairer, RepairResult
+from repro.streaming.session import BatchOutcome, StreamingSession
+
+__all__ = [
+    "Mutation",
+    "MutationBatch",
+    "AppliedBatch",
+    "apply_batch",
+    "PathRepairer",
+    "RepairResult",
+    "DeltaPlan",
+    "plan_delta",
+    "GROWTH_SAFE",
+    "SHRINK_SAFE",
+    "ACCUMULATIVE",
+    "WEIGHT_SENSITIVE",
+    "BatchOutcome",
+    "StreamingSession",
+]

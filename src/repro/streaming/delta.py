@@ -1,0 +1,206 @@
+"""Delta-recompute planning: which vertices rerun after a batch, and how.
+
+After a batch the engine should not recompute the whole graph — it
+resumes from the previous fixpoint (``V_val``) and reactivates only the
+vertices a change can reach. How safe that is depends on the algorithm's
+monotonicity, so programs are classified:
+
+- **growth-safe monotone** (`bfs`, `sssp`, `wcc`, `reachability`) — the
+  fixpoint only improves when the graph grows, so the old values are
+  valid bounds and the run *resumes* with just the change's endpoints
+  reactivated. Deletions (or an `sssp` weight increase) can invalidate
+  old values, so those fall back to **reset** mode.
+- **shrink-safe** (`kcore`) — peeling is monotone downward: deletions
+  resume directly, but an insertion could revive a peeled vertex, which
+  the pinned ``0 -> 0`` apply can never do — insertions reset.
+- **accumulative** (`pagerank`, `ppr`, `adsorption`) — Maiter-style
+  delta correction: the iteration is a contraction, so growth resumes
+  from the old values with the changed frontier reactivated; deletions
+  (and weight changes for the weight-sensitive programs) use the
+  reset-and-recompute fallback.
+
+**Reset mode** recomputes the *affected closure*: the forward closure of
+the activation seeds under ``program.dependents`` on the new graph.
+Vertices in the closure restart from the program's fresh initial state;
+vertices outside it keep their old values, and that is sound because the
+closure is dependents-closed — any vertex that gathers from an affected
+vertex is itself affected, so the unaffected remainder is a closed
+subsystem whose edges the batch did not touch, and its old fixpoint
+values are exactly what a from-scratch run would recompute.
+
+Activation seeds per touched edge ``(u, v)``: both endpoints plus
+``dependents(u)`` on the new graph — the endpoint covers programs whose
+gather reads the edge directly (and the symmetric `wcc`/`kcore`
+gathers), and ``dependents(u)`` covers `pagerank`/`ppr`, where changing
+``u``'s out-degree renormalizes the contribution ``u`` makes to *all* of
+its successors. Added vertices are always seeds (they must be applied
+once to leave the fresh state). Deleted-edge endpoints come from the
+batch records, since the edge itself is gone from the new graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.model.gas import VertexProgram
+from repro.streaming.mutations import AppliedBatch
+
+#: Monotone programs whose fixpoint only improves when the graph grows.
+GROWTH_SAFE = frozenset({"bfs", "sssp", "wcc", "reachability"})
+#: Monotone-downward programs safe to resume under deletions only.
+SHRINK_SAFE = frozenset({"kcore"})
+#: Contraction iterations (Maiter-style delta correction on growth).
+ACCUMULATIVE = frozenset({"pagerank", "ppr", "adsorption"})
+#: Programs whose gather reads the edge weight (others ignore reweights).
+WEIGHT_SENSITIVE = frozenset({"sssp", "adsorption"})
+
+RESUME = "resume"
+RESET = "reset"
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """Warm-start arrays + provenance for one incremental run."""
+
+    mode: str                      #: ``"resume"`` or ``"reset"``
+    reason: str                    #: human-readable classification
+    initial_values: np.ndarray     #: per-vertex warm-start values
+    initial_active: np.ndarray     #: per-vertex activation mask
+    seed_vertices: Tuple[int, ...] #: activation seeds derived from the batch
+    num_affected: int              #: vertices reactivated by this plan
+
+
+def sensitive_weight_changes(
+    algorithm: str, applied: AppliedBatch
+) -> List[Tuple[int, int, int, float, float]]:
+    """Weight changes this algorithm can observe."""
+    if algorithm not in WEIGHT_SENSITIVE:
+        return []
+    return list(applied.weight_changes)
+
+
+def classify_batch(algorithm: str, applied: AppliedBatch) -> Tuple[str, str]:
+    """Pick resume vs reset for this algorithm/batch pair, with a reason."""
+    deletes = len(applied.deleted)
+    inserts = len(applied.inserted)
+    reweights = sensitive_weight_changes(algorithm, applied)
+    if algorithm in SHRINK_SAFE:
+        if inserts:
+            return RESET, (
+                f"{inserts} insert(s) could revive peeled vertices"
+            )
+        return RESUME, "deletions only shrink the core (monotone peeling)"
+    if algorithm in GROWTH_SAFE:
+        if deletes:
+            return RESET, f"{deletes} deletion(s) invalidate monotone bounds"
+        if reweights:
+            increases = [r for r in reweights if r[4] > r[3]]
+            if increases:
+                return RESET, (
+                    f"{len(increases)} weight increase(s) invalidate "
+                    "monotone bounds"
+                )
+            return RESUME, "weight decreases only improve the fixpoint"
+        return RESUME, "growth preserves monotone bounds"
+    # Accumulative (contraction) programs.
+    if deletes:
+        return RESET, (
+            f"{deletes} deletion(s): reset-and-recompute fallback"
+        )
+    if reweights:
+        return RESET, (
+            f"{len(reweights)} weight change(s): reset-and-recompute "
+            "fallback"
+        )
+    return RESUME, "delta correction resumes the contraction"
+
+
+def activation_seeds(
+    program: VertexProgram, applied: AppliedBatch, algorithm: str
+) -> List[int]:
+    """Vertices reactivated by the batch (sorted, deduplicated)."""
+    graph = applied.graph
+    seeds = set(applied.added_vertices)
+    for _, u, v in applied.inserted:
+        seeds.add(u)
+        seeds.add(v)
+        seeds.update(int(d) for d in program.dependents(graph, u))
+    for _, u, v in applied.deleted:
+        seeds.add(u)
+        seeds.add(v)
+        seeds.update(int(d) for d in program.dependents(graph, u))
+    for _, u, v, _old_w, _new_w in sensitive_weight_changes(
+        algorithm, applied
+    ):
+        seeds.add(u)
+        seeds.add(v)
+    return sorted(seeds)
+
+
+def affected_closure(
+    program: VertexProgram, graph, seeds: List[int]
+) -> np.ndarray:
+    """Forward closure of ``seeds`` under ``program.dependents``."""
+    mask = np.zeros(graph.num_vertices, dtype=bool)
+    frontier = [int(s) for s in seeds]
+    for s in frontier:
+        mask[s] = True
+    while frontier:
+        v = frontier.pop()
+        for d in program.dependents(graph, v):
+            d = int(d)
+            if not mask[d]:
+                mask[d] = True
+                frontier.append(d)
+    return mask
+
+
+def plan_delta(
+    algorithm: str,
+    program: VertexProgram,
+    applied: AppliedBatch,
+    old_values: np.ndarray,
+) -> DeltaPlan:
+    """Plan the warm start for one applied batch.
+
+    ``old_values`` is the previous fixpoint on ``applied.old_graph``;
+    vertex ids are stable under batches (vertices only append), so old
+    values carry over positionally and added vertices start fresh.
+
+    Calls ``program.initial_states`` on the new graph, so the program's
+    graph-derived caches (out-degrees, weight normalizers) are primed
+    for the new topology as a side effect.
+    """
+    graph = applied.graph
+    fresh = np.asarray(
+        program.initial_states(graph), dtype=np.float64
+    ).copy()
+    old_n = applied.old_graph.num_vertices
+    values = fresh.copy()
+    values[:old_n] = np.asarray(old_values, dtype=np.float64)[:old_n]
+
+    mode, reason = classify_batch(algorithm, applied)
+    seeds = activation_seeds(program, applied, algorithm)
+
+    if mode == RESET:
+        mask = affected_closure(program, graph, seeds)
+        values[mask] = fresh[mask]
+        active = mask.copy()
+        affected = int(np.count_nonzero(mask))
+    else:
+        active = np.zeros(graph.num_vertices, dtype=bool)
+        for s in seeds:
+            active[s] = True
+        affected = len(seeds)
+
+    return DeltaPlan(
+        mode=mode,
+        reason=reason,
+        initial_values=values,
+        initial_active=active,
+        seed_vertices=tuple(seeds),
+        num_affected=affected,
+    )

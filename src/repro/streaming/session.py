@@ -1,0 +1,229 @@
+"""End-to-end streaming over an evolving graph on the DiGraph engine.
+
+:class:`StreamingSession` ties the pieces together: it preprocesses the
+initial graph once (Algorithm 1 + dependency DAG + partitions), runs the
+algorithm cold, and then per :class:`~repro.streaming.mutations.MutationBatch`
+
+1. applies the batch (:func:`~repro.streaming.mutations.apply_batch`),
+2. repairs only the touched paths and patches the dependency DAG
+   (:class:`~repro.streaming.repair.PathRepairer`) instead of re-running
+   Algorithm 1,
+3. plans the delta recompute (:func:`~repro.streaming.delta.plan_delta`)
+   and warm-starts the engine from the prior ``V_val`` with only the
+   affected vertices reactivated,
+4. optionally certifies the incremental fixpoint against a from-scratch
+   golden run (bit-exact for the discrete algorithms, tolerance-band for
+   the contraction ones) and reports incremental vs full-rebuild
+   modeled time.
+
+Program parameters are frozen against the *initial* graph: `sssp`/`bfs`
+sources and `ppr`/`reachability` seed sets are resolved once, so every
+incremental run — and every golden rebuild — solves the same problem as
+the graph evolves (re-resolving ``argmax(out_degree)`` per batch would
+silently change the query).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.bench.results import ExecutionResult
+from repro.baselines.common import resolve_partition_target
+from repro.core.engine import DiGraphConfig, DiGraphEngine, Preprocessed
+from repro.core.replicas import ReplicaTable
+from repro.core.storage import PathStorage, build_partitions
+from repro.gpu.config import MachineSpec
+from repro.graph.digraph import DiGraphCSR
+from repro.streaming.delta import DeltaPlan, plan_delta
+from repro.streaming.mutations import (
+    AppliedBatch,
+    MutationBatch,
+    apply_batch,
+)
+from repro.streaming.repair import PathRepairer, RepairResult
+from repro.verify.oracle import DISCRETE_ALGORITHMS, equivalence_band
+from repro.verify.report import CheckResult
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Everything one batch produced, for reporting and assertions."""
+
+    batch_id: int
+    applied: AppliedBatch
+    repair: RepairResult
+    plan: DeltaPlan
+    result: ExecutionResult           #: the incremental engine run
+    incremental_total_s: float        #: repair + warm run, modeled
+    #: From-scratch preprocess + cold run on the same graph (only when
+    #: the batch was certified; the rebuild is what incremental avoids).
+    rebuild_total_s: Optional[float] = None
+    golden: Optional[ExecutionResult] = None
+    certification: Optional[CheckResult] = None
+
+    @property
+    def mode(self) -> str:
+        return self.plan.mode
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Rebuild / incremental modeled time (when both are known)."""
+        if self.rebuild_total_s is None or self.incremental_total_s <= 0:
+            return None
+        return self.rebuild_total_s / self.incremental_total_s
+
+
+class StreamingSession:
+    """One algorithm kept up to date across mutation batches."""
+
+    def __init__(
+        self,
+        graph: DiGraphCSR,
+        algorithm: str,
+        machine_spec: Optional[MachineSpec] = None,
+        config: Optional[DiGraphConfig] = None,
+        graph_name: str = "stream",
+        verify_structure: bool = False,
+        program_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.engine = DiGraphEngine(machine_spec, config)
+        self.algorithm = algorithm.lower()
+        self.graph_name = graph_name
+        self.verify_structure = verify_structure
+        self.graph = graph
+        # Freeze graph-derived program parameters on the initial graph.
+        probe = make_program(
+            self.algorithm, graph, **(program_kwargs or {})
+        )
+        self.program_kwargs = dict(program_kwargs or {})
+        if self.algorithm in ("sssp", "bfs"):
+            self.program_kwargs.setdefault("source", probe.source)
+        elif self.algorithm == "ppr":
+            self.program_kwargs.setdefault("seeds", list(probe.seeds))
+        elif self.algorithm == "reachability":
+            self.program_kwargs.setdefault(
+                "sources", list(probe.sources)
+            )
+        # Cold start: full Algorithm-1 preprocess + from-scratch run.
+        pre = self.engine.preprocess(graph)
+        self.repairer = PathRepairer(
+            pre.path_set, n_workers=self.engine.config.n_workers
+        )
+        self.baseline = self.engine.run(
+            graph, probe, preprocessed=pre, graph_name=graph_name
+        )
+        self.values = self.baseline.states
+        self.batches_applied = 0
+
+    # ------------------------------------------------------------------
+    def _make_program(self, graph: DiGraphCSR):
+        return make_program(self.algorithm, graph, **self.program_kwargs)
+
+    def _preprocess_from_repair(
+        self, repair: RepairResult, graph: DiGraphCSR
+    ) -> Preprocessed:
+        """Assemble ``Preprocessed`` around the repaired decomposition.
+
+        Partitions, storage arrays, and the replica table are derived
+        views of the path set; they are rebuilt from the repaired paths
+        (their cost rides in the repair's modeled seconds, which charge
+        the path-count term the full preprocess model charges).
+        """
+        cfg = self.engine.config
+        started = time.perf_counter()
+        target = resolve_partition_target(
+            graph, cfg.target_edges_per_partition
+        )
+        partitions = build_partitions(repair.path_set, repair.dag, target)
+        storage = PathStorage(repair.path_set, partitions)
+        gpu_spec = self.engine.spec.gpu
+        replicas = ReplicaTable(
+            repair.path_set,
+            storage,
+            proxy_in_degree_threshold=cfg.proxy_in_degree_threshold,
+            proxy_capacity=gpu_spec.shared_memory_per_smx_bytes // 16,
+        )
+        pre = Preprocessed(
+            path_set=repair.path_set,
+            dag=repair.dag,
+            storage=storage,
+            replicas=replicas,
+            modeled_seconds=repair.modeled_seconds,
+            wall_seconds=time.perf_counter() - started,
+        )
+        if self.verify_structure:
+            from repro.verify.structural import verify_preprocessed
+
+            verify_preprocessed(pre).raise_if_failed()
+        return pre
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, batch: MutationBatch, certify: bool = False
+    ) -> BatchOutcome:
+        """Apply one batch: mutate, repair, delta-recompute, certify."""
+        applied = apply_batch(self.graph, batch)
+        repair = self.repairer.apply(applied)
+        pre = self._preprocess_from_repair(repair, applied.graph)
+        program = self._make_program(applied.graph)
+        plan = plan_delta(self.algorithm, program, applied, self.values)
+        result = self.engine.run(
+            applied.graph,
+            program,
+            preprocessed=pre,
+            graph_name=self.graph_name,
+            initial_values=plan.initial_values,
+            initial_active=plan.initial_active,
+        )
+        result.stats.paths_repaired += repair.paths_repaired
+        self.graph = applied.graph
+        self.values = result.states
+        self.batches_applied += 1
+        incremental_total = result.stats.total_time_with_preprocess_s
+
+        golden = None
+        rebuild_total = None
+        certification = None
+        if certify:
+            golden, certification = self._certify(applied.graph, result)
+            rebuild_total = golden.stats.total_time_with_preprocess_s
+
+        return BatchOutcome(
+            batch_id=batch.batch_id,
+            applied=applied,
+            repair=repair,
+            plan=plan,
+            result=result,
+            incremental_total_s=incremental_total,
+            rebuild_total_s=rebuild_total,
+            golden=golden,
+            certification=certification,
+        )
+
+    def _certify(self, graph: DiGraphCSR, incremental: ExecutionResult):
+        """From-scratch golden run + equivalence check on this graph."""
+        from repro.verify.streaming import certify_incremental
+
+        golden_program = self._make_program(graph)
+        golden = self.engine.run(
+            graph, golden_program, graph_name=self.graph_name
+        )
+        band = (
+            0.0
+            if self.algorithm in DISCRETE_ALGORITHMS
+            else equivalence_band(golden_program, graph)
+        )
+        certification = certify_incremental(
+            incremental.states, golden.states, band
+        )
+        return golden, certification
+
+    @property
+    def stats(self):
+        """Stats bundle of the most recent engine run."""
+        return self.baseline.stats

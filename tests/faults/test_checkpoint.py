@@ -155,6 +155,62 @@ class TestIncremental:
         assert delta.kind == "incremental"
         assert delta.dirty_vertices == 0
 
+    def test_activity_churn_spills_per_array_not_per_vertex(
+        self, medium_graph
+    ):
+        """An activity-flip run spills ~1 byte/vertex, not the full row.
+
+        Flipping every ``active`` flag makes every vertex dirty, but
+        only the 1-byte bool array changed — a union-of-dirty-vertices
+        charge would bill the 8-byte values and all four stamps too.
+        ``checkpoint_bytes_spilled`` must drop accordingly.
+        """
+        from repro.faults.checkpoint import (
+            CHECKPOINT_HEADER_BYTES,
+            _modeled_scalar_bytes,
+        )
+
+        machine, run = make_run(
+            medium_graph,
+            SPEC,
+            incremental_checkpoints=True,
+            full_checkpoint_period=8,
+        )
+        manager = run.checkpoints
+        full = manager.checkpoint(0)
+        run.states.active[:] = ~run.states.active
+        run.states.values[0] += 1.0
+        delta = manager.checkpoint(1)
+
+        assert delta.kind == "incremental"
+        n = medium_graph.num_vertices
+        assert delta.dirty_vertices == n  # every vertex churned
+
+        arrays = manager.client.vertex_arrays()
+        bytes_per_vertex = sum(a.itemsize for a in arrays.values())
+        vertex_gpu = np.asarray(manager.client.vertex_gpu())
+        expected = 0
+        union_charge = 0
+        for i, gpu in enumerate(machine.live_gpu_ids()):
+            owned = vertex_gpu == gpu
+            owned_count = int(np.count_nonzero(owned))
+            nbytes = CHECKPOINT_HEADER_BYTES
+            nbytes += owned_count * arrays["active"].itemsize
+            if owned[0]:
+                nbytes += arrays["values"].itemsize
+            if i == 0:
+                scalar = _modeled_scalar_bytes(manager._scalars)
+                nbytes += scalar
+                union_charge += scalar
+            union_charge += (
+                CHECKPOINT_HEADER_BYTES + owned_count * bytes_per_vertex
+            )
+            expected += nbytes
+        assert delta.bytes_spilled == expected
+        # Far below both the full snapshot and the old union charge.
+        assert delta.bytes_spilled < union_charge
+        assert delta.bytes_spilled < full.bytes_spilled
+
 
 class TestIntervalBoundaryRollback:
     """The property at the heart of the interval knob: killing a GPU in

@@ -74,3 +74,95 @@ class TestNpzRoundtrip:
         np.savez(path, indptr=np.array([0, 0]))
         with pytest.raises(GraphError, match="missing"):
             load_npz(path)
+
+
+class TestStructuredIOErrors:
+    """Every bad-input path raises GraphError carrying the file path."""
+
+    def test_missing_edge_list_file(self, tmp_path):
+        path = tmp_path / "nope.txt"
+        with pytest.raises(GraphError, match="cannot read edge list") as e:
+            read_edge_list(path)
+        assert str(path) in str(e.value)
+
+    def test_binary_edge_list(self, tmp_path):
+        path = tmp_path / "binary.txt"
+        path.write_bytes(b"\x00\xff\xfe\x01PK\x03\x04\x80\x81")
+        with pytest.raises(GraphError, match="not a text edge list") as e:
+            read_edge_list(path)
+        assert str(path) in str(e.value)
+
+    def test_negative_vertex_id_carries_line_number(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("0 1\n-2 3\n")
+        with pytest.raises(GraphError) as e:
+            read_edge_list(path)
+        assert f"{path}:2" in str(e.value)
+
+    def test_missing_npz_file(self, tmp_path):
+        path = tmp_path / "nope.npz"
+        with pytest.raises(GraphError, match="not a readable") as e:
+            load_npz(path)
+        assert str(path) in str(e.value)
+
+    def test_corrupt_npz_payload(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(GraphError, match="not a readable") as e:
+            load_npz(path)
+        assert str(path) in str(e.value)
+
+    def test_truncated_npz_archive(self, tmp_path):
+        good = tmp_path / "good.npz"
+        save_npz(directed_path(50), good)
+        truncated = tmp_path / "trunc.npz"
+        truncated.write_bytes(good.read_bytes()[:40])
+        with pytest.raises(GraphError) as e:
+            load_npz(truncated)
+        assert str(truncated) in str(e.value)
+
+    def test_wrong_dtype_kind(self, tmp_path):
+        path = tmp_path / "float_indices.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 1, 1]),
+            indices=np.array([0.5]),  # float indices are not ids
+            weights=np.array([1.0]),
+        )
+        with pytest.raises(GraphError, match="1-D integer array") as e:
+            load_npz(path)
+        assert str(path) in str(e.value)
+
+    def test_wrong_dimensionality(self, tmp_path):
+        path = tmp_path / "matrix.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 1, 1]),
+            indices=np.array([[0], [1]]),
+            weights=np.array([1.0, 1.0]),
+        )
+        with pytest.raises(GraphError, match="1-D integer array"):
+            load_npz(path)
+
+    def test_non_numeric_weights(self, tmp_path):
+        path = tmp_path / "str_weights.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 1, 1]),
+            indices=np.array([1]),
+            weights=np.array(["heavy"]),
+        )
+        with pytest.raises(GraphError, match="numeric array"):
+            load_npz(path)
+
+    def test_inconsistent_csr(self, tmp_path):
+        path = tmp_path / "inconsistent.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 5, 2]),  # non-monotone, wrong total
+            indices=np.array([0, 1]),
+            weights=np.array([1.0, 1.0]),
+        )
+        with pytest.raises(GraphError, match="inconsistent CSR") as e:
+            load_npz(path)
+        assert str(path) in str(e.value)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the streaming subsystem tests."""
+
+import pytest
+
+from repro.gpu.config import GPUSpec, MachineSpec
+from repro.graph.generators import scc_profile_graph
+
+
+@pytest.fixture
+def stream_graph():
+    """A small graph with SCC structure, hubs, and periphery."""
+    return scc_profile_graph(
+        n=80, avg_degree=3.0, giant_scc_fraction=0.4,
+        avg_distance=4.0, seed=11,
+    )
+
+
+@pytest.fixture
+def stream_machine():
+    """A tiny 2-GPU machine so incremental + golden runs stay fast."""
+    return MachineSpec(
+        num_gpus=2,
+        gpu=GPUSpec(num_smxs=2, warp_slots_per_smx=2),
+        pcie_latency_s=1e-6,
+        transfer_batch_bytes=1 << 20,
+    )

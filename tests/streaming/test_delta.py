@@ -1,0 +1,149 @@
+"""Delta planning: resume/reset classification, seeds, affected closure."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.graph.builder import from_edges
+from repro.streaming import Mutation, MutationBatch, apply_batch
+from repro.streaming.delta import (
+    ACCUMULATIVE,
+    GROWTH_SAFE,
+    RESET,
+    RESUME,
+    SHRINK_SAFE,
+    affected_closure,
+    classify_batch,
+    plan_delta,
+)
+
+ALL_ALGORITHMS = sorted(GROWTH_SAFE | SHRINK_SAFE | ACCUMULATIVE)
+
+
+def diamond():
+    return from_edges(
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5
+    )
+
+
+def applied_insert():
+    return apply_batch(diamond(), MutationBatch((Mutation.insert(1, 4),)))
+
+
+def applied_delete():
+    return apply_batch(diamond(), MutationBatch((Mutation.delete(2, 3),)))
+
+
+def applied_reweight(new_weight):
+    return apply_batch(
+        diamond(),
+        MutationBatch((Mutation.reweight(0, 1, new_weight),)),
+    )
+
+
+class TestClassification:
+    @pytest.mark.parametrize("algorithm", sorted(GROWTH_SAFE))
+    def test_growth_safe_resumes_on_insert(self, algorithm):
+        mode, _ = classify_batch(algorithm, applied_insert())
+        assert mode == RESUME
+
+    @pytest.mark.parametrize("algorithm", sorted(GROWTH_SAFE))
+    def test_growth_safe_resets_on_delete(self, algorithm):
+        mode, reason = classify_batch(algorithm, applied_delete())
+        assert mode == RESET
+        assert "deletion" in reason
+
+    @pytest.mark.parametrize("algorithm", sorted(ACCUMULATIVE))
+    def test_accumulative_resumes_on_insert(self, algorithm):
+        mode, _ = classify_batch(algorithm, applied_insert())
+        assert mode == RESUME
+
+    @pytest.mark.parametrize("algorithm", sorted(ACCUMULATIVE))
+    def test_accumulative_resets_on_delete(self, algorithm):
+        """The delete-triggered reset-and-recompute fallback."""
+        mode, reason = classify_batch(algorithm, applied_delete())
+        assert mode == RESET
+        assert "fallback" in reason
+
+    def test_kcore_resumes_on_delete_but_resets_on_insert(self):
+        assert classify_batch("kcore", applied_delete())[0] == RESUME
+        assert classify_batch("kcore", applied_insert())[0] == RESET
+
+    def test_sssp_weight_increase_resets_decrease_resumes(self):
+        assert classify_batch("sssp", applied_reweight(9.0))[0] == RESET
+        assert classify_batch("sssp", applied_reweight(0.5))[0] == RESUME
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "wcc", "reachability"])
+    def test_weight_insensitive_ignores_reweights(self, algorithm):
+        assert classify_batch(algorithm, applied_reweight(9.0))[0] == RESUME
+
+    def test_adsorption_resets_on_reweight_pagerank_does_not(self):
+        assert classify_batch("adsorption", applied_reweight(9.0))[0] == RESET
+        assert classify_batch("pagerank", applied_reweight(9.0))[0] == RESUME
+
+
+class TestPlans:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_resume_plans_activate_seeds_only(self, algorithm):
+        applied = (
+            applied_delete()
+            if algorithm in SHRINK_SAFE
+            else applied_insert()
+        )
+        program = make_program(algorithm, applied.old_graph)
+        old = np.asarray(
+            program.initial_states(applied.old_graph), dtype=np.float64
+        )
+        plan = plan_delta(algorithm, program, applied, old)
+        assert plan.mode == RESUME
+        active = np.flatnonzero(plan.initial_active)
+        assert sorted(int(v) for v in active) == list(plan.seed_vertices)
+        assert plan.num_affected == len(plan.seed_vertices)
+        # Warm start carries the old values over positionally.
+        assert np.array_equal(plan.initial_values, old)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_reset_closure_is_dependents_closed(self, algorithm):
+        applied = (
+            applied_insert()
+            if algorithm in SHRINK_SAFE
+            else applied_delete()
+        )
+        program = make_program(algorithm, applied.graph)
+        program.initial_states(applied.graph)
+        mask = affected_closure(
+            program, applied.graph, list(applied.touched_vertices())
+        )
+        for v in np.flatnonzero(mask):
+            for d in program.dependents(applied.graph, int(v)):
+                assert mask[int(d)], (
+                    f"{algorithm}: dependent {d} of affected {v} "
+                    "escaped the closure"
+                )
+
+    def test_reset_plan_resets_affected_keeps_rest(self):
+        applied = applied_delete()
+        program = make_program("pagerank", applied.old_graph)
+        old = np.full(applied.old_graph.num_vertices, 42.0)
+        plan = plan_delta("pagerank", program, applied, old)
+        assert plan.mode == RESET
+        fresh = np.asarray(program.initial_states(applied.graph))
+        affected = plan.initial_active
+        assert np.array_equal(
+            plan.initial_values[affected], fresh[affected]
+        )
+        assert np.all(plan.initial_values[~affected] == 42.0)
+
+    def test_added_vertices_are_seeded_and_start_fresh(self):
+        applied = apply_batch(
+            diamond(), MutationBatch((Mutation.add_vertices(2),))
+        )
+        program = make_program("pagerank", applied.old_graph)
+        old = np.full(applied.old_graph.num_vertices, 0.5)
+        plan = plan_delta("pagerank", program, applied, old)
+        assert plan.mode == RESUME
+        assert set(applied.added_vertices) <= set(plan.seed_vertices)
+        fresh = np.asarray(program.initial_states(applied.graph))
+        for v in applied.added_vertices:
+            assert plan.initial_values[v] == fresh[v]
+        assert np.all(plan.initial_values[: applied.old_graph.num_vertices] == 0.5)

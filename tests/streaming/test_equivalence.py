@@ -1,0 +1,108 @@
+"""Incremental-vs-rebuild equivalence: 8 algorithms x 3 trace mixes.
+
+The streaming subsystem's contract: after every batch, the incremental
+fixpoint equals a from-scratch run on the post-batch graph — bit-exact
+for the discrete algorithms, within the oracle's tolerance band for the
+contraction ones. This parametrized sweep also pins the fallback
+behavior (delete-heavy traces must trigger reset mode for the
+accumulative algorithms; kcore resets on inserts) and the new
+``MachineStats`` counters.
+"""
+
+import pytest
+
+from repro.graph.generators import mutation_trace
+from repro.streaming import StreamingSession
+from repro.verify.oracle import ALL_ALGORITHMS
+from repro.verify.streaming import verify_stream
+
+MIXES = ("insert", "delete", "mixed")
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALL_ALGORITHMS))
+@pytest.mark.parametrize("mix", MIXES)
+def test_incremental_matches_rebuild(
+    stream_graph, stream_machine, algorithm, mix
+):
+    batches = mutation_trace(
+        stream_graph, n_batches=2, seed=17, batch_size=5, mix=mix
+    )
+    session = StreamingSession(
+        stream_graph, algorithm, machine_spec=stream_machine
+    )
+    for batch in batches:
+        outcome = session.apply(batch, certify=True)
+        assert outcome.certification is not None
+        assert outcome.certification.passed, (
+            f"{algorithm}/{mix} batch {batch.batch_id} "
+            f"({outcome.mode}): {outcome.certification.detail}"
+        )
+        assert outcome.incremental_total_s > 0
+        assert outcome.rebuild_total_s is not None
+        # The new streaming counters are live on every incremental run.
+        stats = outcome.result.stats
+        assert stats.paths_repaired == outcome.repair.paths_repaired
+        assert stats.vertices_reactivated == outcome.plan.num_affected
+        assert stats.incremental_rounds >= 1
+    assert session.batches_applied == len(batches)
+
+
+def test_delete_trace_triggers_reset_fallback(
+    stream_graph, stream_machine
+):
+    """Accumulative algorithms must fall back to reset on deletions."""
+    batches = mutation_trace(
+        stream_graph, n_batches=2, seed=17, batch_size=5, mix="delete"
+    )
+    session = StreamingSession(
+        stream_graph, "pagerank", machine_spec=stream_machine
+    )
+    modes = [session.apply(b, certify=True).mode for b in batches]
+    assert "reset" in modes
+
+
+def test_insert_trace_resumes_monotone(stream_graph, stream_machine):
+    batches = mutation_trace(
+        stream_graph, n_batches=2, seed=17, batch_size=5, mix="insert"
+    )
+    session = StreamingSession(
+        stream_graph, "sssp", machine_spec=stream_machine
+    )
+    for batch in batches:
+        outcome = session.apply(batch, certify=True)
+        assert outcome.mode == "resume"
+        assert outcome.certification.passed
+
+
+def test_kcore_insert_resets(stream_graph, stream_machine):
+    batches = mutation_trace(
+        stream_graph, n_batches=1, seed=17, batch_size=5, mix="insert"
+    )
+    session = StreamingSession(
+        stream_graph, "kcore", machine_spec=stream_machine
+    )
+    outcome = session.apply(batches[0], certify=True)
+    assert outcome.mode == "reset"
+    assert outcome.certification.passed
+
+
+@pytest.mark.parametrize("algorithm", ["sssp", "pagerank"])
+def test_verify_stream_report_passes(
+    stream_graph, stream_machine, algorithm
+):
+    """The oracle entry point: per-batch checks + final fixed point,
+    with structural verification of every repaired decomposition on."""
+    batches = mutation_trace(
+        stream_graph, n_batches=2, seed=23, batch_size=4, mix="mixed"
+    )
+    report = verify_stream(
+        stream_graph,
+        algorithm,
+        batches,
+        machine_spec=stream_machine,
+        verify_structure=True,
+    )
+    assert report.passed, report.summary()
+    names = [check.name for check in report.results]
+    assert "streaming.equivalence.batch0" in names
+    assert "streaming.equivalence.batch1" in names

@@ -1,0 +1,166 @@
+"""Mutation batch semantics: validation, edge-id maps, sequencing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamingError
+from repro.graph.builder import from_edges
+from repro.streaming import Mutation, MutationBatch, apply_batch
+
+
+def square():
+    return from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4
+    )
+
+
+class TestMutationValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StreamingError, match="unknown mutation kind"):
+            Mutation(kind="edge_flip", u=0, v=1)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(StreamingError, match="non-negative"):
+            Mutation.insert(-1, 2)
+
+    def test_self_loop_insert_rejected(self):
+        with pytest.raises(StreamingError, match="self-loop"):
+            Mutation.insert(3, 3)
+
+    def test_vertex_add_count_positive(self):
+        with pytest.raises(StreamingError, match="count must be >= 1"):
+            Mutation.add_vertices(0)
+
+    def test_counts_by_kind(self):
+        batch = MutationBatch(
+            (
+                Mutation.insert(0, 2),
+                Mutation.delete(0, 1),
+                Mutation.reweight(1, 2, 4.0),
+                Mutation.add_vertices(3),
+            )
+        )
+        counts = batch.counts()
+        assert counts["edge_insert"] == 1
+        assert counts["edge_delete"] == 1
+        assert counts["weight_change"] == 1
+        assert counts["vertex_add"] == 3
+
+
+class TestApplyBatch:
+    def test_duplicate_insert_rejected(self):
+        with pytest.raises(StreamingError, match="already exists"):
+            apply_batch(
+                square(), MutationBatch((Mutation.insert(0, 1),))
+            )
+
+    def test_missing_delete_rejected(self):
+        with pytest.raises(StreamingError, match="does not exist"):
+            apply_batch(
+                square(), MutationBatch((Mutation.delete(0, 2),))
+            )
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(StreamingError, match="outside vertex range"):
+            apply_batch(
+                square(), MutationBatch((Mutation.insert(0, 9),))
+            )
+
+    def test_failed_batch_has_no_effect(self):
+        graph = square()
+        before = graph.indices.copy()
+        with pytest.raises(StreamingError):
+            apply_batch(
+                graph,
+                MutationBatch(
+                    (Mutation.insert(0, 2), Mutation.delete(1, 3))
+                ),
+            )
+        assert np.array_equal(graph.indices, before)
+
+    def test_edge_id_map_marks_deleted_and_remaps_survivors(self):
+        graph = square()
+        applied = apply_batch(
+            graph, MutationBatch((Mutation.delete(1, 2),))
+        )
+        assert applied.graph.num_edges == 3
+        deleted_old = [eid for eid, _, _ in applied.deleted]
+        for old_eid in range(graph.num_edges):
+            new_eid = int(applied.edge_id_map[old_eid])
+            if old_eid in deleted_old:
+                assert new_eid == -1
+            else:
+                # Surviving edges keep their endpoints and weights.
+                assert int(applied.graph.indices[new_eid]) == int(
+                    graph.indices[old_eid]
+                )
+                assert applied.graph.weights[new_eid] == pytest.approx(
+                    graph.weights[old_eid]
+                )
+
+    def test_insert_then_delete_nets_out(self):
+        applied = apply_batch(
+            square(),
+            MutationBatch(
+                (Mutation.insert(0, 2), Mutation.delete(0, 2))
+            ),
+        )
+        assert applied.graph.num_edges == 4
+        assert applied.inserted == ()
+        assert applied.deleted == ()
+
+    def test_delete_then_reinsert_records_both(self):
+        applied = apply_batch(
+            square(),
+            MutationBatch(
+                (Mutation.delete(0, 1), Mutation.insert(0, 1, 5.0))
+            ),
+        )
+        assert applied.graph.num_edges == 4
+        assert len(applied.deleted) == 1
+        assert len(applied.inserted) == 1
+        new_eid, u, v = applied.inserted[0]
+        assert (u, v) == (0, 1)
+        assert applied.graph.weights[new_eid] == pytest.approx(5.0)
+
+    def test_weight_change_records_old_and_new(self):
+        applied = apply_batch(
+            square(), MutationBatch((Mutation.reweight(2, 3, 7.5),))
+        )
+        assert len(applied.weight_changes) == 1
+        eid, u, v, old_w, new_w = applied.weight_changes[0]
+        assert (u, v) == (2, 3)
+        assert old_w == pytest.approx(1.0)
+        assert new_w == pytest.approx(7.5)
+        assert applied.graph.weights[eid] == pytest.approx(7.5)
+
+    def test_noop_reweight_not_recorded(self):
+        applied = apply_batch(
+            square(), MutationBatch((Mutation.reweight(2, 3, 1.0),))
+        )
+        assert applied.weight_changes == ()
+
+    def test_vertex_add_then_edge_to_new_vertex(self):
+        applied = apply_batch(
+            square(),
+            MutationBatch(
+                (Mutation.add_vertices(2), Mutation.insert(3, 4))
+            ),
+        )
+        assert applied.graph.num_vertices == 6
+        assert applied.added_vertices == (4, 5)
+        assert (3, 4, 1.0) in list(applied.graph.edges())
+
+    def test_touched_vertices_cover_all_records(self):
+        applied = apply_batch(
+            square(),
+            MutationBatch(
+                (
+                    Mutation.delete(3, 0),
+                    Mutation.insert(1, 3),
+                    Mutation.reweight(0, 1, 2.0),
+                    Mutation.add_vertices(1),
+                )
+            ),
+        )
+        assert applied.touched_vertices() == [0, 1, 3, 4]
