@@ -1,4 +1,6 @@
-"""Benchmark harness: result records, runners, per-figure experiments."""
+"""Benchmark harness: result records, runners, per-figure experiments,
+and the continuous-benchmark sweep + regression gate
+(:mod:`repro.bench.sweep`, :mod:`repro.bench.schema`)."""
 
 from repro.bench.results import ExecutionResult, RoundRecord
 

@@ -407,18 +407,39 @@ def fig16_scalability(
     graph_name: str = "webbase",
     algos: Sequence[str] = ("pagerank", "sssp"),
 ) -> dict:
-    """Processing time vs GPU count (paper: DiGraph scales best)."""
+    """Processing time vs GPU count (paper: DiGraph scales best).
+
+    Runs through the shared sweep runner (:mod:`repro.bench.sweep`) —
+    the same code path ``repro sweep`` and the CI regression gate
+    measure — with ``num_gpus`` as the swept knob.
+    """
+    from repro.bench.sweep import SweepConfig, run_sweep
+
+    report = run_sweep(
+        SweepConfig(
+            engines=tuple(SYSTEMS),
+            algorithms=tuple(algos),
+            graphs=(graph_name,),
+            scale=scale,
+            knobs={"num_gpus": tuple(gpu_counts)},
+        )
+    )
+    time_ms = {
+        (cell["engine"], cell["algorithm"], cell["knobs"]["num_gpus"]):
+            cell["metrics"]["processing_time_s"]["mean"] * 1e3
+        for cell in report["cells"]
+    }
     tables = []
     all_series = {}
     all_efficiency = {}
     for algo in algos:
-        series: Dict[str, List[float]] = {e: [] for e in SYSTEMS}
-        for num_gpus in gpu_counts:
-            for engine in SYSTEMS:
-                result = run_cell(
-                    engine, algo, graph_name, scale=scale, num_gpus=num_gpus
-                )
-                series[engine].append(result.processing_time_s * 1e3)
+        series: Dict[str, List[float]] = {
+            engine: [
+                time_ms[(engine, algo, num_gpus)]
+                for num_gpus in gpu_counts
+            ]
+            for engine in SYSTEMS
+        }
         all_series[algo] = series
         # Scaling behavior relative to the 1-GPU run: values above 1 mean
         # the extra GPUs cost more (staleness) than they pay back at this
@@ -447,6 +468,7 @@ def fig16_scalability(
     return {
         "series": all_series,
         "efficiency": all_efficiency,
+        "sweep": report,
         "table": "\n\n".join(tables),
     }
 
@@ -657,65 +679,64 @@ def stream_speedup(
     Small insert-dominated batches are the streaming sweet spot: the
     monotone and accumulative programs resume from the prior ``V_val``
     with only a handful of vertices reactivated.
+
+    Runs through the shared sweep runner (:mod:`repro.bench.sweep`) as
+    ``mode="stream"`` cells, so the CI regression gate measures the
+    exact code path this experiment reports.
     """
-    from repro.graph.generators import mutation_trace
-    from repro.streaming import StreamingSession
+    from repro.bench.sweep import SweepConfig, run_sweep
 
     graph_names = list(graphs) if graphs else GRAPHS
+    report = run_sweep(
+        SweepConfig(
+            engines=("digraph",),
+            algorithms=tuple(algos),
+            graphs=tuple(graph_names),
+            scale=scale,
+            mode="stream",
+            seeds=(seed,),
+            knobs={
+                "stream_batches": (n_batches,),
+                "stream_batch_size": (batch_size,),
+                "stream_mix": ("insert",),
+            },
+        )
+    )
     rows = []
     results: Dict[str, Dict[str, object]] = {}
-    for algo in algos:
-        results[algo] = {}
-        for graph_name in graph_names:
-            graph = load_graph(graph_name, algo, scale)
-            trace = mutation_trace(
-                graph,
-                n_batches,
-                seed=seed,
-                batch_size=batch_size,
-                mix="insert",
-            )
-            session = StreamingSession(
-                graph,
+    for cell in report["cells"]:
+        algo = cell["algorithm"]
+        graph_name = cell["graph"]
+        metrics = cell["metrics"]
+        incr = metrics["incremental_s"]["mean"]
+        rebuild = metrics["rebuild_s"]["mean"]
+        speedup = rebuild / incr if incr > 0 else float("inf")
+        certified = cell["certified"]
+        modes = list(cell["modes"])
+        reactivated = int(metrics["vertices_reactivated"]["mean"])
+        repaired = int(metrics["paths_repaired"]["mean"])
+        results.setdefault(algo, {})[graph_name] = {
+            "incremental_s": incr,
+            "rebuild_s": rebuild,
+            "speedup": speedup,
+            "reactivated": reactivated,
+            "paths_repaired": repaired,
+            "modes": modes,
+            "certified": certified,
+        }
+        rows.append(
+            [
                 algo,
-                machine_spec=SCALED_MACHINE,
-                graph_name=graph_name,
-            )
-            incr = rebuild = 0.0
-            reactivated = repaired = 0
-            certified = True
-            modes = set()
-            for batch in trace:
-                outcome = session.apply(batch, certify=True)
-                incr += outcome.incremental_total_s
-                rebuild += outcome.rebuild_total_s
-                reactivated += outcome.result.stats.vertices_reactivated
-                repaired += outcome.result.stats.paths_repaired
-                modes.add(outcome.mode)
-                certified = certified and outcome.certification.passed
-            speedup = rebuild / incr if incr > 0 else float("inf")
-            results[algo][graph_name] = {
-                "incremental_s": incr,
-                "rebuild_s": rebuild,
-                "speedup": speedup,
-                "reactivated": reactivated,
-                "paths_repaired": repaired,
-                "modes": sorted(modes),
-                "certified": certified,
-            }
-            rows.append(
-                [
-                    algo,
-                    graph_name,
-                    "+".join(sorted(modes)),
-                    reactivated,
-                    repaired,
-                    incr * 1e3,
-                    rebuild * 1e3,
-                    speedup,
-                    "ok" if certified else "FAIL",
-                ]
-            )
+                graph_name,
+                "+".join(modes),
+                reactivated,
+                repaired,
+                incr * 1e3,
+                rebuild * 1e3,
+                speedup,
+                "ok" if certified else "FAIL",
+            ]
+        )
     table = format_table(
         f"Streaming: incremental vs full rebuild "
         f"({n_batches}x{batch_size} insert batches, seed={seed})",
@@ -732,4 +753,4 @@ def stream_speedup(
         ],
         rows,
     )
-    return {"results": results, "rows": rows, "table": table}
+    return {"results": results, "rows": rows, "sweep": report, "table": table}

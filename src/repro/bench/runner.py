@@ -10,10 +10,7 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from typing import Callable, Dict, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.algorithms import make_program
 from repro.baselines.async_engine import AsyncConfig, AsyncEngine
@@ -105,20 +102,36 @@ def run_cell(
     use_cache: bool = True,
     graph=None,
     engine_factory: Optional[Callable] = None,
+    vectorized: bool = False,
+    recovery=None,
 ) -> ExecutionResult:
     """Run one (engine, algorithm, graph) cell, memoized per process.
 
     ``num_gpus`` overrides the GPU count of the (scaled) default machine —
-    the Fig. 16 sweep. ``graph`` / ``engine_factory`` bypass the standard
-    dataset / engine construction for custom sweeps (those cells are not
-    cached).
+    the Fig. 16 sweep. ``vectorized`` runs the batched kernels on the
+    engines that support them; ``recovery`` (a
+    :class:`repro.faults.RecoveryPolicy`) turns on checkpointing knobs.
+    ``graph`` / ``engine_factory`` / ``recovery`` bypass the memo cache —
+    those cells are custom and must not alias standard cells.
+
+    The key includes the machine spec: two cells that differ only in the
+    simulated hardware are different cells, and the memoized
+    :class:`ExecutionResult` (whose ``stats`` bundle is mutable and
+    shared by every figure reading the cell) must never be served across
+    that boundary.
     """
-    custom = graph is not None or engine_factory is not None
-    key = (engine_name, algo, graph_name, scale, num_gpus, n_workers)
+    custom = (
+        graph is not None or engine_factory is not None
+        or recovery is not None
+    )
+    spec = machine or SCALED_MACHINE
+    key = (
+        engine_name, algo, graph_name, scale, num_gpus, n_workers,
+        vectorized, spec,
+    )
     if use_cache and not custom and key in _CACHE:
         return _CACHE[key]
 
-    spec = machine or SCALED_MACHINE
     if num_gpus is not None:
         spec = spec.scaled(num_gpus)
     if graph is None:
@@ -126,9 +139,16 @@ def run_cell(
     if engine_factory is not None:
         engine = engine_factory(spec)
     else:
-        engine = make_engine(engine_name, spec, n_workers=n_workers)
+        engine = make_engine(
+            engine_name, spec, n_workers=n_workers, vectorized=vectorized
+        )
     program = make_program(algo, graph)
-    result = engine.run(graph, program, graph_name=graph_name)
+    if recovery is not None:
+        result = engine.run(
+            graph, program, graph_name=graph_name, recovery=recovery
+        )
+    else:
+        result = engine.run(graph, program, graph_name=graph_name)
     if use_cache and not custom:
         _CACHE[key] = result
     return result
@@ -169,34 +189,63 @@ def run_kernel_microbench(
 
     Writes the result dict as JSON to ``out_path`` (skipped when None)
     and returns it. Later PRs diff this file for a perf trajectory.
+
+    Runs through the shared sweep runner (:mod:`repro.bench.sweep`) —
+    each (algorithm, kernel mode) pair is one sweep cell over a seeded
+    ``random_directed`` graph, with ``use_vectorized_kernels`` as the
+    swept knob; bit-identical states are certified by comparing the
+    cells' determinism digests.
     """
-    from repro.graph.generators import random_directed
+    from repro.bench.sweep import CellSpec, run_sweep_cell
 
     if num_edges is None:
         num_edges = 8 * num_vertices
     machine = machine or SCALED_MACHINE
-    graph = random_directed(num_vertices, num_edges, seed=seed)
+    graph_spec = tuple(
+        sorted(
+            {
+                "generator": "random_directed",
+                "num_vertices": num_vertices,
+                "num_edges": num_edges,
+                "seed": seed,
+            }.items()
+        )
+    )
 
     results = []
     for algo in algos:
         per_mode: Dict[str, Dict] = {}
-        states: Dict[str, np.ndarray] = {}
+        digests: Dict[str, str] = {}
         for mode, vectorized in (("scalar", False), ("vectorized", True)):
-            engine = make_engine(engine_name, machine, vectorized=vectorized)
-            program = make_program(algo, graph)
-            t0 = time.perf_counter()
-            result = engine.run(graph, program, graph_name="kernel-bench")
-            wall = time.perf_counter() - t0
-            states[mode] = result.states
+            cell = run_sweep_cell(
+                CellSpec(
+                    engine=engine_name,
+                    algorithm=algo,
+                    graph=graph_spec,
+                    mode="run",
+                    scale=1.0,
+                    knobs={
+                        "use_vectorized_kernels": vectorized,
+                        "num_gpus": machine.num_gpus,
+                    },
+                ),
+                seeds=(seed,),
+            )
+            wall = cell["wall_seconds"]["mean"]
+            rounds = int(cell["metrics"]["rounds"]["mean"])
+            edge_traversals = int(
+                cell["metrics"]["edge_traversals"]["mean"]
+            )
+            digests[mode] = cell["digests"][str(seed)]
             per_mode[mode] = {
                 "wall_seconds": wall,
-                "rounds": result.rounds,
-                "seconds_per_round": wall / max(result.rounds, 1),
-                "edge_traversals": result.stats.edge_traversals,
-                "edges_per_second": result.stats.edge_traversals / wall
+                "rounds": rounds,
+                "seconds_per_round": wall / max(rounds, 1),
+                "edge_traversals": edge_traversals,
+                "edges_per_second": edge_traversals / wall
                 if wall > 0
-                else float("inf"),
-                "converged": result.converged,
+                else 0.0,
+                "converged": cell["converged"],
             }
         scalar_wall = per_mode["scalar"]["wall_seconds"]
         vectorized_wall = per_mode["vectorized"]["wall_seconds"]
@@ -207,14 +256,14 @@ def run_kernel_microbench(
                 "vectorized": per_mode["vectorized"],
                 "speedup": scalar_wall / vectorized_wall
                 if vectorized_wall > 0
-                else float("inf"),
-                "states_equal": bool(
-                    np.array_equal(states["scalar"], states["vectorized"])
-                ),
+                else 0.0,
+                "states_equal": digests["scalar"] == digests["vectorized"],
             }
         )
 
     report = {
+        "schema": "repro-bench-kernels",
+        "schema_version": 1,
         "benchmark": "kernel-microbench",
         "engine": engine_name,
         "graph": {
@@ -229,6 +278,9 @@ def run_kernel_microbench(
         "results": results,
     }
     if out_path is not None:
+        from repro.bench.schema import validate_artifact
+
+        validate_artifact(report, kind="repro-bench-kernels", path=out_path)
         with open(out_path, "w") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")

@@ -1,0 +1,153 @@
+"""Schema validation for every ``BENCH_*.json`` benchmark artifact.
+
+All perf evidence this repo commits — the kernel microbenchmark, sweep
+artifacts, CI gate baselines — must carry a schema/version header and
+contain only physically sensible measurements: no NaN or infinite
+floats anywhere, no negative timings, byte counts, or counters.  The
+validator walks the whole document, so a bad number cannot hide in a
+nested cell record.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ArtifactError
+
+#: Required top-level keys per schema kind.
+REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
+    "repro-sweep": (
+        "schema",
+        "schema_version",
+        "config",
+        "matrix_cells",
+        "cells",
+    ),
+    "repro-bench-kernels": (
+        "schema",
+        "schema_version",
+        "benchmark",
+        "engine",
+        "graph",
+        "machine",
+        "results",
+    ),
+}
+
+#: Key suffixes whose float/int values must be non-negative — timings,
+#: traffic, counts.  ``speedup`` and ``mean``/``std`` aggregates are
+#: covered by the suffix rules where applicable.
+NON_NEGATIVE_SUFFIXES = (
+    "_s",
+    "_seconds",
+    "_ms",
+    "_bytes",
+    "_cycles",
+    "_per_second",
+    "_per_round",
+)
+
+NON_NEGATIVE_KEYS = frozenset(
+    {
+        "rounds",
+        "repeats",
+        "runs",
+        "matrix_cells",
+        "speedup",
+        "vertex_updates",
+        "edge_traversals",
+        "num_vertices",
+        "num_edges",
+        "num_gpus",
+        "mean",
+        "std",
+        "min",
+        "max",
+        "scale",
+    }
+)
+
+
+def _iter_numbers(node: object, path: str) -> Iterable[Tuple[str, str, float]]:
+    """Yield ``(json_path, key, value)`` for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _iter_numbers(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _iter_numbers(value, f"{path}[{index}]")
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        yield path, key, float(node)
+
+
+def _is_measurement(key: str) -> bool:
+    return key in NON_NEGATIVE_KEYS or any(
+        key.endswith(suffix) for suffix in NON_NEGATIVE_SUFFIXES
+    )
+
+
+def validate_artifact(
+    data: object, kind: Optional[str] = None, path: str = "<artifact>"
+) -> str:
+    """Validate one parsed benchmark artifact; return its schema kind.
+
+    ``kind`` pins the expected schema; when ``None`` the artifact's own
+    ``schema`` field selects it.  Raises :class:`ArtifactError` on any
+    violation.
+    """
+    if not isinstance(data, dict):
+        raise ArtifactError(f"{path}: artifact must be a JSON object")
+    schema = data.get("schema")
+    if schema is None:
+        raise ArtifactError(f"{path}: missing required 'schema' field")
+    if kind is not None and schema != kind:
+        raise ArtifactError(
+            f"{path}: schema is {schema!r}, expected {kind!r}"
+        )
+    if schema not in REQUIRED_KEYS:
+        raise ArtifactError(
+            f"{path}: unknown schema {schema!r}; known: "
+            f"{sorted(REQUIRED_KEYS)}"
+        )
+    version = data.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise ArtifactError(
+            f"{path}: schema_version must be an integer >= 1, "
+            f"got {version!r}"
+        )
+    missing = [key for key in REQUIRED_KEYS[schema] if key not in data]
+    if missing:
+        raise ArtifactError(
+            f"{path}: missing required key(s) {missing} for {schema!r}"
+        )
+
+    for json_path, key, value in _iter_numbers(data, path):
+        if math.isnan(value) or math.isinf(value):
+            raise ArtifactError(
+                f"{json_path}: non-finite measurement {value!r}"
+            )
+        if value < 0 and _is_measurement(key):
+            raise ArtifactError(
+                f"{json_path}: negative measurement {value!r}"
+            )
+    return schema
+
+
+def validate_artifact_file(path: str, kind: Optional[str] = None) -> str:
+    """Load a JSON file and validate it; return its schema kind."""
+    import json
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(
+            f"artifact {path!r} is not valid JSON: {exc}"
+        ) from exc
+    return validate_artifact(data, kind=kind, path=path)

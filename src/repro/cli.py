@@ -18,7 +18,12 @@ Subcommands:
 - ``stream`` — replay a seeded mutation trace through the streaming
   subsystem (:mod:`repro.streaming`): incremental path repair + delta
   recompute per batch, with per-batch certification against a
-  from-scratch golden run and incremental-vs-rebuild modeled time.
+  from-scratch golden run and incremental-vs-rebuild modeled time;
+- ``sweep`` — run a declarative benchmark matrix (engines x algorithms
+  x graphs x knobs, repeated seeded runs) through
+  :mod:`repro.bench.sweep`, write a versioned ``BENCH_sweep.json``
+  artifact, and optionally gate it against a committed baseline
+  (``--gate BASELINE.json --tolerance 0.15`` exits 1 on regression).
 
 Any :class:`~repro.errors.ReproError` raised by a subcommand is printed
 as a one-line ``error: ...`` on stderr with exit status 1; pass
@@ -381,6 +386,83 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.bench.sweep import (
+        SweepConfig,
+        compare_sweeps,
+        load_artifact,
+        run_sweep,
+        write_artifact,
+    )
+
+    if args.config:
+        config = SweepConfig.from_json(args.config)
+    else:
+        knobs = {}
+        if args.vectorized_knob:
+            knobs["use_vectorized_kernels"] = [False, True]
+        config = SweepConfig.from_dict(
+            {
+                "engines": args.engines,
+                "algorithms": args.algorithms,
+                "graphs": args.graphs,
+                "scale": args.scale,
+                "seeds": args.seeds,
+                "repeats": args.repeats,
+                "knobs": knobs,
+            }
+        )
+
+    report = run_sweep(
+        config,
+        progress=(
+            (lambda cell_id: print(f"running {cell_id} ..."))
+            if args.verbose
+            else None
+        ),
+    )
+    for cell in report["cells"]:
+        wall = cell["wall_seconds"]
+        first_metric = (
+            "processing_time_s" if cell["mode"] == "run" else "incremental_s"
+        )
+        model = cell["metrics"][first_metric]
+        flags = ""
+        if not cell["deterministic"]:
+            flags += " NONDETERMINISTIC"
+        if not cell["converged"]:
+            flags += " NOT-CONVERGED"
+        print(
+            f"{cell['cell_id']:<58} "
+            f"model={model['mean']:.3e}s±{model['std']:.1e} "
+            f"wall={wall['mean']:.3f}s±{wall['std']:.3f} "
+            f"runs={cell['runs']}{flags}"
+        )
+    print(
+        f"{report['matrix_cells']} cells, "
+        f"{report['wall_seconds_total']:.2f}s total"
+    )
+    if args.output:
+        write_artifact(report, args.output)
+        print(f"wrote {args.output}")
+
+    if args.gate:
+        baseline = load_artifact(args.gate)
+        gate = compare_sweeps(
+            baseline,
+            report,
+            tolerance=args.tolerance,
+            wall_tolerance=args.wall_tolerance,
+        )
+        for finding in gate.findings:
+            stream = sys.stderr if finding.severity == "fail" else sys.stdout
+            print(finding, file=stream)
+        print(gate.summary())
+        if not gate.passed:
+            return 1
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.bench import experiments
 
@@ -473,6 +555,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default: BENCH_kernels.json)",
     )
     kb.set_defaults(func=cmd_kernels_bench)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="run a declarative benchmark matrix (engines x algorithms x "
+        "graphs x knobs, repeated seeded runs) and optionally gate it "
+        "against a committed baseline artifact",
+    )
+    sw.add_argument(
+        "--config",
+        help="JSON sweep config (overrides the inline matrix flags); "
+        "see docs/benchmarking.md for the format",
+    )
+    sw.add_argument(
+        "--engines",
+        nargs="+",
+        default=["bulk-sync", "digraph"],
+        help="engines to sweep (default: bulk-sync digraph)",
+    )
+    sw.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=ALGORITHMS,
+        default=["pagerank", "sssp"],
+        help="algorithms to sweep (default: pagerank sssp)",
+    )
+    sw.add_argument(
+        "--graphs",
+        nargs="+",
+        choices=datasets.DATASET_NAMES,
+        default=["cnr"],
+        help="dataset stand-ins to sweep (default: cnr)",
+    )
+    sw.add_argument(
+        "--scale", type=float, default=0.25, help="dataset scale factor"
+    )
+    sw.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="seed axis; each cell runs once per seed (default: 0)",
+    )
+    sw.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="wall-clock repeats per seed; model metrics must be "
+        "bit-identical across repeats (default: 1)",
+    )
+    sw.add_argument(
+        "--vectorized-knob",
+        action="store_true",
+        help="sweep use_vectorized_kernels over {off, on}",
+    )
+    sw.add_argument(
+        "--output",
+        default="BENCH_sweep.json",
+        help="artifact path (default: BENCH_sweep.json; '' to skip)",
+    )
+    sw.add_argument(
+        "--gate",
+        metavar="BASELINE",
+        help="compare against this committed sweep artifact and exit 1 "
+        "on any regression, digest mismatch, or missing cell",
+    )
+    sw.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="relative model-metric regression tolerance for --gate "
+        "(default: 0.15)",
+    )
+    sw.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="also gate real wall-clock at this relative tolerance "
+        "(off by default: wall time is machine-dependent)",
+    )
+    sw.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print each cell id before running it",
+    )
+    sw.set_defaults(func=cmd_sweep)
 
     vf = sub.add_parser(
         "verify",

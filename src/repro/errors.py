@@ -120,3 +120,9 @@ class VerificationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An engine or machine was configured with invalid parameters."""
+
+
+class ArtifactError(ReproError):
+    """A benchmark artifact (``BENCH_*.json``) is missing, unreadable,
+    or violates its schema (wrong keys, bad version, NaN/negative
+    measurements)."""

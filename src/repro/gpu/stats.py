@@ -13,7 +13,7 @@ Every figure of the paper's evaluation reads one of these quantities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Tuple
 
 
@@ -160,59 +160,59 @@ class MachineStats:
 
     # ------------------------------------------------------------------
     def merge(self, other: "MachineStats") -> None:
-        """Add another stats bundle into this one."""
-        self.vertex_updates += other.vertex_updates
-        self.apply_calls += other.apply_calls
-        self.edge_traversals += other.edge_traversals
-        self.rounds += other.rounds
-        self.atomic_updates += other.atomic_updates
-        self.proxy_absorbed += other.proxy_absorbed
-        self.master_writes += other.master_writes
-        self.h2d_bytes += other.h2d_bytes
-        self.d2h_bytes += other.d2h_bytes
-        self.p2p_bytes += other.p2p_bytes
-        self.global_load_bytes += other.global_load_bytes
-        self.vertices_loaded += other.vertices_loaded
-        self.vertex_uses += other.vertex_uses
-        self.busy_thread_cycles += other.busy_thread_cycles
-        self.total_thread_cycles += other.total_thread_cycles
-        self.transfer_retries += other.transfer_retries
-        self.retransferred_bytes += other.retransferred_bytes
-        self.sync_retries += other.sync_retries
-        self.resent_sync_bytes += other.resent_sync_bytes
-        self.dropped_replica_batches += other.dropped_replica_batches
-        self.corrupted_replica_batches += other.corrupted_replica_batches
-        self.stragglers_detected += other.stragglers_detected
-        self.straggler_redispatches += other.straggler_redispatches
-        self.gpu_failures += other.gpu_failures
-        self.rounds_rolled_back += other.rounds_rolled_back
-        self.rollback_replay_rounds += other.rollback_replay_rounds
-        self.checkpoints_taken += other.checkpoints_taken
-        self.incremental_checkpoints_taken += (
-            other.incremental_checkpoints_taken
-        )
-        self.checkpoint_bytes_spilled += other.checkpoint_bytes_spilled
-        self.checkpoint_time_s += other.checkpoint_time_s
-        self.backoff_time_s += other.backoff_time_s
-        self.recovery_time_s += other.recovery_time_s
-        self.paths_repaired += other.paths_repaired
-        self.vertices_reactivated += other.vertices_reactivated
-        self.incremental_rounds += other.incremental_rounds
-        self.compute_time_s += other.compute_time_s
-        self.transfer_time_s += other.transfer_time_s
-        self.async_comm_time_s += other.async_comm_time_s
-        self.preprocess_time_s += other.preprocess_time_s
-        for pid, count in other.partition_processed.items():
-            self.partition_processed[pid] = (
-                self.partition_processed.get(pid, 0) + count
-            )
-        for pair, nbytes in other.replica_pair_bytes.items():
-            self.replica_pair_bytes[pair] = (
-                self.replica_pair_bytes.get(pair, 0) + nbytes
-            )
+        """Add another stats bundle into this one.
+
+        Field-driven so newly added counters can never be silently
+        dropped: scalar counters add, dict counters merge per key.
+        """
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            else:
+                setattr(self, spec.name, mine + theirs)
+
+    def reset(self) -> None:
+        """Zero every counter in place.
+
+        Sweep runners reusing a long-lived machine call this between
+        cells so counters from one run cannot leak into the next.
+        """
+        fresh = MachineStats()
+        for spec in fields(self):
+            value = getattr(fresh, spec.name)
+            if isinstance(value, dict):
+                getattr(self, spec.name).clear()
+            else:
+                setattr(self, spec.name, value)
 
     def snapshot(self) -> "MachineStats":
         """Deep copy for before/after deltas."""
         copy = MachineStats()
         copy.merge(self)
         return copy
+
+    def as_dict(self) -> Dict[str, object]:
+        """Frozen JSON-safe snapshot of every counter.
+
+        The stable serialization API for benchmark artifacts: scalar
+        counters pass through, dict counters become ``str`` keyed dicts
+        (JSON objects cannot key on ints or tuples). The returned dict
+        shares no mutable state with this bundle, so recording it cannot
+        alias live machine counters between sweep cells.
+        """
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                out[spec.name] = {
+                    "/".join(map(str, key))
+                    if isinstance(key, tuple)
+                    else str(key): count
+                    for key, count in value.items()
+                }
+            else:
+                out[spec.name] = value
+        return out

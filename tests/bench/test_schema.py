@@ -1,0 +1,171 @@
+"""Schema validation for every committed ``BENCH_*.json`` artifact.
+
+Two halves: the committed artifacts in the repo must validate (so a PR
+cannot merge a benchmark file with a missing version header or a NaN
+hiding in a nested cell), and the validator itself must reject every
+class of malformed artifact it exists to catch.
+"""
+
+import glob
+import json
+import math
+import os
+
+import pytest
+
+from repro.bench.schema import (
+    REQUIRED_KEYS,
+    validate_artifact,
+    validate_artifact_file,
+)
+from repro.errors import ArtifactError
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def minimal_kernels():
+    return {
+        "schema": "repro-bench-kernels",
+        "schema_version": 1,
+        "benchmark": "kernel-microbench",
+        "engine": "bulk-sync",
+        "graph": {"num_vertices": 10, "num_edges": 20},
+        "machine": {"num_gpus": 4},
+        "results": [{"algorithm": "pagerank", "speedup": 1.5}],
+    }
+
+
+def minimal_sweep():
+    return {
+        "schema": "repro-sweep",
+        "schema_version": 1,
+        "config": {"engines": ["digraph"]},
+        "matrix_cells": 1,
+        "cells": [
+            {
+                "cell_id": "digraph/pagerank/cnr",
+                "metrics": {"processing_time_s": {"mean": 0.1, "std": 0.0}},
+            }
+        ],
+    }
+
+
+class TestCommittedArtifacts:
+    """Every benchmark JSON the repo commits must carry a valid schema."""
+
+    def test_bench_kernels_json_validates(self):
+        path = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+        assert validate_artifact_file(path) == "repro-bench-kernels"
+
+    def test_ci_baseline_validates(self):
+        path = os.path.join(REPO_ROOT, "benchmarks", "baseline_ci.json")
+        assert validate_artifact_file(path) == "repro-sweep"
+
+    def test_all_root_bench_artifacts_validate(self):
+        paths = glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+        assert paths, "expected at least one committed BENCH_*.json"
+        for path in paths:
+            validate_artifact_file(path)
+
+    def test_ci_baseline_digests_present_per_seed(self):
+        path = os.path.join(REPO_ROOT, "benchmarks", "baseline_ci.json")
+        with open(path) as fh:
+            data = json.load(fh)
+        for cell in data["cells"]:
+            assert cell["digests"], cell["cell_id"]
+            for seed in cell["seeds"]:
+                assert str(seed) in cell["digests"]
+
+
+class TestValidArtifacts:
+    def test_minimal_kernels_passes(self):
+        assert validate_artifact(minimal_kernels()) == "repro-bench-kernels"
+
+    def test_minimal_sweep_passes(self):
+        assert validate_artifact(minimal_sweep()) == "repro-sweep"
+
+    def test_kind_pinning(self):
+        validate_artifact(minimal_sweep(), kind="repro-sweep")
+        with pytest.raises(ArtifactError, match="expected"):
+            validate_artifact(minimal_sweep(), kind="repro-bench-kernels")
+
+    def test_bools_are_not_measurements(self):
+        data = minimal_sweep()
+        data["cells"][0]["converged"] = False  # falsy, but not negative
+        validate_artifact(data)
+
+
+class TestRejections:
+    def test_non_object(self):
+        with pytest.raises(ArtifactError, match="JSON object"):
+            validate_artifact([1, 2, 3])
+
+    def test_missing_schema_field(self):
+        data = minimal_kernels()
+        del data["schema"]
+        with pytest.raises(ArtifactError, match="missing required 'schema'"):
+            validate_artifact(data)
+
+    def test_unknown_schema(self):
+        data = minimal_kernels()
+        data["schema"] = "repro-nope"
+        with pytest.raises(ArtifactError, match="unknown schema"):
+            validate_artifact(data)
+
+    @pytest.mark.parametrize("version", [0, -1, "1", 1.0, True, None])
+    def test_bad_version(self, version):
+        data = minimal_kernels()
+        data["schema_version"] = version
+        with pytest.raises(ArtifactError, match="schema_version"):
+            validate_artifact(data)
+
+    @pytest.mark.parametrize("kind", sorted(REQUIRED_KEYS))
+    def test_each_required_key_enforced(self, kind):
+        builders = {
+            "repro-bench-kernels": minimal_kernels,
+            "repro-sweep": minimal_sweep,
+        }
+        for key in REQUIRED_KEYS[kind]:
+            if key in ("schema", "schema_version"):
+                continue
+            data = builders[kind]()
+            del data[key]
+            with pytest.raises(ArtifactError, match="missing required key"):
+                validate_artifact(data)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_rejected_anywhere(self, bad):
+        data = minimal_sweep()
+        data["cells"][0]["metrics"]["processing_time_s"]["std"] = bad
+        with pytest.raises(ArtifactError, match="non-finite"):
+            validate_artifact(data)
+        assert math.isnan(bad) or math.isinf(bad)
+
+    def test_negative_timing_rejected(self):
+        data = minimal_sweep()
+        data["cells"][0]["metrics"]["processing_time_s"]["mean"] = -0.5
+        with pytest.raises(ArtifactError, match="negative measurement"):
+            validate_artifact(data)
+
+    def test_negative_count_rejected_deep(self):
+        data = minimal_kernels()
+        data["results"][0]["scalar"] = {"rounds": -3}
+        with pytest.raises(ArtifactError, match="negative measurement"):
+            validate_artifact(data)
+
+    def test_negative_non_measurement_allowed(self):
+        # Signed quantities (e.g. a delta) are not banned by name.
+        data = minimal_kernels()
+        data["results"][0]["state_delta"] = -1.0
+        validate_artifact(data)
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            validate_artifact_file(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            validate_artifact_file(str(path))

@@ -108,6 +108,81 @@ class TestErrorHandling:
             main(["--debug", "run", "--edge-list", str(bad)])
 
 
+class TestSweepCommand:
+    """Exit-code contract of ``repro sweep``: 0 on a clean run or a
+    passing gate, 1 on any gate failure or malformed config — the
+    contract the CI sweep-gate job relies on."""
+
+    ARGS = ["sweep", "--engines", "digraph", "--algorithms", "pagerank",
+            "--graphs", "cnr", "--scale", "0.1", "--seeds", "3"]
+
+    def test_sweep_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        code = main(self.ARGS + ["--output", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "digraph/pagerank/cnr" in out
+        assert "model=" in out
+
+    def test_gate_against_itself_passes(self, tmp_path, capsys):
+        out_path = tmp_path / "base.json"
+        assert main(self.ARGS + ["--output", str(out_path)]) == 0
+        code = main(
+            self.ARGS + ["--output", "", "--gate", str(out_path)]
+        )
+        assert code == 0
+        assert "gate PASS" in capsys.readouterr().out
+
+    def test_gate_regression_exits_one(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        assert main(self.ARGS + ["--output", str(base_path)]) == 0
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(
+            """{
+              "engines": ["digraph"], "algorithms": ["pagerank"],
+              "graphs": ["cnr"], "scale": 0.1, "seeds": [3],
+              "inject_slowdown": {"digraph/*": 3.0}
+            }"""
+        )
+        code = main(
+            ["sweep", "--config", str(slowed), "--output", "",
+             "--gate", str(base_path)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "regression" in err
+
+    def test_malformed_config_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["sweep", "--config", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_unknown_engine_in_config_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad_engine.json"
+        bad.write_text(
+            '{"engines": ["warp9"], "algorithms": ["pagerank"],'
+            ' "graphs": ["cnr"]}'
+        )
+        code = main(["sweep", "--config", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "unknown engine" in err
+
+    def test_gate_missing_baseline_exits_one(self, tmp_path, capsys):
+        code = main(
+            self.ARGS
+            + ["--output", "", "--gate", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "error: " in capsys.readouterr().err
+
+
 class TestTraceFlag:
     def test_run_with_trace(self, capsys):
         code = main(

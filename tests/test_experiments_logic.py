@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 import repro.bench.experiments as experiments
+import repro.bench.runner as runner
 from repro.bench.results import ExecutionResult
 from repro.gpu.stats import MachineStats
 
@@ -50,6 +51,9 @@ def stub_cells(monkeypatch):
         return fake_result(engine_name, **behavior[engine_name])
 
     monkeypatch.setattr(experiments, "run_cell", fake_run_cell)
+    # fig16 now routes through the sweep runner, which calls
+    # runner.run_cell directly.
+    monkeypatch.setattr(runner, "run_cell", fake_run_cell)
     return behavior
 
 
