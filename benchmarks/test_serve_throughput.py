@@ -1,0 +1,36 @@
+"""Serving throughput: batched multi-source dispatch vs sequential.
+
+Point-query frontiers are sparse, so modeled service time is
+kernel-launch dominated; 8-lane batching must buy >= 3x queries/s on
+single-algorithm traces (the CI acceptance bar) while changing no
+served answer (``answers_equal``). Mixed traces batch less — the
+scheduler can only fuse same-algorithm queue heads — so they get a
+softer bound.
+"""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+SINGLE_ALGO_FLOOR = 3.0
+MIXED_FLOOR = 2.5
+
+
+def test_serve_throughput(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.serve_throughput,
+        kwargs=dict(out_path=str(results_dir / "BENCH_serve.json")),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_show(results_dir, "serve_throughput", result["table"])
+
+    for algo, entry in result["results"].items():
+        assert entry["answers_equal"], (
+            f"{algo}: batching changed a served answer"
+        )
+        assert entry["launches_batched"] < entry["launches_sequential"]
+        floor = MIXED_FLOOR if algo == "mixed" else SINGLE_ALGO_FLOOR
+        assert entry["speedup"] >= floor, (
+            f"{algo}: {entry['speedup']:.2f}x < {floor}x"
+        )

@@ -754,3 +754,112 @@ def stream_speedup(
         rows,
     )
     return {"results": results, "rows": rows, "sweep": report, "table": table}
+
+
+def serve_throughput(
+    scale: float = DEFAULT_SCALE,
+    graph_name: str = "dblp",
+    algos: Sequence[str] = ("sssp", "bfs", "ppr", "reachability", "mixed"),
+    lane_counts: Sequence[int] = (1, 8),
+    num_queries: int = 64,
+    tenant_count: int = 4,
+    seed: int = 11,
+    out_path: Optional[str] = "BENCH_serve.json",
+) -> dict:
+    """Multi-tenant serving: batched multi-source vs sequential dispatch.
+
+    Serves the same seeded arrival trace per algorithm once per
+    ``query_lanes`` value — ``1`` is sequential dispatch (every batch a
+    single query), higher values batch same-algorithm queries into one
+    multi-source lane-kernel solve.  Point-query frontiers are sparse,
+    so service time is kernel-launch dominated and k-lane batching cuts
+    launches roughly k-fold; the reported speedup is queries/s at the
+    widest lane count over queries/s at 1 lane.  The per-cell serve
+    digest covers every query's answer, so the table also certifies
+    that batching changed *no* served result
+    (``answers_equal``) — the lane-equivalence property, enforced at
+    the artifact level.
+
+    Runs through the shared sweep runner as ``mode="serve"`` cells and
+    writes the schema-validated sweep artifact (plus a summary block)
+    to ``out_path`` — the ``BENCH_serve.json`` the CI serve-gate job
+    diffs against its committed baseline.
+    """
+    from repro.bench.schema import validate_artifact
+    from repro.bench.sweep import SweepConfig, run_sweep, write_artifact
+
+    lane_counts = sorted(lane_counts)
+    report = run_sweep(
+        SweepConfig(
+            engines=("serve",),
+            algorithms=tuple(algos),
+            graphs=(graph_name,),
+            scale=scale,
+            mode="serve",
+            seeds=(seed,),
+            knobs={
+                "query_lanes": tuple(lane_counts),
+                "num_queries": (num_queries,),
+                "tenant_count": (tenant_count,),
+            },
+        )
+    )
+    by_algo: Dict[str, Dict[int, Dict[str, object]]] = {}
+    for cell in report["cells"]:
+        by_algo.setdefault(cell["algorithm"], {})[
+            int(cell["knobs"]["query_lanes"])
+        ] = cell
+    rows = []
+    results: Dict[str, Dict[str, object]] = {}
+    for algo in algos:
+        cells = by_algo[algo]
+        base = cells[lane_counts[0]]
+        wide = cells[lane_counts[-1]]
+        base_qps = base["metrics"]["queries_per_s"]["mean"]
+        wide_qps = wide["metrics"]["queries_per_s"]["mean"]
+        speedup = wide_qps / base_qps if base_qps > 0 else 0.0
+        answers_equal = all(
+            cells[lanes]["digests"] == base["digests"]
+            for lanes in lane_counts
+        )
+        results[algo] = {
+            "queries_per_s_sequential": base_qps,
+            "queries_per_s_batched": wide_qps,
+            "speedup": speedup,
+            "latency_p50_s": wide["metrics"]["latency_p50_s"]["mean"],
+            "latency_p99_s": wide["metrics"]["latency_p99_s"]["mean"],
+            "launches_sequential": base["metrics"]["launches"]["mean"],
+            "launches_batched": wide["metrics"]["launches"]["mean"],
+            "answers_equal": answers_equal,
+        }
+        rows.append(
+            [
+                algo,
+                base_qps,
+                wide_qps,
+                speedup,
+                int(base["metrics"]["launches"]["mean"]),
+                int(wide["metrics"]["launches"]["mean"]),
+                "ok" if answers_equal else "FAIL",
+            ]
+        )
+    table = format_table(
+        f"Serving: {lane_counts[-1]}-lane batching vs sequential dispatch "
+        f"({num_queries} queries x {tenant_count} tenants on {graph_name}, "
+        f"seed={seed})",
+        [
+            "algo",
+            "qps_seq",
+            "qps_batch",
+            "speedup",
+            "launch_seq",
+            "launch_batch",
+            "answers",
+        ],
+        rows,
+    )
+    report["summary"] = {algo: dict(entry) for algo, entry in results.items()}
+    if out_path is not None:
+        validate_artifact(report, kind="repro-sweep", path=out_path)
+        write_artifact(report, out_path)
+    return {"results": results, "rows": rows, "sweep": report, "table": table}

@@ -104,6 +104,8 @@ def run_cell(
     engine_factory: Optional[Callable] = None,
     vectorized: bool = False,
     recovery=None,
+    query_lanes: Optional[int] = None,
+    tenant_count: Optional[int] = None,
 ) -> ExecutionResult:
     """Run one (engine, algorithm, graph) cell, memoized per process.
 
@@ -118,7 +120,11 @@ def run_cell(
     simulated hardware are different cells, and the memoized
     :class:`ExecutionResult` (whose ``stats`` bundle is mutable and
     shared by every figure reading the cell) must never be served across
-    that boundary.
+    that boundary.  It likewise includes the serving axes
+    ``query_lanes`` / ``tenant_count``: batch cells pin both to None,
+    and serve cells (:func:`repro.serve.runner.run_serve_cell`, which
+    shares this process cache) always set them, so a serving cell can
+    never poison — or be poisoned by — a cached batch cell.
     """
     custom = (
         graph is not None or engine_factory is not None
@@ -127,7 +133,7 @@ def run_cell(
     spec = machine or SCALED_MACHINE
     key = (
         engine_name, algo, graph_name, scale, num_gpus, n_workers,
-        vectorized, spec,
+        vectorized, spec, query_lanes, tenant_count,
     )
     if use_cache and not custom and key in _CACHE:
         return _CACHE[key]

@@ -42,9 +42,11 @@ NON_NEGATIVE_SUFFIXES = (
     "_s",
     "_seconds",
     "_ms",
+    "_us",
     "_bytes",
     "_cycles",
     "_per_second",
+    "_per_s",
     "_per_round",
 )
 
@@ -65,6 +67,26 @@ NON_NEGATIVE_KEYS = frozenset(
         "min",
         "max",
         "scale",
+        # serve-mode cells (repro.serve): query counts, scheduler
+        # counters, and their sweep knobs are all non-negative.
+        "queries",
+        "completed",
+        "queries_total",
+        "queries_completed",
+        "queries_failed",
+        "queries_replayed",
+        "batches",
+        "launches",
+        "edge_lane_work",
+        "peak_concurrency",
+        "faults_injected",
+        "replays",
+        "query_lanes",
+        "tenant_count",
+        "max_concurrent",
+        "tenant_quota",
+        "num_queries",
+        "kill_launch",
     }
 )
 

@@ -80,6 +80,20 @@ STREAM_KNOBS = (
     "stream_mix",
 )
 
+#: Knobs a ``mode="serve"`` cell understands (multi-tenant query
+#: serving through :func:`repro.serve.runner.run_serve_cell`).
+SERVE_KNOBS = (
+    "num_gpus",
+    "query_lanes",
+    "tenant_count",
+    "max_concurrent",
+    "tenant_quota",
+    "num_queries",
+    "mean_interarrival_us",
+    "kill_launch",
+    "replay_on_fault",
+)
+
 #: Checkpoint-lifecycle knobs that require an engine with recovery
 #: support (every engine except the sequential reference).
 RECOVERY_KNOBS = (
@@ -112,10 +126,41 @@ STREAM_METRICS = (
     "incremental_rounds",
 )
 
-#: Metrics the gate treats as "bigger is a regression".
+#: Metrics aggregated per serve-mode cell (one trace end to end).
+SERVE_METRICS = (
+    "queries_total",
+    "queries_completed",
+    "queries_failed",
+    "queries_replayed",
+    "queries_per_s",
+    "latency_p50_s",
+    "latency_p99_s",
+    "latency_mean_s",
+    "latency_max_s",
+    "makespan_s",
+    "gpu_busy_s",
+    "batches",
+    "launches",
+    "edge_lane_work",
+    "peak_concurrency",
+    "faults_injected",
+    "replays",
+)
+
+#: Metrics the gate treats as "bigger is a regression".  Serve cells
+#: gate on latency / busy-time / launch counts (all bigger-is-worse);
+#: ``queries_per_s`` is bigger-is-better and is covered indirectly —
+#: a throughput loss shows up as a gpu_busy_s or latency regression.
 GATED_METRICS = {
     "run": ("processing_time_s", "total_time_s", "vertex_updates", "rounds"),
     "stream": ("incremental_s", "vertices_reactivated"),
+    "serve": (
+        "latency_p50_s",
+        "latency_p99_s",
+        "gpu_busy_s",
+        "launches",
+        "queries_failed",
+    ),
 }
 
 GraphSpec = Union[str, Dict[str, object]]
@@ -240,8 +285,9 @@ class SweepConfig:
         from repro.cli import ALGORITHMS
 
         _require(
-            self.mode in ("run", "stream"),
-            f"sweep mode must be 'run' or 'stream', got {self.mode!r}",
+            self.mode in ("run", "stream", "serve"),
+            f"sweep mode must be 'run', 'stream' or 'serve', "
+            f"got {self.mode!r}",
         )
         for engine in self.engines:
             if self.mode == "stream":
@@ -250,17 +296,34 @@ class SweepConfig:
                     "stream-mode sweeps run on the digraph engine only "
                     f"(got {engine!r})",
                 )
+            elif self.mode == "serve":
+                _require(
+                    engine == "serve",
+                    "serve-mode sweeps use the pseudo-engine 'serve' "
+                    f"(got {engine!r})",
+                )
             else:
                 _require(
                     engine in ("sequential",) + ENGINE_NAMES,
                     f"unknown engine {engine!r}; known: "
                     f"{('sequential',) + ENGINE_NAMES}",
                 )
-        for algo in self.algorithms:
-            _require(
-                algo in ALGORITHMS,
-                f"unknown algorithm {algo!r}; known: {ALGORITHMS}",
-            )
+        if self.mode == "serve":
+            from repro.serve.query import SERVE_ALGORITHMS
+
+            servable = SERVE_ALGORITHMS + ("mixed",)
+            for algo in self.algorithms:
+                _require(
+                    algo in servable,
+                    f"algorithm {algo!r} is not servable; known: "
+                    f"{servable}",
+                )
+        else:
+            for algo in self.algorithms:
+                _require(
+                    algo in ALGORITHMS,
+                    f"unknown algorithm {algo!r}; known: {ALGORITHMS}",
+                )
         for spec in self.graphs:
             if isinstance(spec, str):
                 _require(
@@ -293,7 +356,11 @@ class SweepConfig:
             isinstance(self.repeats, int) and self.repeats >= 1,
             f"repeats must be a positive integer, got {self.repeats!r}",
         )
-        allowed = RUN_KNOBS if self.mode == "run" else STREAM_KNOBS
+        allowed = {
+            "run": RUN_KNOBS,
+            "stream": STREAM_KNOBS,
+            "serve": SERVE_KNOBS,
+        }[self.mode]
         for name in self.knobs:
             _require(
                 name in allowed,
@@ -523,6 +590,53 @@ def _stream_once(spec: CellSpec, seed: int) -> Dict[str, object]:
     }
 
 
+def _serve_once(spec: CellSpec, seed: int) -> Dict[str, object]:
+    """One execution of a serve-mode cell: a full trace served end to end.
+
+    The digest covers every query's per-lane state digest in query-id
+    order (:func:`repro.serve.runner.serve_digest`), so any scheduling,
+    batching, or kernel change that alters a served answer — or which
+    queries fail — flips the cell's determinism digest.
+    """
+    from repro.serve.runner import run_serve_cell, serve_digest
+
+    knobs = spec.knobs
+    graph = None
+    graph_name = spec.graph_label
+    if not isinstance(spec.graph, str):
+        graph = _resolve_graph(spec, seed)
+        graph_name = f"{spec.graph_label}@seed{seed}"
+    kill = knobs.get("kill_launch")
+    t0 = time.perf_counter()
+    report = run_serve_cell(
+        spec.algorithm,
+        graph_name,
+        scale=spec.scale,
+        seed=seed,
+        num_queries=int(knobs.get("num_queries", 32)),
+        tenant_count=int(knobs.get("tenant_count", 4)),
+        query_lanes=int(knobs.get("query_lanes", 8)),
+        max_concurrent=int(knobs.get("max_concurrent", 32)),
+        tenant_quota=int(knobs.get("tenant_quota", 8)),
+        mean_interarrival_us=float(
+            knobs.get("mean_interarrival_us", 10.0)
+        ),
+        num_gpus=int(knobs["num_gpus"]) if knobs.get("num_gpus") else None,
+        kill_launch=int(kill) if kill is not None else None,
+        replay_on_fault=bool(knobs.get("replay_on_fault", True)),
+        use_cache=False,
+        graph=graph,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "converged": len(report.failed) == 0,
+        "digest": serve_digest(report),
+        "stats": {"per_tenant": report.per_tenant},
+        "metrics": report.metrics(),
+    }
+
+
 def _aggregate(values: Sequence[float]) -> Dict[str, float]:
     arr = np.asarray(values, dtype=float)
     return {
@@ -559,7 +673,11 @@ def run_sweep_cell(
     of the first run, so nothing in the artifact aliases live machine
     counters.
     """
-    execute = _run_once if spec.mode == "run" else _stream_once
+    execute = {
+        "run": _run_once,
+        "stream": _stream_once,
+        "serve": _serve_once,
+    }[spec.mode]
     runs: List[Dict[str, object]] = []
     digests: Dict[str, str] = {}
     deterministic = True

@@ -23,7 +23,12 @@ Subcommands:
   x graphs x knobs, repeated seeded runs) through
   :mod:`repro.bench.sweep`, write a versioned ``BENCH_sweep.json``
   artifact, and optionally gate it against a committed baseline
-  (``--gate BASELINE.json --tolerance 0.15`` exits 1 on regression).
+  (``--gate BASELINE.json --tolerance 0.15`` exits 1 on regression);
+- ``serve`` — serve a deterministic multi-tenant point-query trace
+  (:mod:`repro.serve`) over one shared preprocessed graph, batching
+  same-algorithm queries into multi-source lane kernels;
+  ``--strict`` certifies every served answer bit-identical to an
+  independent single-source golden run and exits 1 on any mismatch.
 
 Any :class:`~repro.errors.ReproError` raised by a subcommand is printed
 as a one-line ``error: ...`` on stderr with exit status 1; pass
@@ -386,6 +391,90 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.runner import run_serve_cell, serve_digest
+
+    report = run_serve_cell(
+        args.algorithm,
+        args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        num_queries=args.queries,
+        tenant_count=args.tenants,
+        query_lanes=args.lanes,
+        max_concurrent=args.max_concurrent,
+        tenant_quota=args.tenant_quota,
+        mean_interarrival_us=args.interarrival_us,
+        num_gpus=args.gpus,
+        kill_launch=args.kill_launch,
+        replay_on_fault=not args.no_replay,
+        use_cache=False,
+    )
+    metrics = report.metrics()
+    print(
+        f"{args.dataset}/{args.algorithm}: "
+        f"{int(metrics['queries_completed'])}"
+        f"/{int(metrics['queries_total'])} queries completed "
+        f"({int(metrics['queries_failed'])} failed, "
+        f"{int(metrics['replays'])} replayed) in "
+        f"{int(metrics['batches'])} batches / "
+        f"{int(metrics['launches'])} launches"
+    )
+    print(
+        f"  throughput={metrics['queries_per_s']:.0f} q/s "
+        f"p50={metrics['latency_p50_s'] * 1e6:.1f}us "
+        f"p99={metrics['latency_p99_s'] * 1e6:.1f}us "
+        f"makespan={metrics['makespan_s'] * 1e3:.3f}ms "
+        f"gpu_busy={metrics['gpu_busy_s'] * 1e3:.3f}ms "
+        f"peak_concurrency={int(metrics['peak_concurrency'])}"
+    )
+    for tenant, stats in sorted(report.per_tenant.items()):
+        print(
+            f"  {tenant:<12} queries={int(stats['queries']):<4} "
+            f"completed={int(stats['completed']):<4} "
+            f"p50={stats['latency_p50_s'] * 1e6:.1f}us "
+            f"p99={stats['latency_p99_s'] * 1e6:.1f}us "
+            f"max={stats['latency_max_s'] * 1e6:.1f}us"
+        )
+    if args.verbose:
+        for result in report.results:
+            digest = (result.digest or "-")[:12]
+            print(
+                f"    q{result.query.query_id:<4} "
+                f"{result.query.tenant:<10} "
+                f"{result.query.algorithm:<13} {result.status:<7} "
+                f"batch={result.batch_id:<3} lanes={result.lanes:<2} "
+                f"rounds={result.rounds:<4} "
+                f"latency={result.latency_s * 1e6:9.1f}us "
+                f"digest={digest}"
+            )
+    print(f"  serve digest: {serve_digest(report)[:16]}")
+    exit_code = 0
+    if report.failed:
+        print(
+            f"serve: {len(report.failed)} queries FAILED", file=sys.stderr
+        )
+        exit_code = 1
+    if args.strict:
+        from repro.serve.runner import serving_context_for
+        from repro.verify.serve import verify_serve_report
+
+        spec = SCALED_MACHINE
+        if args.gpus:
+            spec = spec.scaled(args.gpus)
+        context = serving_context_for(
+            args.dataset, args.algorithm, args.scale, spec
+        )
+        verdict = verify_serve_report(context, report)
+        status = "PASS" if verdict.passed else "FAIL"
+        print(f"  equivalence oracle: {status} ({verdict.detail})")
+        if not verdict.passed:
+            for line in verdict.failures:
+                print(f"    {line}", file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
 def cmd_sweep(args) -> int:
     from repro.bench.sweep import (
         SweepConfig,
@@ -423,9 +512,11 @@ def cmd_sweep(args) -> int:
     )
     for cell in report["cells"]:
         wall = cell["wall_seconds"]
-        first_metric = (
-            "processing_time_s" if cell["mode"] == "run" else "incremental_s"
-        )
+        first_metric = {
+            "run": "processing_time_s",
+            "stream": "incremental_s",
+            "serve": "latency_p50_s",
+        }[cell["mode"]]
         model = cell["metrics"][first_metric]
         flags = ""
         if not cell["deterministic"]:
@@ -471,7 +562,7 @@ def cmd_experiment(args) -> int:
         names = [
             name
             for name in dir(experiments)
-            if name.startswith(("fig", "table", "ablation", "stream"))
+            if name.startswith(("fig", "table", "ablation", "stream", "serve"))
         ]
         print(
             f"unknown experiment {args.name!r}; available: "
@@ -640,6 +731,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each cell id before running it",
     )
     sw.set_defaults(func=cmd_sweep)
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve a deterministic multi-tenant point-query trace with "
+        "batched multi-source kernels over one shared preprocessed graph",
+    )
+    sv.add_argument(
+        "--dataset",
+        choices=datasets.DATASET_NAMES,
+        default="dblp",
+        help="built-in dataset stand-in (default: dblp)",
+    )
+    sv.add_argument(
+        "--scale", type=float, default=0.25, help="dataset scale factor"
+    )
+    sv.add_argument(
+        "--gpus", type=int, default=None, help="override simulated GPU count"
+    )
+    sv.add_argument(
+        "--algorithm",
+        choices=["sssp", "bfs", "ppr", "reachability", "mixed"],
+        default="mixed",
+        help="query algorithm for the trace; 'mixed' draws uniformly "
+        "over all servable algorithms (default: mixed)",
+    )
+    sv.add_argument(
+        "--queries", type=int, default=64, help="trace length (default: 64)"
+    )
+    sv.add_argument(
+        "--tenants", type=int, default=4, help="tenant count (default: 4)"
+    )
+    sv.add_argument(
+        "--lanes",
+        type=int,
+        default=8,
+        help="max same-algorithm queries batched into one multi-source "
+        "solve; 1 = sequential dispatch (default: 8)",
+    )
+    sv.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=32,
+        help="admission bound on in-flight queries (default: 32)",
+    )
+    sv.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        help="per-tenant in-flight fairness quota (default: 8)",
+    )
+    sv.add_argument(
+        "--interarrival-us",
+        type=float,
+        default=10.0,
+        help="mean open-loop interarrival time in microseconds "
+        "(default: 10)",
+    )
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--kill-launch",
+        type=int,
+        default=None,
+        help="kill the GPU at this serve-wide kernel-launch index "
+        "(default: no fault)",
+    )
+    sv.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="fail the killed batch's queries cleanly instead of "
+        "replaying them",
+    )
+    sv.add_argument(
+        "--strict",
+        action="store_true",
+        help="certify every served answer bit-identical to an "
+        "independent single-source golden run; exit 1 on mismatch",
+    )
+    sv.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print one line per served query",
+    )
+    sv.set_defaults(func=cmd_serve)
 
     vf = sub.add_parser(
         "verify",

@@ -122,6 +122,45 @@ class ConfigurationError(ReproError):
     """An engine or machine was configured with invalid parameters."""
 
 
+class ServeError(ReproError):
+    """The query-serving layer was misused or failed structurally."""
+
+
+class QueryAbortedError(ServeError):
+    """Served queries failed and could not (or may not) be replayed.
+
+    Structured fields name the blast radius without message parsing:
+    the ``query_ids`` aborted, the ``tenants`` they belong to, the
+    ``batch_id`` whose dispatch died, and the serve-wide
+    ``launch_index`` where the fault struck.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_ids=None,
+        tenants=None,
+        batch_id=None,
+        launch_index=None,
+    ) -> None:
+        details = []
+        if query_ids is not None:
+            details.append(f"queries={list(query_ids)}")
+        if tenants is not None:
+            details.append(f"tenants={sorted(set(tenants))}")
+        if batch_id is not None:
+            details.append(f"batch={batch_id}")
+        if launch_index is not None:
+            details.append(f"launch={launch_index}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.query_ids = tuple(query_ids) if query_ids is not None else None
+        self.tenants = tuple(tenants) if tenants is not None else None
+        self.batch_id = batch_id
+        self.launch_index = launch_index
+
+
 class ArtifactError(ReproError):
     """A benchmark artifact (``BENCH_*.json``) is missing, unreadable,
     or violates its schema (wrong keys, bad version, NaN/negative

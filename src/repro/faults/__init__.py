@@ -26,6 +26,7 @@ from repro.faults.chaos import (
     chaos_sweep,
     recovery_digest,
     run_chaos_cell,
+    run_serve_chaos_cell,
     state_digest,
 )
 from repro.faults.checkpoint import CheckpointManager, CheckpointRecord
@@ -65,5 +66,6 @@ __all__ = [
     "chaos_sweep",
     "recovery_digest",
     "run_chaos_cell",
+    "run_serve_chaos_cell",
     "state_digest",
 ]

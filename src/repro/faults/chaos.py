@@ -264,6 +264,93 @@ def run_chaos_cell(
     )
 
 
+def run_serve_chaos_cell(
+    graph,
+    algorithm: str = "mixed",
+    kill_launch: int = 4,
+    seed: int = 0,
+    num_queries: int = 24,
+    replay_on_fault: bool = True,
+    machine: Optional[MachineSpec] = None,
+    graph_name: str = "serve-chaos",
+) -> ChaosCellResult:
+    """GPU kill mid-query against the serving layer, digest-certified.
+
+    The golden leg serves the seeded trace fault-free; the recovered leg
+    kills GPU 0 at serve-wide launch ``kill_launch`` and (by default)
+    replays the dead batch. The cell passes only when the fault actually
+    fired, no query failed, and every served answer matches the golden
+    run bit for bit (:func:`repro.serve.runner.serve_digest` equality).
+    With ``replay_on_fault=False`` this is the non-vacuity leg: the kill
+    must surface as cleanly failed queries and a digest mismatch.
+    """
+    # Imported lazily: repro.serve depends on repro.faults.plan, so a
+    # module-level import here would be circular.
+    from repro.serve.runner import run_serve_cell, serve_digest
+
+    common = dict(
+        seed=seed,
+        num_queries=num_queries,
+        machine=machine,
+        graph=graph,
+        use_cache=False,
+    )
+    golden = run_serve_cell(algorithm, graph_name, **common)
+    recovered = run_serve_cell(
+        algorithm,
+        graph_name,
+        kill_launch=kill_launch,
+        replay_on_fault=replay_on_fault,
+        **common,
+    )
+    golden_digest = serve_digest(golden)
+    recovered_digest = serve_digest(recovered)
+    digest_match = golden_digest == recovered_digest
+    passed = bool(
+        recovered.faults_injected > 0
+        and not recovered.failed
+        and digest_match
+    )
+    if recovered.faults_injected == 0:
+        detail = f"vacuous: no fault fired at launch {kill_launch}"
+    elif recovered.failed:
+        detail = (
+            f"{len(recovered.failed)} queries failed "
+            f"(replay_on_fault={replay_on_fault})"
+        )
+    elif not digest_match:
+        detail = "served answers diverge from fault-free golden run"
+    else:
+        detail = (
+            f"{len(recovered.completed)} served answers match golden "
+            f"after {recovered.replays}-query batch replay"
+        )
+    return ChaosCellResult(
+        algorithm=f"serve-{algorithm}",
+        engine="serve",
+        seed=seed,
+        passed=passed,
+        detail=detail,
+        faults_injected=recovered.faults_injected,
+        gpu_failures=recovered.faults_injected,
+        rounds_rolled_back=recovered.replays,
+        recovery_time_s=max(
+            0.0, recovered.gpu_busy_s - golden.gpu_busy_s
+        ),
+        trace_digest=recovered_digest,
+        golden_digest=golden_digest,
+        recovered_digest=recovered_digest,
+        digest_match=digest_match,
+        golden_time_s=golden.makespan_s,
+        recovered_time_s=recovered.makespan_s,
+        error=(
+            None
+            if not recovered.failed
+            else recovered.failed[0].error
+        ),
+    )
+
+
 def chaos_sweep(
     graph,
     algorithms: Sequence[str],
@@ -274,12 +361,17 @@ def chaos_sweep(
     graph_name: str = "chaos",
     plan_options: Optional[Dict] = None,
     disable_recovery: bool = False,
+    include_serve: bool = False,
+    serve_kill_launch: int = 4,
 ) -> List[ChaosCellResult]:
     """Run the chaos grid: algorithms x engines x seeds.
 
     ``plan_options`` are forwarded to :meth:`FaultPlan.generate` (fault
     rates, kill schedule); the number of GPUs is taken from ``machine``
-    (or the default spec when None).
+    (or the default spec when None). ``include_serve`` appends one
+    serving-layer kill/replay cell per seed
+    (:func:`run_serve_chaos_cell` on a mixed-algorithm trace) so the
+    query service faces the same sweep as the batch engines.
     """
     options = dict(plan_options or {})
     num_gpus = (machine or MachineSpec()).num_gpus
@@ -300,4 +392,16 @@ def chaos_sweep(
                         disable_recovery=disable_recovery,
                     )
                 )
+        if include_serve:
+            results.append(
+                run_serve_chaos_cell(
+                    graph,
+                    "mixed",
+                    kill_launch=serve_kill_launch,
+                    seed=seed,
+                    replay_on_fault=not disable_recovery,
+                    machine=machine,
+                    graph_name=graph_name,
+                )
+            )
     return results

@@ -10,6 +10,11 @@ ordering contract).
 Each algorithm registers a kernel next to its vectorized formulation;
 engines resolve one with :func:`resolve_kernel` and fall back to a
 per-vertex loop behind the same interface for unregistered programs.
+
+The serving layer adds a second registry axis: **lane kernels**
+(:mod:`repro.kernels.lanes`) batch k same-algorithm point queries into
+one multi-source kernel with a leading query-lane axis, bit-identical
+per lane to k sequential single-source runs.
 """
 
 from repro.kernels.base import (
@@ -18,37 +23,58 @@ from repro.kernels.base import (
     ScalarFallbackKernel,
 )
 from repro.kernels.registry import (
+    has_lane_kernel,
     has_vectorized_kernel,
     kernel_class_for,
+    lane_kernel_class_for,
     register_kernel,
+    register_lane_kernel,
+    registered_lane_program_classes,
     registered_program_classes,
     resolve_kernel,
+    resolve_lane_kernel,
 )
 from repro.kernels.segment import (
     batch_segments,
     interleave_segments,
     segment_max,
+    segment_max_2d,
     segment_min,
+    segment_min_2d,
     segment_sum_ordered,
+    segment_sum_ordered_2d,
 )
 
 # Importing the kernel modules registers them.
 from repro.kernels import linear as _linear  # noqa: F401
 from repro.kernels import monotone as _monotone  # noqa: F401
 from repro.kernels import structural as _structural  # noqa: F401
+from repro.kernels import lanes as _lanes  # noqa: F401
+
+from repro.kernels.lanes import InEdgeLaneKernel, LaneKernel
 
 __all__ = [
     "BatchKernel",
     "InEdgeKernel",
     "ScalarFallbackKernel",
+    "LaneKernel",
+    "InEdgeLaneKernel",
     "register_kernel",
     "resolve_kernel",
     "kernel_class_for",
     "has_vectorized_kernel",
     "registered_program_classes",
+    "register_lane_kernel",
+    "resolve_lane_kernel",
+    "lane_kernel_class_for",
+    "has_lane_kernel",
+    "registered_lane_program_classes",
     "batch_segments",
     "interleave_segments",
     "segment_sum_ordered",
+    "segment_sum_ordered_2d",
     "segment_min",
+    "segment_min_2d",
     "segment_max",
+    "segment_max_2d",
 ]

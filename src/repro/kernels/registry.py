@@ -5,17 +5,31 @@ vectorized formulation; engines resolve one with :func:`resolve_kernel`,
 getting the :class:`~repro.kernels.base.ScalarFallbackKernel` when no
 vectorized kernel exists (so the batched engine code path runs every
 program, just without the speedup).
+
+The registry has a second, parallel axis for the serving layer:
+**lane kernels** (:mod:`repro.kernels.lanes`) batch k same-class point
+queries into one multi-source kernel with a leading query-lane axis.
+They register with :func:`register_lane_kernel` and resolve with
+:func:`resolve_lane_kernel`; there is no scalar fallback on this axis —
+a program class either has a vectorized multi-source formulation or the
+serving layer refuses to batch it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple, Type
 
+from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraphCSR
 from repro.kernels.base import BatchKernel, ScalarFallbackKernel
 from repro.model.gas import VertexProgram
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernels.lanes import LaneKernel
+
 _REGISTRY: Dict[Type[VertexProgram], Type[BatchKernel]] = {}
+
+_LANE_REGISTRY: Dict[Type[VertexProgram], Type["LaneKernel"]] = {}
 
 
 def register_kernel(
@@ -68,3 +82,61 @@ def resolve_kernel(
 def registered_program_classes() -> Tuple[Type[VertexProgram], ...]:
     """Program classes with a vectorized kernel, registration order."""
     return tuple(_REGISTRY.keys())
+
+
+# ----------------------------------------------------------------------
+# query-lane axis (multi-source kernels for the serving layer)
+# ----------------------------------------------------------------------
+def register_lane_kernel(
+    *program_classes: Type[VertexProgram],
+) -> Callable[[Type["LaneKernel"]], Type["LaneKernel"]]:
+    """Class decorator registering a lane kernel for its program class(es)."""
+
+    def decorate(kernel_cls: Type["LaneKernel"]) -> Type["LaneKernel"]:
+        for program_cls in program_classes:
+            _LANE_REGISTRY[program_cls] = kernel_cls
+        return kernel_cls
+
+    return decorate
+
+
+def lane_kernel_class_for(
+    program: VertexProgram,
+) -> Optional[Type["LaneKernel"]]:
+    """The registered lane-kernel class for ``program``, if any."""
+    for cls in type(program).__mro__:
+        kernel_cls = _LANE_REGISTRY.get(cls)
+        if kernel_cls is not None:
+            return kernel_cls
+    return None
+
+
+def has_lane_kernel(program: VertexProgram) -> bool:
+    """Whether ``program`` has a registered multi-source formulation."""
+    return lane_kernel_class_for(program) is not None
+
+
+def resolve_lane_kernel(
+    programs: Sequence[VertexProgram],
+    graph: DiGraphCSR,
+) -> "LaneKernel":
+    """Build the lane kernel batching ``programs`` over ``graph``.
+
+    All programs must share one class with a registered lane kernel;
+    there is no scalar fallback on the lane axis.
+    """
+    programs = tuple(programs)
+    if not programs:
+        raise ConfigurationError("resolve_lane_kernel needs >= 1 program")
+    kernel_cls = lane_kernel_class_for(programs[0])
+    if kernel_cls is None:
+        raise ConfigurationError(
+            f"no lane kernel registered for program "
+            f"{type(programs[0]).__name__!r}"
+        )
+    return kernel_cls(programs, graph)
+
+
+def registered_lane_program_classes() -> Tuple[Type[VertexProgram], ...]:
+    """Program classes with a lane kernel, registration order."""
+    return tuple(_LANE_REGISTRY.keys())

@@ -140,3 +140,73 @@ def segment_max(
 ) -> np.ndarray:
     """Per-segment maximum; empty segments yield ``identity``."""
     return _segment_reduceat(np.maximum, values, seg_offsets, identity)
+
+
+# ----------------------------------------------------------------------
+# lane-axis (2D) variants: one row per query lane, shared segmentation
+# ----------------------------------------------------------------------
+def _segment_reduceat_2d(
+    ufunc: np.ufunc,
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    identity: float,
+) -> np.ndarray:
+    counts = np.diff(seg_offsets)
+    out = np.full((values.shape[0], counts.size), identity, dtype=np.float64)
+    nonempty = counts > 0
+    if values.shape[1] and nonempty.any():
+        out[:, nonempty] = ufunc.reduceat(
+            values, seg_offsets[:-1][nonempty], axis=1
+        )
+    return out
+
+
+def segment_min_2d(
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    identity: float = np.inf,
+) -> np.ndarray:
+    """Row-wise :func:`segment_min` over a ``(lanes, total)`` matrix.
+
+    Row ``i`` equals ``segment_min(values[i], seg_offsets)`` exactly —
+    min is order-insensitive, so one ``reduceat`` over the lane axis is
+    bit-identical to the per-lane fold.
+    """
+    return _segment_reduceat_2d(np.minimum, values, seg_offsets, identity)
+
+
+def segment_max_2d(
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    identity: float = -np.inf,
+) -> np.ndarray:
+    """Row-wise :func:`segment_max` over a ``(lanes, total)`` matrix."""
+    return _segment_reduceat_2d(np.maximum, values, seg_offsets, identity)
+
+
+def segment_sum_ordered_2d(
+    values: np.ndarray, seg_offsets: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`segment_sum_ordered` over a ``(lanes, total)`` matrix.
+
+    The positional sweep adds every segment's ``i``-th element across all
+    lanes with one vectorized ``+``, so each row performs exactly the
+    IEEE-754 additions of the 1D sweep in the same order — lane ``i`` is
+    bit-identical to ``segment_sum_ordered(values[i], seg_offsets)``.
+    """
+    counts = np.diff(seg_offsets)
+    nseg = counts.size
+    lanes = values.shape[0]
+    out = np.zeros((lanes, nseg), dtype=np.float64)
+    if nseg == 0 or values.shape[1] == 0:
+        return out
+    order = np.argsort(-counts, kind="stable")
+    starts = seg_offsets[:-1][order]
+    sorted_counts = counts[order]
+    ascending = sorted_counts[::-1]
+    acc = np.zeros((lanes, nseg), dtype=np.float64)
+    for i in range(int(sorted_counts[0])):
+        k = nseg - int(np.searchsorted(ascending, i, side="right"))
+        acc[:, :k] = acc[:, :k] + values[:, starts[:k] + i]
+    out[:, order] = acc
+    return out

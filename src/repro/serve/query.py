@@ -1,0 +1,178 @@
+"""Point queries, tenants, and deterministic open-loop arrival traces.
+
+A :class:`Query` is one tenant-issued point computation over the shared
+graph: SSSP/BFS from a source vertex, reachability from a source set, or
+personalized pagerank from a seed set. Queries carry no state — they are
+hashable descriptions the server turns into
+:class:`~repro.model.gas.VertexProgram` instances at dispatch time.
+
+:func:`generate_trace` expands a seed into an **open-loop** arrival
+trace: exponential interarrival times, weighted tenant choice, uniform
+algorithm/source choice, all from one ``random.Random(seed)`` — the same
+(seed, knobs) always produce byte-identical traces, which is what makes
+``BENCH_serve.json`` reproducible and the fairness tests meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.algorithms.bfs import BFSLevels
+from repro.algorithms.ppr import PersonalizedPageRank
+from repro.algorithms.reachability import Reachability
+from repro.algorithms.sssp import SSSP
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraphCSR
+from repro.model.gas import VertexProgram
+
+#: Algorithms the serving layer batches into multi-source lane kernels.
+SERVE_ALGORITHMS: Tuple[str, ...] = ("sssp", "bfs", "ppr", "reachability")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One point query: ``algorithm`` parameterized by ``params``.
+
+    ``params`` is the source vertex tuple — a single vertex for
+    sssp/bfs, a seed/source set for ppr/reachability. ``arrival_s`` is
+    the open-loop arrival time on the virtual clock.
+    """
+
+    query_id: int
+    tenant: str
+    algorithm: str
+    params: Tuple[int, ...]
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in SERVE_ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm {self.algorithm!r} is not servable; "
+                f"expected one of {SERVE_ALGORITHMS}"
+            )
+        if not self.params:
+            raise ConfigurationError("query needs at least one source")
+        if self.algorithm in ("sssp", "bfs") and len(self.params) != 1:
+            raise ConfigurationError(
+                f"{self.algorithm} takes exactly one source, "
+                f"got {len(self.params)}"
+            )
+        if self.arrival_s < 0:
+            raise ConfigurationError("arrival_s must be non-negative")
+
+
+def make_query_program(query: Query) -> VertexProgram:
+    """Instantiate the vertex program a query describes."""
+    if query.algorithm == "sssp":
+        return SSSP(source=query.params[0])
+    if query.algorithm == "bfs":
+        return BFSLevels(source=query.params[0])
+    if query.algorithm == "ppr":
+        return PersonalizedPageRank(seeds=query.params)
+    if query.algorithm == "reachability":
+        return Reachability(sources=query.params)
+    raise ConfigurationError(f"unservable algorithm {query.algorithm!r}")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one served query.
+
+    ``status`` is ``"ok"`` or ``"failed"``; failed queries carry the
+    structured error message and have no digest. Latency is modeled
+    (virtual clock): completion minus arrival, queue wait included.
+    """
+
+    query: Query
+    status: str
+    digest: Optional[str]
+    start_s: float
+    completion_s: float
+    batch_id: int
+    lanes: int
+    rounds: int
+    replayed: bool = False
+    error: Optional[str] = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.query.arrival_s
+
+
+def generate_trace(
+    num_vertices: int,
+    num_queries: int,
+    seed: int,
+    tenants: Union[int, Sequence[str]] = 4,
+    mean_interarrival_s: float = 1e-5,
+    algorithms: Sequence[str] = SERVE_ALGORITHMS,
+    tenant_weights: Optional[Dict[str, float]] = None,
+    seed_set_size: int = 2,
+) -> Tuple[Query, ...]:
+    """Deterministic open-loop arrival trace of point queries.
+
+    ``tenants`` is a count (named ``tenant-0..``) or explicit names;
+    ``tenant_weights`` skews the per-query tenant choice (unnormalized,
+    missing tenants weigh 1.0) — the fairness tests use this to model
+    one tenant flooding the service. Multi-source algorithms draw
+    ``seed_set_size`` distinct vertices per query.
+    """
+    if num_vertices < 1:
+        raise ConfigurationError("trace needs a non-empty graph")
+    if num_queries < 1:
+        raise ConfigurationError("num_queries must be >= 1")
+    if mean_interarrival_s <= 0:
+        raise ConfigurationError("mean_interarrival_s must be positive")
+    if isinstance(tenants, int):
+        if tenants < 1:
+            raise ConfigurationError("need at least one tenant")
+        tenant_names = tuple(f"tenant-{i}" for i in range(tenants))
+    else:
+        tenant_names = tuple(tenants)
+        if not tenant_names:
+            raise ConfigurationError("need at least one tenant")
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ConfigurationError("tenant names must be unique")
+    algorithms = tuple(algorithms)
+    for algo in algorithms:
+        if algo not in SERVE_ALGORITHMS:
+            raise ConfigurationError(f"algorithm {algo!r} is not servable")
+    if not algorithms:
+        raise ConfigurationError("need at least one algorithm")
+    if not 1 <= seed_set_size <= num_vertices:
+        raise ConfigurationError(
+            "seed_set_size must be in [1, num_vertices]"
+        )
+
+    weights = [
+        float((tenant_weights or {}).get(name, 1.0))
+        for name in tenant_names
+    ]
+    if any(w <= 0 for w in weights):
+        raise ConfigurationError("tenant weights must be positive")
+
+    rng = random.Random(seed)
+    queries = []
+    clock = 0.0
+    for query_id in range(num_queries):
+        clock += rng.expovariate(1.0 / mean_interarrival_s)
+        tenant = rng.choices(tenant_names, weights=weights, k=1)[0]
+        algorithm = algorithms[rng.randrange(len(algorithms))]
+        if algorithm in ("sssp", "bfs"):
+            params = (rng.randrange(num_vertices),)
+        else:
+            params = tuple(
+                sorted(rng.sample(range(num_vertices), seed_set_size))
+            )
+        queries.append(
+            Query(
+                query_id=query_id,
+                tenant=tenant,
+                algorithm=algorithm,
+                params=params,
+                arrival_s=clock,
+            )
+        )
+    return tuple(queries)

@@ -1,0 +1,168 @@
+"""Bench-facing entry point: run one serving cell end to end.
+
+:func:`run_serve_cell` is to the serving layer what
+:func:`repro.bench.runner.run_cell` is to batch cells: one memoized
+call that loads (or accepts) a graph, builds/reuses a
+:class:`~repro.serve.context.ServingContext`, generates the seeded
+arrival trace, and runs the :class:`~repro.serve.server.QueryServer`.
+
+Cache-poisoning note: serve cells are memoized in the **same** process
+cache as batch cells (:data:`repro.bench.runner._CACHE`), so their keys
+carry every serving knob — ``query_lanes``, ``tenant_count``, quotas,
+trace shape, fault schedule — exactly like ``run_cell``'s key now
+carries ``query_lanes``/``tenant_count`` placeholders: two cells that
+differ only in a serving knob can never alias, and a serve cell can
+never shadow a batch cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.bench import runner as bench_runner
+from repro.errors import ConfigurationError
+from repro.faults.plan import ComputeFault, FaultPlan
+from repro.gpu.config import SCALED_MACHINE, MachineSpec
+from repro.serve.context import ServingContext
+from repro.serve.query import SERVE_ALGORITHMS, generate_trace
+from repro.serve.server import QueryServer, ServeConfig, ServeReport
+
+#: Per-process context cache: building a ServingContext runs the full
+#: path-decomposition preprocess, and every serve cell on the same
+#: (graph, machine) must share it — that sharing *is* the tentpole
+#: amortization, and it also keeps sweeps fast.
+_CONTEXT_CACHE = {}
+
+
+def serve_digest(report: ServeReport) -> str:
+    """sha256 over all per-query digests (order = query_id).
+
+    Failed queries hash as ``failed`` so a clean run and a run with
+    failures can never produce the same digest.
+    """
+    h = hashlib.sha256()
+    for result in report.results:
+        h.update(
+            f"{result.query.query_id}:{result.digest or 'failed'}\n".encode()
+        )
+    return h.hexdigest()
+
+
+def serving_context_for(
+    graph_name: str,
+    algorithm: str,
+    scale: float,
+    spec: MachineSpec,
+    graph=None,
+) -> ServingContext:
+    """Build (or reuse) the shared context for a named dataset graph.
+
+    Custom ``graph`` objects are keyed by identity — reusing the same
+    graph instance across calls still shares one preprocess.
+    """
+    weighted_algo = "sssp" if algorithm in ("sssp", "mixed") else algorithm
+    if graph is None:
+        key = (graph_name, weighted_algo == "sssp", scale, spec)
+        graph = bench_runner.load_graph(graph_name, weighted_algo, scale)
+    else:
+        key = (id(graph), spec)
+    if key not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[key] = ServingContext(
+            graph, machine_spec=spec, graph_name=graph_name
+        )
+    return _CONTEXT_CACHE[key]
+
+
+def clear_context_cache() -> None:
+    """Forget shared contexts (tests use this for isolation)."""
+    _CONTEXT_CACHE.clear()
+
+
+def run_serve_cell(
+    algorithm: str,
+    graph_name: str,
+    scale: float = bench_runner.DEFAULT_SCALE,
+    seed: int = 0,
+    num_queries: int = 32,
+    tenant_count: int = 4,
+    query_lanes: int = 8,
+    max_concurrent: int = 32,
+    tenant_quota: int = 8,
+    mean_interarrival_us: float = 10.0,
+    num_gpus: Optional[int] = None,
+    kill_launch: Optional[int] = None,
+    replay_on_fault: bool = True,
+    max_rounds: int = 100000,
+    machine: Optional[MachineSpec] = None,
+    use_cache: bool = True,
+    graph=None,
+    strict: bool = False,
+    tenant_weights=None,
+) -> ServeReport:
+    """Serve one deterministic trace; memoized like a batch cell.
+
+    ``algorithm`` is one of :data:`~repro.serve.query.SERVE_ALGORITHMS`
+    or ``"mixed"`` (the trace draws uniformly over all of them).
+    ``kill_launch`` schedules a GPU kill at that serve-wide launch
+    index (a hand-written :class:`~repro.faults.plan.FaultPlan`);
+    ``replay_on_fault`` decides replay-to-correct-digests vs clean
+    structured failure. ``graph`` / ``tenant_weights`` / ``strict``
+    make the cell custom and bypass the memo cache.
+    """
+    if algorithm != "mixed" and algorithm not in SERVE_ALGORITHMS:
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} is not servable; expected one of "
+            f"{SERVE_ALGORITHMS + ('mixed',)}"
+        )
+    if tenant_count < 1:
+        raise ConfigurationError("tenant_count must be >= 1")
+    if kill_launch is not None and kill_launch < 0:
+        raise ConfigurationError("kill_launch must be >= 0")
+    spec = machine or SCALED_MACHINE
+    if num_gpus is not None:
+        spec = spec.scaled(num_gpus)
+    custom = graph is not None or tenant_weights is not None or strict
+    key = (
+        "serve", algorithm, graph_name, scale, num_gpus, None, False, spec,
+        query_lanes, tenant_count, max_concurrent, tenant_quota,
+        num_queries, mean_interarrival_us, seed, kill_launch,
+        replay_on_fault, max_rounds,
+    )
+    if use_cache and not custom and key in bench_runner._CACHE:
+        return bench_runner._CACHE[key]
+
+    context = serving_context_for(
+        graph_name, algorithm, scale, spec, graph=graph
+    )
+    trace = generate_trace(
+        context.graph.num_vertices,
+        num_queries,
+        seed=seed,
+        tenants=tenant_count,
+        mean_interarrival_s=mean_interarrival_us * 1e-6,
+        algorithms=(
+            SERVE_ALGORITHMS if algorithm == "mixed" else (algorithm,)
+        ),
+        tenant_weights=tenant_weights,
+    )
+    fault_plan = None
+    if kill_launch is not None:
+        fault_plan = FaultPlan(
+            compute_faults={int(kill_launch): ComputeFault(kill_gpu=0)}
+        )
+    server = QueryServer(
+        context,
+        ServeConfig(
+            query_lanes=query_lanes,
+            max_concurrent=max_concurrent,
+            tenant_quota=tenant_quota,
+            replay_on_fault=replay_on_fault,
+            max_rounds=max_rounds,
+        ),
+        fault_plan=fault_plan,
+    )
+    report = server.serve(trace, strict=strict)
+    if use_cache and not custom:
+        bench_runner._CACHE[key] = report
+    return report

@@ -1,0 +1,443 @@
+"""The multi-tenant query server: admission, fairness, dispatch.
+
+:class:`QueryServer` consumes a deterministic open-loop arrival trace
+(:func:`repro.serve.query.generate_trace`) on a **virtual clock**
+(discrete-event loop — no real threads, so the same trace + seed always
+produces byte-identical reports):
+
+- arrivals enqueue queries into per-(tenant, algorithm) FIFO backlogs;
+- **admission** fires on every arrival/completion: oldest-first, it
+  moves backlogged queries into the bounded *admitted pool* — at most
+  ``max_concurrent`` queries admitted-or-executing overall and
+  ``tenant_quota`` per tenant. The quota is the fairness backstop: a
+  flooding tenant can occupy only its quota of the pool, so light
+  tenants' queries are always admitted promptly.
+- **batch formation** happens only when the modeled GPU is idle (one
+  batch executes at a time, FIFO): the oldest admitted query fixes the
+  batch's algorithm, and the batch fills **round-robin across
+  tenants** — one query per tenant per pass — up to ``query_lanes``
+  lanes. Queries therefore *accumulate* while a batch is in service,
+  which is exactly where multi-source batching comes from; eager
+  per-arrival dispatch would fix every batch at one lane.
+- dispatch runs the batch through one
+  :class:`~repro.serve.solver.MultiSourceSolver` on the shared
+  :class:`~repro.serve.context.ServingContext`; per-query latency is
+  completion minus arrival, queue wait included.
+
+Faults: a :class:`~repro.faults.plan.FaultPlan`'s compute faults are
+keyed by the serve-wide launch counter. A scheduled GPU kill aborts the
+in-flight batch mid-solve; with ``replay_on_fault`` the server charges
+the wasted partial service time and re-runs the batch (deterministic, so
+the replayed digests match golden), otherwise the batch's queries fail
+cleanly with a structured :class:`~repro.errors.QueryAbortedError` —
+never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    GPULostError,
+    QueryAbortedError,
+)
+from repro.faults.plan import FaultPlan
+from repro.serve.context import ServingContext
+from repro.serve.query import Query, QueryResult, make_query_program
+from repro.serve.solver import MultiSourceSolver
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Admission/scheduling knobs of the query server."""
+
+    #: Max same-algorithm queries batched into one multi-source solve.
+    query_lanes: int = 8
+    #: Max queries admitted-or-executing (bounds GPU-resident state).
+    max_concurrent: int = 32
+    #: Max admitted-or-executing queries per tenant (fairness quota).
+    tenant_quota: int = 8
+    #: Replay a batch killed mid-solve (else fail its queries cleanly).
+    replay_on_fault: bool = True
+    #: Round budget per solve.
+    max_rounds: int = 100000
+
+    def __post_init__(self) -> None:
+        if self.query_lanes < 1:
+            raise ConfigurationError("query_lanes must be >= 1")
+        if self.max_concurrent < 1:
+            raise ConfigurationError("max_concurrent must be >= 1")
+        if self.tenant_quota < 1:
+            raise ConfigurationError("tenant_quota must be >= 1")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))
+    return float(sorted_values[min(rank, len(sorted_values)) - 1])
+
+
+@dataclass
+class ServeReport:
+    """Everything one serve run produced, aggregates included."""
+
+    results: Tuple[QueryResult, ...]
+    query_lanes: int
+    max_concurrent: int
+    tenant_quota: int
+    batches: int
+    launches: int
+    edge_lane_work: int
+    peak_concurrency: int
+    gpu_busy_s: float
+    makespan_s: float
+    faults_injected: int
+    replays: int
+    per_tenant: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> Tuple[QueryResult, ...]:
+        return tuple(r for r in self.results if r.status == "ok")
+
+    @property
+    def failed(self) -> Tuple[QueryResult, ...]:
+        return tuple(r for r in self.results if r.status != "ok")
+
+    def latency_percentile(self, q: float) -> float:
+        lats = sorted(r.latency_s for r in self.completed)
+        return _percentile(lats, q)
+
+    @property
+    def queries_per_s(self) -> float:
+        done = len(self.completed)
+        if done == 0 or self.makespan_s <= 0:
+            return 0.0
+        return done / self.makespan_s
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat metric dict for the sweep harness / BENCH artifacts."""
+        completed = self.completed
+        lats = sorted(r.latency_s for r in completed)
+        mean = sum(lats) / len(lats) if lats else 0.0
+        return {
+            "queries_total": float(len(self.results)),
+            "queries_completed": float(len(completed)),
+            "queries_failed": float(len(self.failed)),
+            "queries_replayed": float(
+                sum(1 for r in self.results if r.replayed)
+            ),
+            "queries_per_s": self.queries_per_s,
+            "latency_p50_s": _percentile(lats, 0.50),
+            "latency_p99_s": _percentile(lats, 0.99),
+            "latency_mean_s": mean,
+            "latency_max_s": lats[-1] if lats else 0.0,
+            "makespan_s": self.makespan_s,
+            "gpu_busy_s": self.gpu_busy_s,
+            "batches": float(self.batches),
+            "launches": float(self.launches),
+            "edge_lane_work": float(self.edge_lane_work),
+            "peak_concurrency": float(self.peak_concurrency),
+            "faults_injected": float(self.faults_injected),
+            "replays": float(self.replays),
+        }
+
+
+class QueryServer:
+    """Deterministic discrete-event admission loop over one context."""
+
+    def __init__(
+        self,
+        context: ServingContext,
+        config: Optional[ServeConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.context = context
+        self.config = config or ServeConfig()
+        self._compute_faults = (
+            dict(fault_plan.compute_faults) if fault_plan else {}
+        )
+        self._launch_counter = 0
+        self._faults_injected = 0
+
+    # ------------------------------------------------------------------
+    # fault injection (serve-wide launch counter)
+    # ------------------------------------------------------------------
+    def _fault_hook(self, _solver_launch: int) -> None:
+        index = self._launch_counter
+        self._launch_counter += 1
+        fault = self._compute_faults.get(index)
+        if fault is not None and fault.kill_gpu is not None:
+            self._faults_injected += 1
+            raise GPULostError(
+                f"GPU {fault.kill_gpu} lost at serve launch {index}",
+                gpu_id=fault.kill_gpu,
+            )
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def serve(
+        self, trace: Sequence[Query], strict: bool = False
+    ) -> ServeReport:
+        """Run the trace to completion and return the report.
+
+        ``strict`` raises the first failed batch's
+        :class:`~repro.errors.QueryAbortedError` instead of returning a
+        report containing failed queries.
+        """
+        cfg = self.config
+        trace = sorted(trace, key=lambda q: (q.arrival_s, q.query_id))
+        seen_ids = set()
+        for query in trace:
+            if query.query_id in seen_ids:
+                raise ConfigurationError(
+                    f"duplicate query_id {query.query_id} in trace"
+                )
+            seen_ids.add(query.query_id)
+        tenants = sorted({q.tenant for q in trace})
+        tenant_index = {t: i for i, t in enumerate(tenants)}
+
+        # per-(tenant, algorithm) FIFO queues: unbounded arrival backlog,
+        # then the bounded admitted pool batches are drawn from.
+        backlog: Dict[str, Dict[str, Deque[Query]]] = {
+            t: {} for t in tenants
+        }
+        admitted: Dict[str, Dict[str, Deque[Query]]] = {
+            t: {} for t in tenants
+        }
+        waiting = 0
+        num_admitted = 0
+        in_flight = 0  # admitted + executing
+        tenant_inflight: Dict[str, int] = {t: 0 for t in tenants}
+        gpu_free = 0.0
+        rr = 0
+        batch_id = 0
+        peak_concurrency = 0
+        gpu_busy = 0.0
+        launches = 0
+        edge_lane_work = 0
+        replays = 0
+        results: List[QueryResult] = []
+
+        # event heap: (time, priority, seq, kind, payload); completions
+        # (priority 0) beat simultaneous arrivals so capacity frees first.
+        events: List = []
+        seq = 0
+        for query in trace:
+            heapq.heappush(
+                events, (query.arrival_s, 1, seq, "arrival", query)
+            )
+            seq += 1
+
+        def dispatch(batch: List[Query], now: float) -> None:
+            nonlocal gpu_free, batch_id, gpu_busy, launches
+            nonlocal edge_lane_work, replays, seq
+            programs = [make_query_program(q) for q in batch]
+            solver = MultiSourceSolver(
+                self.context,
+                programs,
+                max_rounds=cfg.max_rounds,
+                fault_hook=self._fault_hook,
+            )
+            start = max(now, gpu_free)
+            wasted = 0.0
+            result = None
+            replayed = False
+            error: Optional[QueryAbortedError] = None
+            try:
+                result = solver.solve()
+            except GPULostError as exc:
+                wasted = float(
+                    getattr(exc, "modeled_seconds_completed", 0.0)
+                )
+                if cfg.replay_on_fault:
+                    try:
+                        result = solver.solve()
+                        replayed = True
+                        replays += len(batch)
+                    except GPULostError as exc2:
+                        wasted += float(
+                            getattr(exc2, "modeled_seconds_completed", 0.0)
+                        )
+                        error = QueryAbortedError(
+                            "batch killed again during replay",
+                            query_ids=[q.query_id for q in batch],
+                            tenants=[q.tenant for q in batch],
+                            batch_id=batch_id,
+                            launch_index=getattr(
+                                exc2, "launches_completed", None
+                            ),
+                        )
+                else:
+                    error = QueryAbortedError(
+                        "batch killed mid-solve, replay disabled",
+                        query_ids=[q.query_id for q in batch],
+                        tenants=[q.tenant for q in batch],
+                        batch_id=batch_id,
+                        launch_index=getattr(
+                            exc, "launches_completed", None
+                        ),
+                    )
+            if result is not None:
+                service = wasted + result.modeled_seconds
+                launches += result.launches
+                edge_lane_work += result.edge_lane_work
+            else:
+                service = wasted
+            completion = start + service
+            gpu_free = completion
+            gpu_busy += service
+            batch_results = []
+            for lane, query in enumerate(batch):
+                if result is not None:
+                    batch_results.append(
+                        QueryResult(
+                            query=query,
+                            status="ok",
+                            digest=result.digests[lane],
+                            start_s=start,
+                            completion_s=completion,
+                            batch_id=batch_id,
+                            lanes=len(batch),
+                            rounds=result.lane_rounds[lane],
+                            replayed=replayed,
+                        )
+                    )
+                else:
+                    batch_results.append(
+                        QueryResult(
+                            query=query,
+                            status="failed",
+                            digest=None,
+                            start_s=start,
+                            completion_s=completion,
+                            batch_id=batch_id,
+                            lanes=len(batch),
+                            rounds=0,
+                            replayed=False,
+                            error=str(error),
+                        )
+                    )
+            if error is not None and strict:
+                raise error
+            heapq.heappush(
+                events,
+                (completion, 0, seq, "completion", tuple(batch_results)),
+            )
+            seq += 1
+            batch_id += 1
+
+        def admit() -> None:
+            # Move backlogged queries into the admitted pool, globally
+            # oldest first, honoring max_concurrent and tenant_quota.
+            nonlocal waiting, num_admitted, in_flight, peak_concurrency
+            while waiting > 0 and in_flight < cfg.max_concurrent:
+                oldest = None
+                for tenant in tenants:
+                    if tenant_inflight[tenant] >= cfg.tenant_quota:
+                        continue
+                    for algo_queue in backlog[tenant].values():
+                        if not algo_queue:
+                            continue
+                        head = algo_queue[0]
+                        key = (head.arrival_s, head.query_id)
+                        if oldest is None or key < oldest[0]:
+                            oldest = (key, tenant, head.algorithm)
+                if oldest is None:
+                    return
+                _, tenant, algo = oldest
+                query = backlog[tenant][algo].popleft()
+                admitted[tenant].setdefault(algo, deque()).append(query)
+                waiting -= 1
+                num_admitted += 1
+                in_flight += 1
+                tenant_inflight[tenant] += 1
+                peak_concurrency = max(peak_concurrency, in_flight)
+
+        def form_batch(now: float) -> None:
+            # Only when the GPU is idle: oldest admitted query fixes the
+            # algorithm, round-robin tenant fill up to query_lanes.
+            nonlocal num_admitted, rr
+            if num_admitted == 0 or gpu_free > now:
+                return
+            oldest = None
+            for tenant in tenants:
+                for algo_queue in admitted[tenant].values():
+                    if not algo_queue:
+                        continue
+                    head = algo_queue[0]
+                    key = (head.arrival_s, head.query_id)
+                    if oldest is None or key < oldest[0]:
+                        oldest = (key, head.algorithm)
+            algo = oldest[1]
+            batch: List[Query] = []
+            progress = True
+            while len(batch) < cfg.query_lanes and progress:
+                progress = False
+                for offset in range(len(tenants)):
+                    if len(batch) >= cfg.query_lanes:
+                        break
+                    tenant = tenants[(rr + offset) % len(tenants)]
+                    algo_queue = admitted[tenant].get(algo)
+                    if not algo_queue:
+                        continue
+                    batch.append(algo_queue.popleft())
+                    progress = True
+            num_admitted -= len(batch)
+            rr = (tenant_index[batch[0].tenant] + 1) % len(tenants)
+            dispatch(batch, now)
+
+        while events:
+            now, _prio, _seq, kind, payload = heapq.heappop(events)
+            if kind == "arrival":
+                query = payload
+                backlog[query.tenant].setdefault(
+                    query.algorithm, deque()
+                ).append(query)
+                waiting += 1
+            else:
+                batch_results = payload
+                for qr in batch_results:
+                    results.append(qr)
+                    tenant_inflight[qr.query.tenant] -= 1
+                in_flight -= len(batch_results)
+            admit()
+            form_batch(now)
+
+        results.sort(key=lambda r: r.query.query_id)
+        makespan = max((r.completion_s for r in results), default=0.0)
+        per_tenant: Dict[str, Dict[str, float]] = {}
+        for tenant in tenants:
+            rows = [r for r in results if r.query.tenant == tenant]
+            done = [r for r in rows if r.status == "ok"]
+            lats = sorted(r.latency_s for r in done)
+            per_tenant[tenant] = {
+                "queries": float(len(rows)),
+                "completed": float(len(done)),
+                "latency_p50_s": _percentile(lats, 0.50),
+                "latency_p99_s": _percentile(lats, 0.99),
+                "latency_max_s": lats[-1] if lats else 0.0,
+            }
+        return ServeReport(
+            results=tuple(results),
+            query_lanes=cfg.query_lanes,
+            max_concurrent=cfg.max_concurrent,
+            tenant_quota=cfg.tenant_quota,
+            batches=batch_id,
+            launches=launches,
+            edge_lane_work=edge_lane_work,
+            peak_concurrency=peak_concurrency,
+            gpu_busy_s=gpu_busy,
+            makespan_s=makespan,
+            faults_injected=self._faults_injected,
+            replays=replays,
+            per_tenant=per_tenant,
+        )

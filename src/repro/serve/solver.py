@@ -1,0 +1,253 @@
+"""Multi-source solver: k point queries in one layered sweep.
+
+:class:`MultiSourceSolver` runs k same-algorithm queries as one
+computation over a ``(k, n)`` state matrix using the lane kernels of
+:mod:`repro.kernels.lanes`. Each round sweeps the shared
+:class:`~repro.serve.context.ServingContext` layer batches in ascending
+layer order — Jacobi within a batch, Gauss-Seidel across batches — and
+a batch is launched when **any** lane has an active vertex in it (the
+union frontier).
+
+Why the union frontier preserves per-lane bit-identity
+------------------------------------------------------
+Writes are **gated on** ``changed``: a recomputed value is applied only
+where the kernel reports a change, so "state mutated ⟺ dependents
+activated" holds exactly even for tolerance-converged kernels like ppr
+(whose sub-tolerance drift would otherwise move gather inputs without
+activating anyone). With that invariant, for a lane where a selected
+vertex is *inactive*, every gather input of that vertex is unchanged
+since the lane last computed (or initialized) it. Recomputing is then
+the same deterministic float expression over the same inputs, so it
+returns the same value bitwise, reports ``changed=False``, and activates
+nothing. Lane i of a k-lane solve therefore performs precisely the state
+trajectory of running query i alone, interleaved with bitwise no-ops —
+which :meth:`MultiSourceSolver.solve_reference` (an independent scalar
+per-vertex code path over per-lane frontiers) certifies end to end.
+
+Modeled cost
+------------
+``service = Σ_launches (LAUNCH_OVERHEAD + waves · cycles_per_edge / f)``
+where one *launch* processes one layer batch and ``waves`` is the
+edge-lane work of the launch divided by the GPU's resident thread count.
+Kernel-launch overhead (~3.5 µs on real CUDA) dominates the sparse
+frontiers of point queries, so batching k queries into one launch
+sequence — more work per launch, k× fewer launches — is where the
+serving throughput comes from. The accounting is deterministic, so
+``BENCH_serve.json`` is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError, GPULostError
+from repro.kernels.registry import resolve_lane_kernel
+from repro.model.gas import VertexProgram
+from repro.serve.context import ServingContext
+
+#: Fixed cost of one kernel launch (real CUDA launch overhead ballpark).
+KERNEL_LAUNCH_OVERHEAD_S = 3.5e-6
+
+
+def lane_digest(states: np.ndarray) -> str:
+    """sha256 over the exact float64 bytes of one lane's final states."""
+    return hashlib.sha256(
+        np.ascontiguousarray(states, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one multi-source solve.
+
+    ``lane_rounds[i]`` is the round in which lane i's frontier emptied —
+    equal to the rounds a standalone run of query i would take.
+    ``edge_lane_work`` counts (edge, lane) gather pairs; ``launches``
+    counts layer-batch kernel launches.
+    """
+
+    states: np.ndarray
+    digests: Tuple[str, ...]
+    rounds: int
+    lane_rounds: Tuple[int, ...]
+    launches: int
+    edge_lane_work: int
+    modeled_seconds: float
+
+    @property
+    def num_lanes(self) -> int:
+        return self.states.shape[0]
+
+
+class MultiSourceSolver:
+    """Layered fixed-point solver for a batch of same-class queries."""
+
+    def __init__(
+        self,
+        context: ServingContext,
+        programs: Sequence[VertexProgram],
+        max_rounds: int = 100000,
+        fault_hook: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if not programs:
+            raise ConfigurationError("solver needs at least one program")
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        self.context = context
+        self.programs = tuple(programs)
+        self.max_rounds = max_rounds
+        self.fault_hook = fault_hook
+        gpu = context.spec.gpu
+        self._threads = gpu.num_smxs * gpu.threads_per_smx
+        self._seconds_per_wave = gpu.cycles_per_edge / gpu.clock_hz
+        self._in_degree = context.graph.in_degree()
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def _launch_seconds(self, work: int) -> float:
+        waves = -(-int(work) // self._threads) if work else 0
+        return KERNEL_LAUNCH_OVERHEAD_S + waves * self._seconds_per_wave
+
+    # ------------------------------------------------------------------
+    # vectorized lane solve
+    # ------------------------------------------------------------------
+    def solve(self) -> SolveResult:
+        """Run all lanes to convergence with the registered lane kernel."""
+        graph = self.context.graph
+        kernel = resolve_lane_kernel(self.programs, graph)
+        states = kernel.initial_states()
+        active = kernel.initial_active()
+        k = len(self.programs)
+        lane_rounds = [0] * k
+        lane_done = [not active[i].any() for i in range(k)]
+        launches = 0
+        edge_lane_work = 0
+        modeled = 0.0
+        rounds = 0
+        while active.any():
+            if rounds >= self.max_rounds:
+                raise ConvergenceError(
+                    f"multi-source {kernel.name} did not converge",
+                    rounds=rounds,
+                    active_vertices=int(active.any(axis=0).sum()),
+                )
+            rounds += 1
+            for batch in self.context.layer_batches:
+                hit = active[:, batch].any(axis=0)
+                if not hit.any():
+                    continue
+                sel = batch[hit]
+                if self.fault_hook is not None:
+                    try:
+                        self.fault_hook(launches)
+                    except GPULostError as exc:
+                        # The failed launch's overhead is wasted GPU time
+                        # the server charges before replaying.
+                        exc.modeled_seconds_completed = (
+                            modeled + KERNEL_LAUNCH_OVERHEAD_S
+                        )
+                        exc.launches_completed = launches
+                        raise
+                work = k * int(self._in_degree[sel].sum())
+                launches += 1
+                edge_lane_work += work
+                modeled += self._launch_seconds(work)
+                old = states[:, sel]
+                new, changed = kernel.lane_update(sel, states, old)
+                # Write-gate: apply only where changed. For monotone
+                # kernels this is a no-op (changed ⟺ new != old); for
+                # tolerance-converged kernels (ppr) it discards
+                # sub-tolerance drift, making "state mutated ⟺
+                # dependents activated" exact — the invariant the
+                # union-frontier bit-identity proof stands on.
+                states[:, sel] = np.where(changed, new, old)
+                active[:, sel] = False
+                targets, seg_offsets = kernel.batch_dependents(sel)
+                counts = np.diff(seg_offsets)
+                for i in range(k):
+                    mask = np.repeat(changed[i], counts)
+                    if mask.any():
+                        active[i, targets[mask]] = True
+            for i in range(k):
+                if not lane_done[i] and not active[i].any():
+                    lane_done[i] = True
+                    lane_rounds[i] = rounds
+        return SolveResult(
+            states=states,
+            digests=tuple(lane_digest(states[i]) for i in range(k)),
+            rounds=rounds,
+            lane_rounds=tuple(lane_rounds),
+            launches=launches,
+            edge_lane_work=edge_lane_work,
+            modeled_seconds=modeled,
+        )
+
+    # ------------------------------------------------------------------
+    # scalar golden reference (independent code path)
+    # ------------------------------------------------------------------
+    def solve_reference(self) -> SolveResult:
+        """k independent single-query scalar runs, same layer schedule.
+
+        This is the golden the serving layer certifies against: a plain
+        ``update_vertex`` Python loop per lane over that lane's *own*
+        frontier (no union batching, no lane kernels, no shared float
+        ops), so agreement with :meth:`solve` is evidence, not
+        circularity. Cost accounting models sequential dispatch: one
+        launch per (lane, layer batch).
+        """
+        graph = self.context.graph
+        k = len(self.programs)
+        n = graph.num_vertices
+        states = np.empty((k, n), dtype=np.float64)
+        lane_rounds: List[int] = []
+        launches = 0
+        edge_lane_work = 0
+        modeled = 0.0
+        for i, program in enumerate(self.programs):
+            lane_states = program.initial_states(graph)
+            active = program.initial_active(graph)
+            rounds = 0
+            while active.any():
+                if rounds >= self.max_rounds:
+                    raise ConvergenceError(
+                        f"reference {program.name} did not converge",
+                        rounds=rounds,
+                        active_vertices=int(active.sum()),
+                    )
+                rounds += 1
+                for batch in self.context.layer_batches:
+                    sel = batch[active[batch]]
+                    if sel.size == 0:
+                        continue
+                    work = int(self._in_degree[sel].sum())
+                    launches += 1
+                    edge_lane_work += work
+                    modeled += self._launch_seconds(work)
+                    updates = [
+                        program.update_vertex(graph, int(v), lane_states)
+                        for v in sel
+                    ]
+                    active[sel] = False
+                    for v, (new, changed) in zip(sel, updates):
+                        if changed:  # same write-gate as solve()
+                            lane_states[v] = new
+                    for v, (new, changed) in zip(sel, updates):
+                        if changed:
+                            for u in program.dependents(graph, int(v)):
+                                active[u] = True
+            states[i] = lane_states
+            lane_rounds.append(rounds)
+        return SolveResult(
+            states=states,
+            digests=tuple(lane_digest(states[i]) for i in range(k)),
+            rounds=max(lane_rounds) if lane_rounds else 0,
+            lane_rounds=tuple(lane_rounds),
+            launches=launches,
+            edge_lane_work=edge_lane_work,
+            modeled_seconds=modeled,
+        )

@@ -14,6 +14,9 @@ what they certify:
   (exact for discrete programs, tolerance-banded for contractions);
 - :mod:`repro.verify.metamorphic` — results are invariant under vertex
   relabeling and isolated-vertex augmentation;
+- :mod:`repro.verify.serve` — the serving layer's batched multi-source
+  answers are bit-identical to standalone single-source golden runs
+  (the ``repro serve --strict`` oracle);
 - :mod:`repro.verify.harness` — the ``repro verify`` orchestration.
 
 Each checker returns a :class:`~repro.verify.report.CheckResult`;

@@ -1,0 +1,124 @@
+"""Serving-layer equivalence oracle.
+
+Two checkers certify the tentpole claim of :mod:`repro.serve` — that
+batching k same-algorithm point queries into one multi-source lane
+solve changes **no** served answer:
+
+- :func:`verify_lane_equivalence` runs one batch of programs through
+  both :meth:`~repro.serve.solver.MultiSourceSolver.solve` (vectorized
+  lane kernels over the union frontier) and
+  :meth:`~repro.serve.solver.MultiSourceSolver.solve_reference` (an
+  independent scalar per-vertex code path over per-lane frontiers) and
+  requires bit-identical per-lane state digests and matching per-lane
+  round counts.
+- :func:`verify_serve_report` replays every completed query of a
+  :class:`~repro.serve.server.ServeReport` as a standalone
+  single-source golden run and requires each served digest to match —
+  the end-to-end check ``repro serve --strict`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.model.gas import VertexProgram
+from repro.serve.context import ServingContext
+from repro.serve.query import make_query_program
+from repro.serve.server import ServeReport
+from repro.serve.solver import MultiSourceSolver
+from repro.verify.report import CheckResult
+
+
+def verify_lane_equivalence(
+    context: ServingContext,
+    programs: Sequence[VertexProgram],
+    max_rounds: int = 100000,
+) -> CheckResult:
+    """One batched solve vs per-lane scalar goldens, bit for bit."""
+    solver = MultiSourceSolver(context, programs, max_rounds=max_rounds)
+    batched = solver.solve()
+    golden = solver.solve_reference()
+    mismatches = [
+        f"lane {lane}: digest {batched.digests[lane][:12]}... != "
+        f"golden {golden.digests[lane][:12]}..."
+        for lane in range(len(programs))
+        if batched.digests[lane] != golden.digests[lane]
+    ]
+    mismatches.extend(
+        f"lane {lane}: rounds {batched.lane_rounds[lane]} != "
+        f"golden {golden.lane_rounds[lane]}"
+        for lane in range(len(programs))
+        if batched.lane_rounds[lane] != golden.lane_rounds[lane]
+    )
+    return CheckResult(
+        name="serve.lane-equivalence",
+        passed=not mismatches,
+        detail=(
+            f"{len(programs)} lanes bit-identical, "
+            f"launches {batched.launches} vs {golden.launches} sequential"
+            if not mismatches
+            else "; ".join(mismatches)
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ServeEquivalenceVerdict:
+    """Per-query oracle outcome for one served trace."""
+
+    passed: bool
+    checked: int
+    skipped: int            #: failed queries have no digest to certify
+    failures: Tuple[str, ...]
+    detail: str
+
+
+def verify_serve_report(
+    context: ServingContext,
+    report: ServeReport,
+    max_rounds: int = 100000,
+) -> ServeEquivalenceVerdict:
+    """Certify every completed query against its solo golden run.
+
+    Each query is replayed alone through the scalar reference path on
+    the same shared context; its digest must equal the digest the
+    (batched, possibly replayed-after-fault) serve run reported.
+    """
+    failures: List[str] = []
+    checked = 0
+    for result in report.results:
+        if result.status != "ok":
+            continue
+        checked += 1
+        solo = MultiSourceSolver(
+            context,
+            [make_query_program(result.query)],
+            max_rounds=max_rounds,
+        ).solve_reference()
+        if solo.digests[0] != result.digest:
+            failures.append(
+                f"query {result.query.query_id} "
+                f"({result.query.algorithm}, batch {result.batch_id}, "
+                f"{result.lanes} lanes): served digest "
+                f"{result.digest[:12]}... != golden "
+                f"{solo.digests[0][:12]}..."
+            )
+        elif solo.lane_rounds[0] != result.rounds:
+            failures.append(
+                f"query {result.query.query_id}: served rounds "
+                f"{result.rounds} != golden {solo.lane_rounds[0]}"
+            )
+    skipped = len(report.results) - checked
+    return ServeEquivalenceVerdict(
+        passed=not failures,
+        checked=checked,
+        skipped=skipped,
+        failures=tuple(failures),
+        detail=(
+            f"{checked} served answers bit-identical to solo goldens"
+            + (f", {skipped} failed queries skipped" if skipped else "")
+            if not failures
+            else f"{len(failures)}/{checked} mismatches"
+        ),
+    )

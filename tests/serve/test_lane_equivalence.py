@@ -1,0 +1,136 @@
+"""The tentpole property: lane i of a batched k-query multi-source
+solve is bit-identical to a standalone single-source run, across
+algorithms x seeds x lane counts.
+
+Both directions are exercised: the parametrized grid drives
+:func:`repro.verify.serve.verify_lane_equivalence` (one vectorized
+batched solve vs the independent scalar per-lane reference), and the
+hypothesis test hammers the same contract on arbitrary small digraphs
+and arbitrary source choices.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import from_edges
+from repro.graph.generators import scc_profile_graph, with_random_weights
+from repro.gpu.config import GPUSpec, MachineSpec
+from repro.serve.context import ServingContext
+from repro.serve.query import (
+    SERVE_ALGORITHMS,
+    generate_trace,
+    make_query_program,
+)
+from repro.serve.solver import MultiSourceSolver
+from repro.verify.serve import verify_lane_equivalence
+
+SPEC = MachineSpec(
+    num_gpus=2,
+    gpu=GPUSpec(num_smxs=2, warp_slots_per_smx=2),
+    transfer_batch_bytes=1 << 20,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    """One shared preprocessed context — exactly how the server uses it."""
+    graph = with_random_weights(
+        scc_profile_graph(
+            n=140, avg_degree=4.0, giant_scc_fraction=0.5,
+            avg_distance=5.0, seed=7,
+        ),
+        seed=7,
+    )
+    return ServingContext(graph, machine_spec=SPEC)
+
+
+def programs_for(context, algorithm, k, seed):
+    trace = generate_trace(
+        context.graph.num_vertices,
+        num_queries=k,
+        seed=seed,
+        algorithms=(algorithm,),
+    )
+    return [make_query_program(q) for q in trace]
+
+
+class TestLaneEquivalenceGrid:
+    @pytest.mark.parametrize("algorithm", SERVE_ALGORITHMS)
+    @pytest.mark.parametrize("lanes", [1, 2, 5, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batched_equals_solo(self, context, algorithm, lanes, seed):
+        programs = programs_for(context, algorithm, lanes, seed)
+        check = verify_lane_equivalence(context, programs)
+        assert check.passed, check.detail
+
+    @pytest.mark.parametrize("algorithm", SERVE_ALGORITHMS)
+    def test_batching_reduces_launches(self, context, algorithm):
+        """k lanes share one launch per layer batch: the whole point."""
+        programs = programs_for(context, algorithm, 8, seed=3)
+        solver = MultiSourceSolver(context, programs)
+        batched = solver.solve()
+        sequential = solver.solve_reference()
+        assert batched.launches < sequential.launches
+        assert batched.digests == sequential.digests
+
+    def test_single_lane_batch_is_identity(self, context):
+        """k=1 batched == its own reference — no degenerate special case."""
+        for algorithm in SERVE_ALGORITHMS:
+            programs = programs_for(context, algorithm, 1, seed=9)
+            check = verify_lane_equivalence(context, programs)
+            assert check.passed, check.detail
+
+    def test_lane_order_does_not_leak(self, context):
+        """A lane's digest is a function of its query alone, not of the
+        other lanes sharing the batch."""
+        programs = programs_for(context, "sssp", 6, seed=5)
+        forward = MultiSourceSolver(context, programs).solve()
+        reversed_ = MultiSourceSolver(context, programs[::-1]).solve()
+        assert forward.digests == tuple(reversed(reversed_.digests))
+        assert forward.lane_rounds == tuple(
+            reversed(reversed_.lane_rounds)
+        )
+
+
+@st.composite
+def small_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=36,
+            unique=True,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=small_digraphs(),
+    algo_index=st.integers(0, len(SERVE_ALGORITHMS) - 1),
+    lanes=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_lane_equivalence_on_arbitrary_graphs(
+    graph, algo_index, lanes, seed
+):
+    context = ServingContext(graph, machine_spec=SPEC)
+    programs = programs_for(
+        context, SERVE_ALGORITHMS[algo_index], lanes, seed
+    )
+    check = verify_lane_equivalence(context, programs)
+    assert check.passed, check.detail
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_mixed_seed_sets_equivalent(context, seed):
+    """ppr/reachability draw multi-vertex seed sets; still bit-exact."""
+    for algorithm in ("ppr", "reachability"):
+        programs = programs_for(context, algorithm, 4, seed)
+        check = verify_lane_equivalence(context, programs)
+        assert check.passed, check.detail
