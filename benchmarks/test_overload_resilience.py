@@ -1,0 +1,54 @@
+"""Overload resilience: deadlines + shedding + brownout at 2x capacity.
+
+The protected configuration (deadline, bounded queue, brownout) must
+keep goodput — answers delivered on time, degraded answers with
+certified bounds included — at >= 70% of the offered load while p99
+stays bounded by the deadline. The contrast legs must really collapse:
+without protection the on-time fraction at the same deadline falls
+under 50%, and deadlines alone (full-precision solves) cannot fit the
+2x load either.
+"""
+
+from repro.bench import experiments
+
+from conftest import save_and_show
+
+GOODPUT_FLOOR = 0.70
+COLLAPSE_CEILING = 0.50
+DEADLINE_MS = 1.0
+
+
+def test_overload_resilience(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.overload_resilience,
+        kwargs=dict(
+            deadline_ms=DEADLINE_MS,
+            out_path=str(results_dir / "BENCH_overload.json"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_show(results_dir, "overload_resilience", result["table"])
+
+    legs = result["results"]
+    protected = legs["protected"]
+    assert protected["deterministic"], "protected leg digests diverged"
+    assert protected["goodput_fraction"] >= GOODPUT_FLOOR, (
+        f"protected goodput {protected['goodput_fraction']:.1%} "
+        f"< {GOODPUT_FLOOR:.0%} of offered load"
+    )
+    # p99 bounded by the deadline (small slack for an answer admitted
+    # just at the boundary).
+    assert protected["latency_p99_s"] <= 1.1 * DEADLINE_MS * 1e-3
+    # Brownout really engaged: certified degraded answers carried the
+    # load the full-precision solver could not.
+    assert protected["queries_degraded"] > 0
+    assert protected["residual_bound_max"] > 0
+
+    # Both contrast legs collapse — the floor above is non-vacuous.
+    assert legs["unprotected"]["goodput_fraction"] < COLLAPSE_CEILING
+    assert legs["deadline_only"]["goodput_fraction"] < COLLAPSE_CEILING
+    # Unprotected p99 is unbounded by the deadline (tracks the backlog).
+    assert legs["unprotected"]["latency_p99_s"] > 2 * DEADLINE_MS * 1e-3
+    # The bounded queue really shed load in the no-brownout leg.
+    assert legs["deadline_only"]["queries_shed"] > 0

@@ -127,6 +127,7 @@ class AsyncEngine:
                 round_index = harness.recover(exc, round_index)
                 continue
             round_index += 1
+        harness.finish()
 
         if not converged and strict_convergence:
             raise ConvergenceError(
@@ -152,6 +153,9 @@ class AsyncEngine:
                         stats.checkpoint_bytes_spilled
                     ),
                     "checkpoint_time_s": stats.checkpoint_time_s,
+                    "checkpoint_hidden_time_s": (
+                        stats.checkpoint_hidden_time_s
+                    ),
                 }
             )
         return ExecutionResult(

@@ -158,6 +158,9 @@ class BulkSyncEngine:
                         stats.checkpoint_bytes_spilled
                     ),
                     "checkpoint_time_s": stats.checkpoint_time_s,
+                    "checkpoint_hidden_time_s": (
+                        stats.checkpoint_hidden_time_s
+                    ),
                 }
             )
         return ExecutionResult(
@@ -203,6 +206,7 @@ class BulkSyncEngine:
                 round_index = harness.recover(exc, round_index)
                 continue
             round_index += 1
+        harness.finish()
         return converged
 
     def _scalar_round(
@@ -380,6 +384,7 @@ class BulkSyncEngine:
                 round_index = harness.recover(exc, round_index)
                 continue
             round_index += 1
+        harness.finish()
         return converged
 
     def _vectorized_round(

@@ -190,6 +190,11 @@ class BaselineFaultHarness:
         if self.manager is not None and self.manager.due(round_index):
             self.manager.checkpoint(round_index)
 
+    def finish(self) -> None:
+        """Settle any in-flight double-buffered checkpoint spill."""
+        if self.manager is not None:
+            self.manager.finish()
+
     def recover(self, exc: Exception, round_index: int) -> int:
         """Roll back after a GPU loss; returns the round to resume from.
 

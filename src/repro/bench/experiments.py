@@ -863,3 +863,170 @@ def serve_throughput(
         validate_artifact(report, kind="repro-sweep", path=out_path)
         write_artifact(report, out_path)
     return {"results": results, "rows": rows, "sweep": report, "table": table}
+
+
+def overload_resilience(
+    scale: float = DEFAULT_SCALE,
+    graph_name: str = "dblp",
+    algo: str = "mixed",
+    num_queries: int = 96,
+    tenant_count: int = 4,
+    seed: int = 13,
+    overload_factor: float = 2.0,
+    deadline_ms: float = 1.0,
+    max_queue: int = 16,
+    out_path: Optional[str] = "BENCH_overload.json",
+) -> dict:
+    """Overload: deadlines + shedding + brownout vs unbounded collapse.
+
+    Calibrates the server's saturated capacity (every query arriving at
+    once; throughput = queries / makespan), then offers the same trace
+    at ``overload_factor`` times that rate and serves it three ways:
+
+    - **unprotected** — no overload knobs: every query completes, but
+      queue wait grows with the backlog, so the on-time fraction at the
+      reference deadline collapses and p99 tracks the makespan;
+    - **deadline, no brownout** — late queries are counted (and
+      admission-rejected once hopeless), but full-precision solves
+      cannot fit the deadline at 2x load: goodput collapses to roughly
+      ``1 / overload_factor`` minus queue wait;
+    - **deadline + bounded queue + brownout** — the protected
+      configuration: load shedding bounds the queue, brownout returns
+      partially-converged answers with certified residual bounds, and
+      goodput (answered on time) must stay >= 70% of the offered load
+      while p99 stays bounded by the deadline.
+
+    The two deadline legs run through the shared sweep runner as
+    ``mode="serve"`` cells (so determinism is certified per cell) and
+    land in the schema-validated ``BENCH_overload.json`` artifact the
+    CI overload-gate diffs against its committed baseline.
+    """
+    from repro.bench.schema import validate_artifact
+    from repro.bench.sweep import SweepConfig, run_sweep, write_artifact
+    from repro.serve.runner import run_serve_cell
+
+    deadline_s = deadline_ms * 1e-3
+    # Capacity calibration: all queries arrive (nearly) at once, so the
+    # makespan is pure service time at maximal batching.
+    saturated = run_serve_cell(
+        algo, graph_name, scale=scale, seed=seed,
+        num_queries=num_queries, tenant_count=tenant_count,
+        mean_interarrival_us=1.0, use_cache=False,
+    )
+    capacity_per_s = num_queries / saturated.metrics()["makespan_s"]
+    offered_per_s = overload_factor * capacity_per_s
+    interarrival_us = 1e6 / offered_per_s
+
+    report = run_sweep(
+        SweepConfig(
+            engines=("serve",),
+            algorithms=(algo,),
+            graphs=(graph_name,),
+            scale=scale,
+            mode="serve",
+            seeds=(seed,),
+            knobs={
+                "num_queries": (num_queries,),
+                "tenant_count": (tenant_count,),
+                "mean_interarrival_us": (interarrival_us,),
+                "deadline_ms": (deadline_ms,),
+                "max_queue": (max_queue,),
+                "brownout": (False, True),
+            },
+        )
+    )
+    legs: Dict[str, Dict[str, object]] = {}
+    for cell in report["cells"]:
+        key = "protected" if cell["knobs"]["brownout"] else "deadline_only"
+        metrics = cell["metrics"]
+        legs[key] = {
+            "goodput_queries": metrics["goodput_queries"]["mean"],
+            "goodput_fraction": (
+                metrics["goodput_queries"]["mean"] / num_queries
+            ),
+            "queries_degraded": metrics["queries_degraded"]["mean"],
+            "queries_shed": metrics["queries_shed"]["mean"],
+            "queries_rejected": metrics["queries_rejected"]["mean"],
+            "deadline_misses": metrics["deadline_misses"]["mean"],
+            "latency_p50_s": metrics["latency_p50_s"]["mean"],
+            "latency_p99_s": metrics["latency_p99_s"]["mean"],
+            "residual_bound_max": metrics["residual_bound_max"]["mean"],
+            "deterministic": cell["deterministic"],
+        }
+
+    # Unprotected leg: same offered load, no overload knobs. Nothing is
+    # rejected or counted late, so the on-time fraction is recomputed
+    # against the reference deadline from the per-query latencies.
+    unprotected = run_serve_cell(
+        algo, graph_name, scale=scale, seed=seed,
+        num_queries=num_queries, tenant_count=tenant_count,
+        mean_interarrival_us=interarrival_us, use_cache=False,
+    )
+    un_metrics = unprotected.metrics()
+    on_time = sum(
+        1
+        for r in unprotected.results
+        if r.status in ("ok", "degraded") and r.latency_s <= deadline_s
+    )
+    legs["unprotected"] = {
+        "goodput_queries": float(on_time),
+        "goodput_fraction": on_time / num_queries,
+        "on_time_fraction": on_time / num_queries,
+        "queries_degraded": un_metrics["queries_degraded"],
+        "queries_shed": 0.0,
+        "queries_rejected": 0.0,
+        "deadline_misses": float(num_queries - on_time),
+        "latency_p50_s": un_metrics["latency_p50_s"],
+        "latency_p99_s": un_metrics["latency_p99_s"],
+        "residual_bound_max": un_metrics["residual_bound_max"],
+        "deterministic": True,
+    }
+
+    rows = []
+    for name in ("unprotected", "deadline_only", "protected"):
+        leg = legs[name]
+        rows.append(
+            [
+                name,
+                f"{leg['goodput_fraction']:.1%}",
+                int(leg["queries_degraded"]),
+                int(leg["queries_shed"]),
+                int(leg["queries_rejected"]),
+                int(leg["deadline_misses"]),
+                leg["latency_p99_s"] * 1e3,
+            ]
+        )
+    table = format_table(
+        f"Overload resilience at {overload_factor:g}x capacity "
+        f"({num_queries} queries on {graph_name}, deadline "
+        f"{deadline_ms:g}ms, queue bound {max_queue}, seed={seed})",
+        [
+            "leg",
+            "goodput",
+            "degraded",
+            "shed",
+            "rejected",
+            "late",
+            "p99_ms",
+        ],
+        rows,
+    )
+    summary = {
+        "capacity_per_s": capacity_per_s,
+        "offered_per_s": offered_per_s,
+        "overload_factor": overload_factor,
+        "deadline_ms": deadline_ms,
+        "max_queue": max_queue,
+        "legs": {name: dict(leg) for name, leg in legs.items()},
+    }
+    report["summary"] = summary
+    if out_path is not None:
+        validate_artifact(report, kind="repro-sweep", path=out_path)
+        write_artifact(report, out_path)
+    return {
+        "results": legs,
+        "summary": summary,
+        "rows": rows,
+        "sweep": report,
+        "table": table,
+    }

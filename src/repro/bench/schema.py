@@ -87,6 +87,21 @@ NON_NEGATIVE_KEYS = frozenset(
         "tenant_quota",
         "num_queries",
         "kill_launch",
+        # overload-resilience cells: shed/degrade/deadline outcomes and
+        # their knobs.
+        "queries_degraded",
+        "queries_shed",
+        "queries_rejected",
+        "deadline_misses",
+        "goodput_queries",
+        "residual_bound_max",
+        "max_queue",
+        "max_replays",
+        "overload_factor",
+        "offered_per_s",
+        "capacity_per_s",
+        "goodput_fraction",
+        "on_time_fraction",
     }
 )
 

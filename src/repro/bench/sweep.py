@@ -92,6 +92,15 @@ SERVE_KNOBS = (
     "mean_interarrival_us",
     "kill_launch",
     "replay_on_fault",
+    # Overload-resilience knobs (deadlines, shedding, brownout, retry).
+    "deadline_ms",
+    "deadline_policy",
+    "max_queue",
+    "brownout",
+    "max_replays",
+    "replay_backoff_us",
+    "arrival_model",
+    "mean_think_time_us",
 )
 
 #: Checkpoint-lifecycle knobs that require an engine with recovery
@@ -145,6 +154,15 @@ SERVE_METRICS = (
     "peak_concurrency",
     "faults_injected",
     "replays",
+    # Overload outcomes (shed/rejected/degraded are deliberate under
+    # overload knobs; zero in unstressed cells).
+    "queries_degraded",
+    "queries_shed",
+    "queries_rejected",
+    "deadline_misses",
+    "goodput_queries",
+    "goodput_per_s",
+    "residual_bound_max",
 )
 
 #: Metrics the gate treats as "bigger is a regression".  Serve cells
@@ -160,6 +178,7 @@ GATED_METRICS = {
         "gpu_busy_s",
         "launches",
         "queries_failed",
+        "deadline_misses",
     ),
 }
 
@@ -624,6 +643,22 @@ def _serve_once(spec: CellSpec, seed: int) -> Dict[str, object]:
         num_gpus=int(knobs["num_gpus"]) if knobs.get("num_gpus") else None,
         kill_launch=int(kill) if kill is not None else None,
         replay_on_fault=bool(knobs.get("replay_on_fault", True)),
+        deadline_ms=(
+            float(knobs["deadline_ms"])
+            if knobs.get("deadline_ms") is not None
+            else None
+        ),
+        deadline_policy=str(knobs.get("deadline_policy", "reject")),
+        max_queue=(
+            int(knobs["max_queue"])
+            if knobs.get("max_queue") is not None
+            else None
+        ),
+        brownout=bool(knobs.get("brownout", False)),
+        max_replays=int(knobs.get("max_replays", 1)),
+        replay_backoff_us=float(knobs.get("replay_backoff_us", 0.0)),
+        arrival_model=str(knobs.get("arrival_model", "open")),
+        mean_think_time_us=float(knobs.get("mean_think_time_us", 100.0)),
         use_cache=False,
         graph=graph,
     )

@@ -227,20 +227,33 @@ def cmd_chaos(args) -> int:
     spec = SCALED_MACHINE
     if args.gpus:
         spec = spec.scaled(args.gpus)
-    plan_options = {
-        "transfer_fault_rate": args.transfer_fault_rate,
-        "sync_drop_rate": args.sync_drop_rate,
-        "sync_corrupt_rate": args.sync_corrupt_rate,
-        "straggler_rate": args.straggler_rate,
-        "kill_gpu": args.kill_gpu,
-        "kill_at_round": args.kill_round,
-    }
+    if args.storm:
+        # Correlated-failure schedules: plan options feed the storm
+        # generator (overlapping kills + link flaps) instead of the
+        # independent-fault plan.
+        plan_options = {
+            "kills": args.storm_kills,
+            "flaps": args.storm_flaps,
+            "flap_length": args.storm_flap_length,
+            "transfer_fault_rate": args.transfer_fault_rate,
+            "sync_drop_rate": args.sync_drop_rate,
+        }
+    else:
+        plan_options = {
+            "transfer_fault_rate": args.transfer_fault_rate,
+            "sync_drop_rate": args.sync_drop_rate,
+            "sync_corrupt_rate": args.sync_corrupt_rate,
+            "straggler_rate": args.straggler_rate,
+            "kill_gpu": args.kill_gpu,
+            "kill_at_round": args.kill_round,
+        }
 
     def sweep(redistribution_policy):
         recovery = RecoveryPolicy(
             checkpoint_interval=args.checkpoint_interval,
             incremental_checkpoints=args.incremental_checkpoints,
             full_checkpoint_period=args.full_checkpoint_period,
+            overlap_checkpoint_spill=args.overlap_spill,
             redistribution_policy=redistribution_policy,
         )
         return chaos_sweep(
@@ -253,6 +266,8 @@ def cmd_chaos(args) -> int:
             graph_name=name,
             plan_options=plan_options,
             disable_recovery=args.no_recovery,
+            include_serve=args.include_serve,
+            storm=args.storm,
         )
 
     results = sweep(args.redistribution)
@@ -274,7 +289,8 @@ def cmd_chaos(args) -> int:
             f"ckpt={cell.checkpoints_taken}"
             f"/{cell.incremental_checkpoints_taken}inc "
             f"spill={cell.checkpoint_bytes_spilled}B"
-            f"/{cell.checkpoint_time_s:.2e}s "
+            f"/{cell.checkpoint_time_s:.2e}s"
+            f"(hid {cell.checkpoint_hidden_time_s:.2e}s) "
             f"recov={cell.recovery_time_s:.2e}s "
             f"digest={digest}"
         )
@@ -408,6 +424,14 @@ def cmd_serve(args) -> int:
         num_gpus=args.gpus,
         kill_launch=args.kill_launch,
         replay_on_fault=not args.no_replay,
+        deadline_ms=args.deadline_ms,
+        deadline_policy=args.deadline_policy,
+        max_queue=args.max_queue,
+        brownout=args.brownout,
+        max_replays=args.max_replays,
+        replay_backoff_us=args.replay_backoff_us,
+        arrival_model="closed" if args.closed_loop else "open",
+        mean_think_time_us=args.think_us,
         use_cache=False,
     )
     metrics = report.metrics()
@@ -420,6 +444,21 @@ def cmd_serve(args) -> int:
         f"{int(metrics['batches'])} batches / "
         f"{int(metrics['launches'])} launches"
     )
+    if (
+        args.deadline_ms is not None
+        or args.max_queue is not None
+        or args.brownout
+    ):
+        print(
+            f"  overload: goodput={int(metrics['goodput_queries'])}"
+            f"/{int(metrics['queries_total'])} "
+            f"({metrics['goodput_per_s']:.0f} q/s) "
+            f"degraded={int(metrics['queries_degraded'])} "
+            f"shed={int(metrics['queries_shed'])} "
+            f"rejected={int(metrics['queries_rejected'])} "
+            f"late={int(metrics['deadline_misses'])} "
+            f"max_residual_bound={metrics['residual_bound_max']:.3g}"
+        )
     print(
         f"  throughput={metrics['queries_per_s']:.0f} q/s "
         f"p50={metrics['latency_p50_s'] * 1e6:.1f}us "
@@ -472,6 +511,23 @@ def cmd_serve(args) -> int:
             for line in verdict.failures:
                 print(f"    {line}", file=sys.stderr)
             exit_code = 1
+        degraded = [r for r in report.results if r.status == "degraded"]
+        if degraded:
+            from repro.verify.serve import verify_degraded_answer
+
+            checks = [
+                verify_degraded_answer(context, r) for r in degraded
+            ]
+            bad = [c for c in checks if not c.passed]
+            status = "PASS" if not bad else "FAIL"
+            print(
+                f"  degraded-answer oracle: {status} "
+                f"({len(degraded)} certificates checked)"
+            )
+            for check in bad:
+                print(f"    {check.detail}", file=sys.stderr)
+            if bad:
+                exit_code = 1
     return exit_code
 
 
@@ -790,6 +846,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument("--seed", type=int, default=0)
     sv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query relative deadline in milliseconds; late answers "
+        "count as deadline misses (default: no deadline)",
+    )
+    sv.add_argument(
+        "--deadline-policy",
+        choices=["reject", "abort"],
+        default="reject",
+        help="'reject' refuses admission once a deadline is hopeless; "
+        "'abort' additionally drops in-flight answers that finished "
+        "late (default: reject)",
+    )
+    sv.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="bound on waiting queries; excess is shed deterministically "
+        "from the largest-backlog tenant, newest first (default: "
+        "unbounded)",
+    )
+    sv.add_argument(
+        "--brownout",
+        action="store_true",
+        help="under deadline pressure return partially-converged answers "
+        "with certified residual bounds instead of missing deadlines",
+    )
+    sv.add_argument(
+        "--max-replays",
+        type=int,
+        default=1,
+        help="replay attempts per fault-killed batch before its queries "
+        "abort (default: 1)",
+    )
+    sv.add_argument(
+        "--replay-backoff-us",
+        type=float,
+        default=0.0,
+        help="base backoff before a batch replay, in microseconds; "
+        "doubles per attempt (default: 0)",
+    )
+    sv.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="closed-loop (think-time) arrival model: each tenant "
+        "session keeps one query in flight instead of the open-loop "
+        "timeline",
+    )
+    sv.add_argument(
+        "--think-us",
+        type=float,
+        default=100.0,
+        help="mean think time between a session's queries with "
+        "--closed-loop, in microseconds (default: 100)",
+    )
+    sv.add_argument(
         "--kill-launch",
         type=int,
         default=None,
@@ -949,6 +1062,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="compute round at which --kill-gpu dies (default: 1)",
+    )
+    ch.add_argument(
+        "--storm",
+        action="store_true",
+        help="correlated failure schedules: overlapping GPU kills "
+        "(including a second kill during replay) plus link "
+        "down-then-up flaps, from one seeded storm generator",
+    )
+    ch.add_argument(
+        "--storm-kills",
+        type=int,
+        default=2,
+        help="GPU kills per storm plan (default: 2)",
+    )
+    ch.add_argument(
+        "--storm-flaps",
+        type=int,
+        default=1,
+        help="link down-then-up flap windows per storm plan (default: 1)",
+    )
+    ch.add_argument(
+        "--storm-flap-length",
+        type=int,
+        default=3,
+        help="consecutive transient transfer faults per flap "
+        "(default: 3)",
+    )
+    ch.add_argument(
+        "--include-serve",
+        action="store_true",
+        help="append a serving-layer chaos cell per seed (a storm cell "
+        "with --storm)",
+    )
+    ch.add_argument(
+        "--overlap-spill",
+        action="store_true",
+        help="double-buffer checkpoint spills so the PCIe drain hides "
+        "under subsequent compute",
     )
     ch.add_argument(
         "--checkpoint-interval",

@@ -293,6 +293,9 @@ class DiGraphEngine:
                         stats.checkpoint_bytes_spilled
                     ),
                     "checkpoint_time_s": stats.checkpoint_time_s,
+                    "checkpoint_hidden_time_s": (
+                        stats.checkpoint_hidden_time_s
+                    ),
                     "recovery_time_s": stats.recovery_time_s,
                 }
             )
@@ -586,32 +589,42 @@ class _Run:
         stats = self.machine.stats
         manager = self.checkpoints
         self._rounds_done = 0
-        while self._rounds_done < self.cfg.max_rounds:
-            if not self.states.any_active():
-                return True
-            if manager is not None and manager.due(self._rounds_done):
-                manager.checkpoint(self._rounds_done)
-            try:
-                swept_any = self._execute_round()
-            except GPULostError as exc:
-                self._recover_gpu_loss(exc.gpu_id, exc)
-                continue
-            except PermanentInterconnectFault as exc:
-                # A link that stays dead is indistinguishable from the
-                # GPU behind it being unreachable: fence off the GPU at
-                # the failing endpoint and degrade onto the survivors.
-                gpu_id = exc.dst if isinstance(exc.dst, int) else exc.src
-                if not isinstance(gpu_id, int):
-                    raise
-                self._recover_gpu_loss(gpu_id, exc)
-                continue
-            self._rounds_done += 1
-            stats.rounds += 1
-            if not swept_any:
-                # Active vertices exist only outside any partition —
-                # impossible once isolated vertices were handled.
-                return True
-        return not self.states.any_active()
+        try:
+            while self._rounds_done < self.cfg.max_rounds:
+                if not self.states.any_active():
+                    return True
+                if manager is not None and manager.due(self._rounds_done):
+                    manager.checkpoint(self._rounds_done)
+                try:
+                    swept_any = self._execute_round()
+                except GPULostError as exc:
+                    self._recover_gpu_loss(exc.gpu_id, exc)
+                    continue
+                except PermanentInterconnectFault as exc:
+                    # A link that stays dead is indistinguishable from
+                    # the GPU behind it being unreachable: fence off the
+                    # GPU at the failing endpoint and degrade onto the
+                    # survivors.
+                    gpu_id = (
+                        exc.dst if isinstance(exc.dst, int) else exc.src
+                    )
+                    if not isinstance(gpu_id, int):
+                        raise
+                    self._recover_gpu_loss(gpu_id, exc)
+                    continue
+                self._rounds_done += 1
+                stats.rounds += 1
+                if not swept_any:
+                    # Active vertices exist only outside any partition —
+                    # impossible once isolated vertices were handled.
+                    return True
+            return not self.states.any_active()
+        finally:
+            # Settle any in-flight double-buffered checkpoint spill: the
+            # last spill's exposed remainder must land on the timeline
+            # even when the run converges (or aborts) right after it.
+            if manager is not None:
+                manager.finish()
 
     def _execute_round(self) -> bool:
         """One sweep over the dependency frontier; True if anything ran."""

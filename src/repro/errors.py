@@ -161,6 +161,71 @@ class QueryAbortedError(ServeError):
         self.launch_index = launch_index
 
 
+class QueryShedError(ServeError):
+    """A query was deterministically shed under overload.
+
+    Raised (in strict mode) or recorded (otherwise) when the bounded
+    admission queue is full and the tenant-fair shedding policy picks
+    this query as the victim. Structured fields name the shed query,
+    its tenant, and the queue depth at the shedding decision.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_id=None,
+        tenant=None,
+        queue_depth=None,
+    ) -> None:
+        details = []
+        if query_id is not None:
+            details.append(f"query={query_id}")
+        if tenant is not None:
+            details.append(f"tenant={tenant}")
+        if queue_depth is not None:
+            details.append(f"queue_depth={queue_depth}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.query_id = query_id
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+
+
+class DeadlineExceededError(ServeError):
+    """A query missed its deadline under the active ``deadline_policy``.
+
+    Carries the deadline and the virtual-clock time at which the miss
+    was detected (admission time for ``reject``, completion time for
+    ``abort``), so tail-latency reports need no message parsing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_id=None,
+        tenant=None,
+        deadline_s=None,
+        detected_s=None,
+    ) -> None:
+        details = []
+        if query_id is not None:
+            details.append(f"query={query_id}")
+        if tenant is not None:
+            details.append(f"tenant={tenant}")
+        if deadline_s is not None:
+            details.append(f"deadline_s={deadline_s:.6g}")
+        if detected_s is not None:
+            details.append(f"detected_s={detected_s:.6g}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.query_id = query_id
+        self.tenant = tenant
+        self.deadline_s = deadline_s
+        self.detected_s = detected_s
+
+
 class ArtifactError(ReproError):
     """A benchmark artifact (``BENCH_*.json``) is missing, unreadable,
     or violates its schema (wrong keys, bad version, NaN/negative

@@ -27,6 +27,7 @@ from repro.faults.chaos import (
     recovery_digest,
     run_chaos_cell,
     run_serve_chaos_cell,
+    run_serve_storm_cell,
     state_digest,
 )
 from repro.faults.checkpoint import CheckpointManager, CheckpointRecord
@@ -67,5 +68,6 @@ __all__ = [
     "recovery_digest",
     "run_chaos_cell",
     "run_serve_chaos_cell",
+    "run_serve_storm_cell",
     "state_digest",
 ]

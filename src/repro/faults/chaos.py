@@ -143,6 +143,8 @@ class ChaosCellResult:
     incremental_checkpoints_taken: int = 0
     checkpoint_bytes_spilled: int = 0
     checkpoint_time_s: float = 0.0
+    #: Spill seconds hidden under compute by double-buffered overlap.
+    checkpoint_hidden_time_s: float = 0.0
     rollback_replay_rounds: int = 0
     # State digests: recovered must equal golden (bit-exact when the
     # equivalence band is 0, band-quantized otherwise).
@@ -255,6 +257,7 @@ def run_chaos_cell(
         incremental_checkpoints_taken=stats.incremental_checkpoints_taken,
         checkpoint_bytes_spilled=stats.checkpoint_bytes_spilled,
         checkpoint_time_s=stats.checkpoint_time_s,
+        checkpoint_hidden_time_s=stats.checkpoint_hidden_time_s,
         rollback_replay_rounds=stats.rollback_replay_rounds,
         golden_digest=golden_digest,
         recovered_digest=recovered_digest,
@@ -351,6 +354,163 @@ def run_serve_chaos_cell(
     )
 
 
+def run_serve_storm_cell(
+    graph,
+    algorithm: str = "mixed",
+    seed: int = 0,
+    num_queries: int = 32,
+    kills: int = 3,
+    first_kill_at: int = 2,
+    kill_spacing: int = 4,
+    max_replays: int = 3,
+    replay_backoff_us: float = 5.0,
+    deadline_ms: Optional[float] = None,
+    deadline_policy: str = "reject",
+    max_queue: Optional[int] = None,
+    brownout: bool = False,
+    machine: Optional[MachineSpec] = None,
+    graph_name: str = "serve-storm",
+) -> ChaosCellResult:
+    """A correlated fault storm against the serving layer.
+
+    ``kills`` GPU deaths land on the serve-wide launch counter with
+    ``kill_spacing`` between them — close enough that later kills
+    strike *during the replay* of earlier ones (replays consume fresh
+    launch indices). The cell certifies the ISSUE-8 contract: the
+    server must either **fully recover to identical digests** (no
+    overload knobs set: every answer matches the fault-free golden
+    leg) or **degrade/shed deterministically with structured errors**
+    (overload knobs set: the storm replayed twice yields byte-identical
+    ``ServeReport.metrics()`` and serve digests, and every non-answered
+    query carries a structured error) — never a hang, never an
+    unstructured exception.
+    """
+    from repro.serve.query import QUERY_STATUSES
+    from repro.serve.runner import run_serve_cell, serve_digest
+
+    plan = FaultPlan.generate_storm(
+        seed,
+        (machine or MachineSpec()).num_gpus,
+        kills=kills,
+        first_kill_at=first_kill_at,
+        kill_spacing=kill_spacing,
+    )
+    common = dict(
+        seed=seed,
+        num_queries=num_queries,
+        machine=machine,
+        graph=graph,
+        use_cache=False,
+        max_replays=max_replays,
+        replay_backoff_us=replay_backoff_us,
+        deadline_ms=deadline_ms,
+        deadline_policy=deadline_policy,
+        max_queue=max_queue,
+        brownout=brownout,
+    )
+    overloaded = (
+        deadline_ms is not None or max_queue is not None or brownout
+    )
+
+    def fail(detail: str, error: Optional[str]) -> ChaosCellResult:
+        return ChaosCellResult(
+            algorithm=f"serve-storm-{algorithm}",
+            engine="serve",
+            seed=seed,
+            passed=False,
+            detail=detail,
+            error=error,
+        )
+
+    try:
+        golden = run_serve_cell(algorithm, graph_name, **common)
+        stormed = run_serve_cell(
+            algorithm, graph_name, fault_plan=plan, **common
+        )
+        replayed = run_serve_cell(
+            algorithm, graph_name, fault_plan=plan, **common
+        )
+    except ReproError as exc:
+        return fail(
+            f"storm raised {type(exc).__name__} instead of degrading",
+            str(exc),
+        )
+
+    golden_digest = serve_digest(golden)
+    storm_digest = serve_digest(stormed)
+    deterministic = (
+        storm_digest == serve_digest(replayed)
+        and stormed.metrics() == replayed.metrics()
+    )
+    bad_status = [
+        r for r in stormed.results if r.status not in QUERY_STATUSES
+    ]
+    unstructured = [
+        r
+        for r in stormed.results
+        if r.status not in ("ok", "degraded") and not r.error
+    ]
+    recovered_identical = (
+        not stormed.failed and storm_digest == golden_digest
+    )
+    if stormed.faults_injected == 0:
+        passed, detail = False, "vacuous: storm injected no faults"
+    elif bad_status:
+        passed, detail = False, (
+            f"unknown result status {bad_status[0].status!r}"
+        )
+    elif unstructured:
+        passed, detail = False, (
+            f"query {unstructured[0].query.query_id} ended "
+            f"{unstructured[0].status!r} without a structured error"
+        )
+    elif not deterministic:
+        passed, detail = False, (
+            "storm replayed twice diverged (digest or metrics)"
+        )
+    elif not overloaded and not recovered_identical:
+        passed, detail = False, (
+            f"{len(stormed.failed)} queries failed and digests "
+            "diverge from golden with full replay budget"
+        )
+    else:
+        passed = True
+        detail = (
+            f"recovered identical digests after {stormed.replays} "
+            f"lane replays"
+            if recovered_identical
+            else (
+                f"degraded deterministically: "
+                f"{len(stormed.degraded)} degraded, "
+                f"{len(stormed.shed)} shed, "
+                f"{len(stormed.rejected)} rejected, "
+                f"{len(stormed.failed)} aborted — all structured"
+            )
+        )
+    return ChaosCellResult(
+        algorithm=f"serve-storm-{algorithm}",
+        engine="serve",
+        seed=seed,
+        passed=passed,
+        detail=detail,
+        faults_injected=stormed.faults_injected,
+        gpu_failures=stormed.faults_injected,
+        rounds_rolled_back=stormed.replays,
+        recovery_time_s=max(0.0, stormed.gpu_busy_s - golden.gpu_busy_s),
+        trace_digest=storm_digest,
+        golden_digest=golden_digest,
+        recovered_digest=storm_digest,
+        digest_match=storm_digest == golden_digest,
+        golden_time_s=golden.makespan_s,
+        recovered_time_s=stormed.makespan_s,
+        error=(
+            None
+            if not stormed.failed
+            else stormed.failed[0].error
+        ),
+    )
+
+
 def chaos_sweep(
     graph,
     algorithms: Sequence[str],
@@ -363,6 +523,8 @@ def chaos_sweep(
     disable_recovery: bool = False,
     include_serve: bool = False,
     serve_kill_launch: int = 4,
+    storm: bool = False,
+    serve_storm_options: Optional[Dict] = None,
 ) -> List[ChaosCellResult]:
     """Run the chaos grid: algorithms x engines x seeds.
 
@@ -372,12 +534,21 @@ def chaos_sweep(
     serving-layer kill/replay cell per seed
     (:func:`run_serve_chaos_cell` on a mixed-algorithm trace) so the
     query service faces the same sweep as the batch engines.
+
+    ``storm=True`` switches the sweep to **correlated schedules**:
+    engine cells run under :meth:`FaultPlan.generate_storm` plans
+    (overlapping kills + link flaps; ``plan_options`` then feed the
+    storm generator) and the serve cell becomes
+    :func:`run_serve_storm_cell` (``serve_storm_options`` forwarded).
     """
     options = dict(plan_options or {})
     num_gpus = (machine or MachineSpec()).num_gpus
     results: List[ChaosCellResult] = []
     for seed in seeds:
-        plan = FaultPlan.generate(seed, num_gpus, **options)
+        if storm:
+            plan = FaultPlan.generate_storm(seed, num_gpus, **options)
+        else:
+            plan = FaultPlan.generate(seed, num_gpus, **options)
         for algorithm in algorithms:
             for engine_name in engine_names:
                 results.append(
@@ -392,7 +563,18 @@ def chaos_sweep(
                         disable_recovery=disable_recovery,
                     )
                 )
-        if include_serve:
+        if include_serve and storm:
+            results.append(
+                run_serve_storm_cell(
+                    graph,
+                    "mixed",
+                    seed=seed,
+                    machine=machine,
+                    graph_name=graph_name,
+                    **dict(serve_storm_options or {}),
+                )
+            )
+        elif include_serve:
             results.append(
                 run_serve_chaos_cell(
                     graph,

@@ -21,7 +21,16 @@ run" and "a failed round was rolled back":
   state h2d, attributed to recovery;
 - **replay accounting** — ``rollback_replay_rounds`` counts the
   completed rounds a rollback discards plus the aborted attempt, the
-  recovery-time half of the interval tradeoff.
+  recovery-time half of the interval tradeoff;
+- **double-buffered spill overlap** — with
+  ``RecoveryPolicy.overlap_checkpoint_spill`` on, the snapshot is
+  staged into a second host buffer and the PCIe drain proceeds while
+  the following rounds compute. The spill settles at the next
+  checkpoint / rollback / :meth:`~CheckpointManager.finish`: the part
+  covered by the compute that ran since issue is *hidden*
+  (``checkpoint_hidden_time_s``), only the exposed remainder is charged
+  to the blocking timeline. Each :class:`CheckpointRecord` reports its
+  own hidden fraction once settled.
 
 The manager is engine-agnostic: clients expose their state through a
 small duck-typed protocol (no inheritance required) —
@@ -47,8 +56,8 @@ the cost knobs.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -69,13 +78,25 @@ BYTES_PER_LIST_ENTRY = 8
 
 @dataclass(frozen=True)
 class CheckpointRecord:
-    """One taken checkpoint, for inspection and reporting."""
+    """One taken checkpoint, for inspection and reporting.
+
+    ``hidden_time_s`` is filled in when an overlapped spill settles
+    (next checkpoint / rollback / ``finish``): of ``time_s``, the model
+    seconds hidden under the compute that ran while the spill drained.
+    Serialized (non-overlapped) spills report 0.
+    """
 
     round_index: int
     kind: str  # "full" | "incremental"
     bytes_spilled: int
     dirty_vertices: int
     time_s: float
+    hidden_time_s: float = 0.0
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of this spill the compute timeline absorbed."""
+        return self.hidden_time_s / self.time_s if self.time_s > 0 else 0.0
 
 
 def _modeled_scalar_bytes(scalars: Dict) -> int:
@@ -116,6 +137,12 @@ class CheckpointManager:
         self._incrementals_since_full = 0
         self._rounds_mark = 0
         self._time_mark = (0.0, 0.0, 0.0)
+        #: In-flight double-buffered spill: (spill seconds still
+        #: draining, compute_time_s when it was issued, index of its
+        #: record). Settled by :meth:`_settle_pending`.
+        self._pending_spill_s = 0.0
+        self._pending_compute_mark = 0.0
+        self._pending_record_index: Optional[int] = None
 
     @property
     def has_checkpoint(self) -> bool:
@@ -138,8 +165,58 @@ class CheckpointManager:
         interval = max(int(self.policy.checkpoint_interval), 1)
         return round_index - self.last_checkpoint_round >= interval
 
+    # ------------------------------------------------------------------
+    # double-buffered spill settlement
+    # ------------------------------------------------------------------
+    def _settle_pending(self) -> Tuple[float, float]:
+        """Resolve the in-flight overlapped spill; (hidden, exposed).
+
+        The spill drained concurrently with whatever compute ran since
+        it was issued: ``min(spill, compute since issue)`` seconds were
+        hidden (credited to ``checkpoint_hidden_time_s``), the exposed
+        remainder serializes now (charged to ``transfer_time_s``, like
+        a stream flush). The issuing :class:`CheckpointRecord` is
+        patched with its settled ``hidden_time_s``.
+        """
+        if self._pending_spill_s <= 0.0:
+            return (0.0, 0.0)
+        stats = self.machine.stats
+        compute_since = max(
+            stats.compute_time_s - self._pending_compute_mark, 0.0
+        )
+        hidden = min(self._pending_spill_s, compute_since)
+        exposed = self._pending_spill_s - hidden
+        stats.checkpoint_hidden_time_s += hidden
+        if exposed > 0.0:
+            stats.transfer_time_s += exposed
+        idx = self._pending_record_index
+        if idx is not None:
+            self.records[idx] = replace(
+                self.records[idx], hidden_time_s=hidden
+            )
+        self._pending_spill_s = 0.0
+        self._pending_record_index = None
+        return (hidden, exposed)
+
+    def finish(self) -> None:
+        """Drain any still-in-flight overlapped spill at end of run.
+
+        Engines call this after their main loop (success or abort): a
+        spill issued by the final checkpoint has no later checkpoint or
+        rollback to settle it, and an undrained buffer would silently
+        make the last spill free.
+        """
+        self._settle_pending()
+
     def checkpoint(self, round_index: int) -> CheckpointRecord:
         """Snapshot the client's state and charge the host spill."""
+        # Settle the previous double-buffered spill first: its drain
+        # window ends where this checkpoint begins (single spare host
+        # buffer — the next snapshot needs it).
+        self._settle_pending()
+        overlap = bool(
+            getattr(self.policy, "overlap_checkpoint_spill", False)
+        )
         arrays = self.client.vertex_arrays()
         vertex_gpu = np.asarray(self.client.vertex_gpu())
         full = (
@@ -190,7 +267,9 @@ class CheckpointManager:
                 # The bookkeeping payload (ledgers, pending batches,
                 # placement) is gathered through one GPU's channel.
                 nbytes += scalar_bytes
-            total_time += self.machine.checkpoint_spill(gpu, nbytes)
+            total_time += self.machine.checkpoint_spill(
+                gpu, nbytes, overlap=overlap
+            )
             total_spilled += nbytes
         stats.checkpoints_taken += 1
         if not full:
@@ -211,6 +290,13 @@ class CheckpointManager:
             dirty_vertices=dirty_count,
             time_s=total_time,
         )
+        if overlap and total_time > 0.0:
+            # The spill drains while the next rounds compute; settled
+            # against the compute window at the next checkpoint /
+            # rollback / finish.
+            self._pending_spill_s = total_time
+            self._pending_compute_mark = stats.compute_time_s
+            self._pending_record_index = len(self.records)
         self.records.append(record)
         return record
 
@@ -231,9 +317,14 @@ class CheckpointManager:
         if self._scalars is None:
             raise SimulationError("rollback without a checkpoint")
         stats = self.machine.stats
+        # An overlapped spill still in flight belongs to the checkpoint
+        # we are rolling back TO — settle it first (its exposed
+        # remainder is checkpoint overhead, not lost work, so it is
+        # carved out of the delta below).
+        _, exposed = self._settle_pending()
         lost = (
             (stats.compute_time_s - self._time_mark[0])
-            + (stats.transfer_time_s - self._time_mark[1])
+            + (stats.transfer_time_s - self._time_mark[1] - exposed)
             + (stats.async_comm_time_s - self._time_mark[2])
         )
         if lost > 0:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -136,6 +136,9 @@ class FaultPlan:
         straggler_factor: float = 8.0,
         kill_gpu: Optional[int] = None,
         kill_at_round: int = 1,
+        kill_schedule: Optional[Sequence[Tuple[int, int]]] = None,
+        link_flap_at: Optional[int] = None,
+        link_flap_length: int = 3,
         transfer_horizon: int = 5000,
         sync_horizon: int = 2000,
         round_horizon: int = 500,
@@ -145,7 +148,19 @@ class FaultPlan:
         Rates are per-call probabilities sampled *now* with
         ``random.Random(seed)`` over a fixed horizon of call indices —
         beyond the horizon the run is fault-free. ``kill_gpu`` schedules
-        exactly one GPU death at kernel wave ``kill_at_round``.
+        exactly one GPU death at kernel wave ``kill_at_round``;
+        ``kill_schedule`` is the correlated generalization — a sequence
+        of ``(gpu, round)`` deaths, so a second kill can land *during
+        the replay* of the first (rollback re-executes waves under
+        fresh monotone counter indices, so a later index fires
+        mid-recovery).
+
+        ``link_flap_at`` schedules a **down-then-up link flap**: every
+        transfer call in ``[link_flap_at, link_flap_at +
+        link_flap_length)`` fails transiently, then the link is healthy
+        again. Because each retry consumes a fresh transfer index, a
+        flap is survived exactly when the retry budget covers the flap
+        length — the deterministic analogue of waiting out a bounce.
         """
         for name, rate in (
             ("transfer_fault_rate", transfer_fault_rate),
@@ -165,6 +180,31 @@ class FaultPlan:
             raise ConfigurationError("kill_at_round must be >= 0")
         if straggler_factor < 1.0:
             raise ConfigurationError("straggler_factor must be >= 1")
+        kills: list = []
+        if kill_gpu is not None:
+            kills.append((kill_gpu, kill_at_round))
+        for entry in kill_schedule or ():
+            gpu, at_round = entry
+            if not 0 <= gpu < num_gpus:
+                raise ConfigurationError(
+                    f"kill_schedule gpu {gpu} out of range"
+                )
+            if at_round < 0:
+                raise ConfigurationError(
+                    "kill_schedule rounds must be >= 0"
+                )
+            kills.append((int(gpu), int(at_round)))
+        seen_rounds = set()
+        for _, at_round in kills:
+            if at_round in seen_rounds:
+                raise ConfigurationError(
+                    f"two kills scheduled at the same index {at_round}"
+                )
+            seen_rounds.add(at_round)
+        if link_flap_at is not None and link_flap_at < 0:
+            raise ConfigurationError("link_flap_at must be >= 0")
+        if link_flap_length < 1:
+            raise ConfigurationError("link_flap_length must be >= 1")
 
         rng = random.Random(seed)
         transfer_faults: Dict[int, TransferFault] = {}
@@ -181,6 +221,14 @@ class FaultPlan:
                 transfer_faults[index] = TransferFault(
                     kind=DEGRADE, factor=degrade_factor
                 )
+        if link_flap_at is not None:
+            # Down-then-up: a contiguous run of transient failures, then
+            # the link heals (indices past the flap are explicitly left
+            # alone — "up" is the absence of a scheduled fault).
+            for index in range(
+                link_flap_at, link_flap_at + link_flap_length
+            ):
+                transfer_faults[index] = TransferFault(kind=TRANSIENT)
 
         sync_faults: Dict[int, SyncFault] = {}
         for index in range(sync_horizon):
@@ -202,10 +250,10 @@ class FaultPlan:
             }
             if slowdowns:
                 compute_faults[index] = ComputeFault(slowdowns=slowdowns)
-        if kill_gpu is not None:
-            existing = compute_faults.get(kill_at_round)
-            compute_faults[kill_at_round] = ComputeFault(
-                kill_gpu=kill_gpu,
+        for gpu, at_round in kills:
+            existing = compute_faults.get(at_round)
+            compute_faults[at_round] = ComputeFault(
+                kill_gpu=gpu,
                 slowdowns=existing.slowdowns if existing else {},
             )
 
@@ -215,3 +263,75 @@ class FaultPlan:
             compute_faults=compute_faults,
             seed=seed,
         )
+
+    @classmethod
+    def generate_storm(
+        cls,
+        seed: int,
+        num_gpus: int,
+        kills: int = 2,
+        first_kill_at: int = 2,
+        kill_spacing: int = 4,
+        flaps: int = 1,
+        first_flap_at: int = 0,
+        flap_length: int = 3,
+        flap_spacing: int = 40,
+        transfer_fault_rate: float = 0.0,
+        sync_drop_rate: float = 0.0,
+        **kwargs,
+    ) -> "FaultPlan":
+        """A correlated **fault storm**: overlapping kills + link flaps.
+
+        ``kills`` GPU deaths land at counter indices ``first_kill_at +
+        i*kill_spacing + jitter`` (seeded jitter < spacing), cycling over
+        the GPUs — with spacing shorter than a recovery the i+1-th kill
+        strikes *during the replay* of the i-th. ``flaps`` link
+        down-then-up windows of ``flap_length`` transient failures are
+        spread ``flap_spacing`` apart. Background ``transfer_fault_rate``
+        / ``sync_drop_rate`` noise rides on top. Everything expands from
+        ``random.Random(seed)`` into one explicit schedule, so the same
+        (seed, knobs) storm is byte-identical — the property the
+        multi-failure determinism tests pin.
+        """
+        if kills < 0:
+            raise ConfigurationError("kills must be >= 0")
+        if flaps < 0:
+            raise ConfigurationError("flaps must be >= 0")
+        if kill_spacing < 1:
+            raise ConfigurationError("kill_spacing must be >= 1")
+        if flap_spacing < 1:
+            raise ConfigurationError("flap_spacing must be >= 1")
+        if first_kill_at < 0 or first_flap_at < 0:
+            raise ConfigurationError("storm offsets must be >= 0")
+        rng = random.Random(seed ^ 0x5707)
+        kill_schedule = []
+        used = set()
+        for i in range(kills):
+            index = first_kill_at + i * kill_spacing + rng.randrange(
+                kill_spacing
+            )
+            while index in used:
+                index += 1
+            used.add(index)
+            # Cycle kills over GPUs N-1..1 so GPU 0 always survives a
+            # storm on a multi-GPU machine (an all-dead machine has no
+            # recovery story to certify).
+            gpu = (num_gpus - 1) - (i % max(num_gpus - 1, 1))
+            kill_schedule.append((gpu, index))
+        plan = cls.generate(
+            seed,
+            num_gpus,
+            transfer_fault_rate=transfer_fault_rate,
+            sync_drop_rate=sync_drop_rate,
+            kill_schedule=kill_schedule,
+            **kwargs,
+        )
+        for f in range(flaps):
+            start = first_flap_at + f * flap_spacing + rng.randrange(
+                max(flap_spacing // 4, 1)
+            )
+            for index in range(start, start + flap_length):
+                plan.transfer_faults[index] = TransferFault(
+                    kind=TRANSIENT
+                )
+        return plan

@@ -59,6 +59,13 @@ class RecoveryPolicy:
     #: With incremental checkpoints, force a full snapshot every Nth
     #: checkpoint so delta chains stay bounded (1 = always full).
     full_checkpoint_period: int = 8
+    #: Double-buffer checkpoint spills: the snapshot is staged into a
+    #: second host buffer and drained over the PCIe ring *while the next
+    #: rounds compute*, so only the spill time exceeding the subsequent
+    #: compute window serializes. Restores stay bit-exact — the knob
+    #: only changes how much spill cost the timeline hides
+    #: (``checkpoint_hidden_time_s``).
+    overlap_checkpoint_spill: bool = False
     #: How a dead GPU's partitions are re-placed: ``"locality"`` keeps
     #: each dependency-connected cluster co-resident on the survivor
     #: with the highest inter-group edge cut to its resident partitions;

@@ -324,18 +324,27 @@ class Machine:
             self.stats.async_comm_time_s += backoff
             total += backoff
 
-    def checkpoint_spill(self, gpu_id: int, nbytes: int) -> float:
+    def checkpoint_spill(
+        self, gpu_id: int, nbytes: int, overlap: bool = False
+    ) -> float:
         """Spill one GPU's checkpoint delta to the host (GPU -> host).
 
         The bytes cross the PCIe link like any d2h transfer (serializing
         with compute), and are additionally attributed to the checkpoint
         ledgers so the overhead-vs-recovery tradeoff is measurable.
+
+        With ``overlap=True`` (double-buffered spill) the transfer is
+        issued asynchronously: the cost is *not* charged to the blocking
+        ``transfer_time_s`` here — the caller (the checkpoint manager)
+        later settles how much of it was hidden under compute and
+        charges only the exposed remainder.
         """
         self._check_alive(gpu_id)
         time_s = self.interconnect.spill_transfer(
             gpu_id, HOST, nbytes, self.spec.transfer_batch_bytes
         )
-        self.stats.transfer_time_s += time_s
+        if not overlap:
+            self.stats.transfer_time_s += time_s
         self.stats.checkpoint_bytes_spilled += nbytes
         self.stats.checkpoint_time_s += time_s
         return time_s

@@ -71,6 +71,10 @@ class MachineStats:
     #: like ``recovery_time_s``: the time also lands on
     #: ``transfer_time_s``, so checkpointing makes a run strictly slower.
     checkpoint_time_s: float = 0.0
+    #: Of ``checkpoint_time_s``, the model seconds hidden under compute
+    #: by double-buffered spills (``overlap_checkpoint_spill``): only
+    #: the remainder lands on ``transfer_time_s`` and extends the run.
+    checkpoint_hidden_time_s: float = 0.0
     backoff_time_s: float = 0.0      #: model seconds spent in retry backoff
     #: Model seconds attributed to recovery: backoff waits, wasted failed
     #: attempts, straggler timeout + re-execution, and work discarded by a

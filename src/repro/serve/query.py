@@ -16,7 +16,7 @@ algorithm/source choice, all from one ``random.Random(seed)`` — the same
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.bfs import BFSLevels
@@ -37,7 +37,11 @@ class Query:
 
     ``params`` is the source vertex tuple — a single vertex for
     sssp/bfs, a seed/source set for ppr/reachability. ``arrival_s`` is
-    the open-loop arrival time on the virtual clock.
+    the open-loop arrival time on the virtual clock. ``deadline_s`` is
+    the *relative* deadline: the answer is on time iff
+    ``completion ≤ arrival + deadline_s`` (the boundary is inclusive —
+    see :meth:`deadline_at`). ``None`` means no per-query deadline (the
+    server's default, if any, applies).
     """
 
     query_id: int
@@ -45,6 +49,7 @@ class Query:
     algorithm: str
     params: Tuple[int, ...]
     arrival_s: float
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in SERVE_ALGORITHMS:
@@ -61,6 +66,24 @@ class Query:
             )
         if self.arrival_s < 0:
             raise ConfigurationError("arrival_s must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
+
+    def deadline_at(self, default_deadline_s: Optional[float]) -> Optional[float]:
+        """Absolute deadline on the virtual clock, or ``None``.
+
+        The per-query deadline wins over the server default. The
+        boundary rule (tested in ``tests/serve/test_overload.py``): a
+        query is **on time iff it completes at or before** this
+        instant, and it is **admissible iff the current clock is at or
+        before** this instant — so a query examined exactly at its
+        deadline is still admitted, and an answer landing exactly at
+        the deadline is not a miss.
+        """
+        rel = self.deadline_s if self.deadline_s is not None else default_deadline_s
+        if rel is None:
+            return None
+        return self.arrival_s + rel
 
 
 def make_query_program(query: Query) -> VertexProgram:
@@ -76,13 +99,33 @@ def make_query_program(query: Query) -> VertexProgram:
     raise ConfigurationError(f"unservable algorithm {query.algorithm!r}")
 
 
+#: Terminal statuses a served query can end in.
+#: ``ok``        — fully converged, digest certified against solo run.
+#: ``degraded``  — brownout partial answer with a certified bound.
+#: ``failed``    — aborted by a fault with replay disabled/forbidden.
+#: ``aborted``   — retries exhausted under a fault storm.
+#: ``shed``      — deterministically dropped by queue-bound shedding.
+#: ``rejected``  — refused at admission (deadline already unmeetable).
+QUERY_STATUSES: Tuple[str, ...] = (
+    "ok", "degraded", "failed", "aborted", "shed", "rejected",
+)
+
+#: Statuses that carry an answer (a digest over final states).
+ANSWERED_STATUSES: Tuple[str, ...] = ("ok", "degraded")
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """Outcome of one served query.
 
-    ``status`` is ``"ok"`` or ``"failed"``; failed queries carry the
-    structured error message and have no digest. Latency is modeled
-    (virtual clock): completion minus arrival, queue wait included.
+    ``status`` is one of :data:`QUERY_STATUSES`; non-answered queries
+    carry the structured error message and have no digest. Latency is
+    modeled (virtual clock): completion minus arrival, queue wait
+    included. Degraded answers additionally carry their certificate:
+    ``bound_kind`` (``"l1"``/``"upper"``/``"lower"``, see
+    :data:`~repro.serve.solver.RESIDUAL_BOUND_KINDS`) and, for
+    ``"l1"``, the certified ``residual_bound`` on the distance to the
+    exact answer.
     """
 
     query: Query
@@ -95,10 +138,72 @@ class QueryResult:
     rounds: int
     replayed: bool = False
     error: Optional[str] = None
+    attempts: int = 1
+    bound_kind: Optional[str] = None
+    residual_bound: Optional[float] = None
+    deadline_missed: bool = False
+    #: Partial state vector, kept **only** for degraded answers: an ok
+    #: answer is exactly reproducible from its query, a partial one is
+    #: not — the states *are* the deliverable the bound certifies
+    #: (``verify_degraded_answer`` checks them against the digest and
+    #: the exact solo run). Excluded from equality/repr.
+    states: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def latency_s(self) -> float:
         return self.completion_s - self.query.arrival_s
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One not-yet-arrived query of a closed-loop session.
+
+    ``think_s`` is the session's think time *before* issuing this
+    query: the query arrives at ``previous terminal completion +
+    think_s`` (or at ``think_s`` for the session's first query). The
+    server materializes the :class:`Query` — with its arrival time —
+    only when the session actually issues it.
+    """
+
+    query_id: int
+    tenant: str
+    algorithm: str
+    params: Tuple[int, ...]
+    think_s: float
+    deadline_s: Optional[float] = None
+
+    def materialize(self, arrival_s: float) -> Query:
+        return Query(
+            query_id=self.query_id,
+            tenant=self.tenant,
+            algorithm=self.algorithm,
+            params=self.params,
+            arrival_s=arrival_s,
+            deadline_s=self.deadline_s,
+        )
+
+
+@dataclass(frozen=True)
+class ClosedLoopTrace:
+    """A closed-loop (think-time) workload: one session per tenant.
+
+    Unlike the open-loop trace — where arrivals are a fixed timeline
+    regardless of how slow the server is — a closed-loop session holds
+    at most one query in flight: the next query is issued only after
+    the previous one reaches a terminal state (any of
+    :data:`QUERY_STATUSES`) plus the think time. Closed loops
+    self-throttle under overload, which is exactly the contrast the
+    ``overload_resilience`` experiment measures against open-loop
+    floods.
+    """
+
+    sessions: Tuple[Tuple[QueryTemplate, ...], ...]
+
+    @property
+    def num_queries(self) -> int:
+        return sum(len(s) for s in self.sessions)
 
 
 def generate_trace(
@@ -110,14 +215,24 @@ def generate_trace(
     algorithms: Sequence[str] = SERVE_ALGORITHMS,
     tenant_weights: Optional[Dict[str, float]] = None,
     seed_set_size: int = 2,
-) -> Tuple[Query, ...]:
-    """Deterministic open-loop arrival trace of point queries.
+    arrival_model: str = "open",
+    mean_think_time_s: float = 1e-4,
+    deadline_s: Optional[float] = None,
+) -> Union[Tuple[Query, ...], ClosedLoopTrace]:
+    """Deterministic arrival trace of point queries.
 
     ``tenants`` is a count (named ``tenant-0..``) or explicit names;
     ``tenant_weights`` skews the per-query tenant choice (unnormalized,
     missing tenants weigh 1.0) — the fairness tests use this to model
     one tenant flooding the service. Multi-source algorithms draw
     ``seed_set_size`` distinct vertices per query.
+
+    ``arrival_model`` selects open loop (default: a fixed exponential-
+    interarrival timeline, returned as a ``Query`` tuple) or closed
+    loop (``"closed"``: per-tenant sessions of
+    :class:`QueryTemplate` with exponential think times drawn from
+    ``mean_think_time_s``, returned as a :class:`ClosedLoopTrace`).
+    ``deadline_s`` stamps a relative deadline on every query.
     """
     if num_vertices < 1:
         raise ConfigurationError("trace needs a non-empty graph")
@@ -146,6 +261,15 @@ def generate_trace(
             "seed_set_size must be in [1, num_vertices]"
         )
 
+    if arrival_model not in ("open", "closed"):
+        raise ConfigurationError(
+            f"arrival_model must be 'open' or 'closed', got {arrival_model!r}"
+        )
+    if mean_think_time_s <= 0:
+        raise ConfigurationError("mean_think_time_s must be positive")
+    if deadline_s is not None and deadline_s <= 0:
+        raise ConfigurationError("deadline_s must be positive")
+
     weights = [
         float((tenant_weights or {}).get(name, 1.0))
         for name in tenant_names
@@ -154,6 +278,34 @@ def generate_trace(
         raise ConfigurationError("tenant weights must be positive")
 
     rng = random.Random(seed)
+    if arrival_model == "closed":
+        sessions: Dict[str, list] = {name: [] for name in tenant_names}
+        for query_id in range(num_queries):
+            think = rng.expovariate(1.0 / mean_think_time_s)
+            tenant = rng.choices(tenant_names, weights=weights, k=1)[0]
+            algorithm = algorithms[rng.randrange(len(algorithms))]
+            if algorithm in ("sssp", "bfs"):
+                params = (rng.randrange(num_vertices),)
+            else:
+                params = tuple(
+                    sorted(rng.sample(range(num_vertices), seed_set_size))
+                )
+            sessions[tenant].append(
+                QueryTemplate(
+                    query_id=query_id,
+                    tenant=tenant,
+                    algorithm=algorithm,
+                    params=params,
+                    think_s=think,
+                    deadline_s=deadline_s,
+                )
+            )
+        return ClosedLoopTrace(
+            sessions=tuple(
+                tuple(sessions[name]) for name in tenant_names if sessions[name]
+            )
+        )
+
     queries = []
     clock = 0.0
     for query_id in range(num_queries):
@@ -173,6 +325,7 @@ def generate_trace(
                 algorithm=algorithm,
                 params=params,
                 arrival_s=clock,
+                deadline_s=deadline_s,
             )
         )
     return tuple(queries)

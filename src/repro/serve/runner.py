@@ -36,15 +36,18 @@ _CONTEXT_CACHE = {}
 
 
 def serve_digest(report: ServeReport) -> str:
-    """sha256 over all per-query digests (order = query_id).
+    """sha256 over all per-query (status, digest) pairs (query_id order).
 
-    Failed queries hash as ``failed`` so a clean run and a run with
-    failures can never produce the same digest.
+    The status is part of the hash, so a clean run, a run with
+    failures, and a run that shed or degraded the same queries can
+    never produce the same digest — shed/degrade determinism is
+    certified by digest equality across reruns exactly like answers.
     """
     h = hashlib.sha256()
     for result in report.results:
         h.update(
-            f"{result.query.query_id}:{result.digest or 'failed'}\n".encode()
+            f"{result.query.query_id}:{result.status}:"
+            f"{result.digest or '-'}\n".encode()
         )
     return h.hexdigest()
 
@@ -99,6 +102,15 @@ def run_serve_cell(
     graph=None,
     strict: bool = False,
     tenant_weights=None,
+    deadline_ms: Optional[float] = None,
+    deadline_policy: str = "reject",
+    max_queue: Optional[int] = None,
+    brownout: bool = False,
+    max_replays: int = 1,
+    replay_backoff_us: float = 0.0,
+    arrival_model: str = "open",
+    mean_think_time_us: float = 100.0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ServeReport:
     """Serve one deterministic trace; memoized like a batch cell.
 
@@ -107,8 +119,16 @@ def run_serve_cell(
     ``kill_launch`` schedules a GPU kill at that serve-wide launch
     index (a hand-written :class:`~repro.faults.plan.FaultPlan`);
     ``replay_on_fault`` decides replay-to-correct-digests vs clean
-    structured failure. ``graph`` / ``tenant_weights`` / ``strict``
-    make the cell custom and bypass the memo cache.
+    structured failure. ``fault_plan`` supplies a full correlated
+    schedule instead (storms); it bypasses the memo cache like the
+    other custom inputs (``graph`` / ``tenant_weights`` / ``strict``).
+
+    Overload knobs: ``deadline_ms`` (relative per-query deadline),
+    ``deadline_policy``, ``max_queue`` (bounded backlog with
+    deterministic shedding), ``brownout`` (certified partial answers),
+    ``max_replays`` + ``replay_backoff_us`` (retry budget), and
+    ``arrival_model`` (``"open"``/``"closed"`` with
+    ``mean_think_time_us``). All of them are part of the memo key.
     """
     if algorithm != "mixed" and algorithm not in SERVE_ALGORITHMS:
         raise ConfigurationError(
@@ -119,15 +139,26 @@ def run_serve_cell(
         raise ConfigurationError("tenant_count must be >= 1")
     if kill_launch is not None and kill_launch < 0:
         raise ConfigurationError("kill_launch must be >= 0")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ConfigurationError("deadline_ms must be positive")
+    if replay_backoff_us < 0:
+        raise ConfigurationError("replay_backoff_us must be >= 0")
     spec = machine or SCALED_MACHINE
     if num_gpus is not None:
         spec = spec.scaled(num_gpus)
-    custom = graph is not None or tenant_weights is not None or strict
+    custom = (
+        graph is not None
+        or tenant_weights is not None
+        or strict
+        or fault_plan is not None
+    )
     key = (
         "serve", algorithm, graph_name, scale, num_gpus, None, False, spec,
         query_lanes, tenant_count, max_concurrent, tenant_quota,
         num_queries, mean_interarrival_us, seed, kill_launch,
         replay_on_fault, max_rounds,
+        deadline_ms, deadline_policy, max_queue, brownout,
+        max_replays, replay_backoff_us, arrival_model, mean_think_time_us,
     )
     if use_cache and not custom and key in bench_runner._CACHE:
         return bench_runner._CACHE[key]
@@ -145,9 +176,10 @@ def run_serve_cell(
             SERVE_ALGORITHMS if algorithm == "mixed" else (algorithm,)
         ),
         tenant_weights=tenant_weights,
+        arrival_model=arrival_model,
+        mean_think_time_s=mean_think_time_us * 1e-6,
     )
-    fault_plan = None
-    if kill_launch is not None:
+    if fault_plan is None and kill_launch is not None:
         fault_plan = FaultPlan(
             compute_faults={int(kill_launch): ComputeFault(kill_gpu=0)}
         )
@@ -159,6 +191,14 @@ def run_serve_cell(
             tenant_quota=tenant_quota,
             replay_on_fault=replay_on_fault,
             max_rounds=max_rounds,
+            deadline_s=(
+                deadline_ms * 1e-3 if deadline_ms is not None else None
+            ),
+            deadline_policy=deadline_policy,
+            max_queue=max_queue,
+            brownout=brownout,
+            max_replays=max_replays,
+            replay_backoff_s=replay_backoff_us * 1e-6,
         ),
         fault_plan=fault_plan,
     )

@@ -1,36 +1,52 @@
 """The multi-tenant query server: admission, fairness, dispatch.
 
-:class:`QueryServer` consumes a deterministic open-loop arrival trace
-(:func:`repro.serve.query.generate_trace`) on a **virtual clock**
-(discrete-event loop — no real threads, so the same trace + seed always
-produces byte-identical reports):
+:class:`QueryServer` consumes a deterministic arrival trace
+(:func:`repro.serve.query.generate_trace` — an open-loop ``Query``
+timeline or a closed-loop :class:`~repro.serve.query.ClosedLoopTrace`)
+on a **virtual clock** (discrete-event loop — no real threads, so the
+same trace + seed always produces byte-identical reports):
 
 - arrivals enqueue queries into per-(tenant, algorithm) FIFO backlogs;
+  with ``max_queue`` set, the backlog is bounded and overflow is
+  resolved by **deterministic load shedding**: the victim comes from
+  the tenant with the largest backlog (tenant-fair) and is that
+  tenant's *newest* query (oldest-shed-last), so a flooding tenant
+  sheds its own flood while light tenants' queries survive.
 - **admission** fires on every arrival/completion: oldest-first, it
   moves backlogged queries into the bounded *admitted pool* — at most
   ``max_concurrent`` queries admitted-or-executing overall and
-  ``tenant_quota`` per tenant. The quota is the fairness backstop: a
-  flooding tenant can occupy only its quota of the pool, so light
-  tenants' queries are always admitted promptly.
+  ``tenant_quota`` per tenant. A query whose deadline has already
+  passed at admission time is **rejected** (strictly after — a query
+  examined exactly at its deadline is still admitted; see
+  :meth:`~repro.serve.query.Query.deadline_at` for the boundary rule).
 - **batch formation** happens only when the modeled GPU is idle (one
   batch executes at a time, FIFO): the oldest admitted query fixes the
   batch's algorithm, and the batch fills **round-robin across
   tenants** — one query per tenant per pass — up to ``query_lanes``
-  lanes. Queries therefore *accumulate* while a batch is in service,
-  which is exactly where multi-source batching comes from; eager
-  per-arrival dispatch would fix every batch at one lane.
+  lanes.
 - dispatch runs the batch through one
   :class:`~repro.serve.solver.MultiSourceSolver` on the shared
-  :class:`~repro.serve.context.ServingContext`; per-query latency is
-  completion minus arrival, queue wait included.
+  :class:`~repro.serve.context.ServingContext`. In **brownout** mode
+  the solve gets a time budget derived from the batch's tightest
+  deadline; lanes that do not converge within it return partially-
+  converged **degraded** answers carrying a certified bound
+  (:data:`~repro.serve.solver.RESIDUAL_BOUND_KINDS`).
+
+Deadline policies: ``"reject"`` refuses hopeless queries at admission
+and returns late answers flagged ``deadline_missed``; ``"abort"``
+additionally discards answers that complete after their deadline
+(client gone away) with a structured
+:class:`~repro.errors.DeadlineExceededError`.
 
 Faults: a :class:`~repro.faults.plan.FaultPlan`'s compute faults are
 keyed by the serve-wide launch counter. A scheduled GPU kill aborts the
 in-flight batch mid-solve; with ``replay_on_fault`` the server charges
-the wasted partial service time and re-runs the batch (deterministic, so
-the replayed digests match golden), otherwise the batch's queries fail
-cleanly with a structured :class:`~repro.errors.QueryAbortedError` —
-never a silent wrong answer.
+the wasted partial service time, waits out an exponential backoff
+(``replay_backoff_s`` × ``backoff_multiplier``^attempt), and re-runs
+the batch up to ``max_replays`` times — a storm that kills every
+attempt exhausts the budget and aborts the batch cleanly with a
+structured :class:`~repro.errors.QueryAbortedError` — never a silent
+wrong answer, never a hang.
 """
 
 from __future__ import annotations
@@ -38,17 +54,27 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
     GPULostError,
     QueryAbortedError,
+    QueryShedError,
 )
 from repro.faults.plan import FaultPlan
 from repro.serve.context import ServingContext
-from repro.serve.query import Query, QueryResult, make_query_program
-from repro.serve.solver import MultiSourceSolver
+from repro.serve.query import (
+    ClosedLoopTrace,
+    Query,
+    QueryResult,
+    make_query_program,
+)
+from repro.serve.solver import MultiSourceSolver, residual_bound_kind
+
+#: Valid deadline policies (see module docstring).
+DEADLINE_POLICIES: Tuple[str, ...] = ("reject", "abort")
 
 
 @dataclass(frozen=True)
@@ -65,6 +91,23 @@ class ServeConfig:
     replay_on_fault: bool = True
     #: Round budget per solve.
     max_rounds: int = 100000
+    #: Default relative deadline applied to queries without their own.
+    deadline_s: Optional[float] = None
+    #: What a deadline miss does: "reject" (refuse at admission, late
+    #: answers flagged) or "abort" (additionally discard late answers).
+    deadline_policy: str = "reject"
+    #: Bound on the waiting backlog; ``None`` = unbounded (no shedding).
+    max_queue: Optional[int] = None
+    #: Return certified partially-converged answers instead of blowing
+    #: the batch's tightest deadline.
+    brownout: bool = False
+    #: Replay attempts per killed batch (0 disables replay even with
+    #: ``replay_on_fault``; the first attempt is not a replay).
+    max_replays: int = 1
+    #: Base backoff charged before each replay attempt.
+    replay_backoff_s: float = 0.0
+    #: Exponential backoff growth per additional replay.
+    backoff_multiplier: float = 2.0
 
     def __post_init__(self) -> None:
         if self.query_lanes < 1:
@@ -75,6 +118,21 @@ class ServeConfig:
             raise ConfigurationError("tenant_quota must be >= 1")
         if self.max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
+        if self.deadline_policy not in DEADLINE_POLICIES:
+            raise ConfigurationError(
+                f"deadline_policy must be one of {DEADLINE_POLICIES}, "
+                f"got {self.deadline_policy!r}"
+            )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1 (or None)")
+        if self.max_replays < 0:
+            raise ConfigurationError("max_replays must be >= 0")
+        if self.replay_backoff_s < 0:
+            raise ConfigurationError("replay_backoff_s must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -108,32 +166,81 @@ class ServeReport:
         return tuple(r for r in self.results if r.status == "ok")
 
     @property
+    def degraded(self) -> Tuple[QueryResult, ...]:
+        return tuple(r for r in self.results if r.status == "degraded")
+
+    @property
+    def answered(self) -> Tuple[QueryResult, ...]:
+        """Results that carry an answer (fully converged or certified)."""
+        return tuple(
+            r for r in self.results if r.status in ("ok", "degraded")
+        )
+
+    @property
     def failed(self) -> Tuple[QueryResult, ...]:
-        return tuple(r for r in self.results if r.status != "ok")
+        return tuple(
+            r for r in self.results if r.status in ("failed", "aborted")
+        )
+
+    @property
+    def shed(self) -> Tuple[QueryResult, ...]:
+        return tuple(r for r in self.results if r.status == "shed")
+
+    @property
+    def rejected(self) -> Tuple[QueryResult, ...]:
+        return tuple(r for r in self.results if r.status == "rejected")
+
+    @property
+    def goodput(self) -> Tuple[QueryResult, ...]:
+        """Answered on time: the numerator of the goodput ratio."""
+        return tuple(
+            r for r in self.answered if not r.deadline_missed
+        )
 
     def latency_percentile(self, q: float) -> float:
-        lats = sorted(r.latency_s for r in self.completed)
+        lats = sorted(r.latency_s for r in self.answered)
         return _percentile(lats, q)
 
     @property
     def queries_per_s(self) -> float:
-        done = len(self.completed)
+        done = len(self.answered)
         if done == 0 or self.makespan_s <= 0:
             return 0.0
         return done / self.makespan_s
 
+    @property
+    def goodput_per_s(self) -> float:
+        good = len(self.goodput)
+        if good == 0 or self.makespan_s <= 0:
+            return 0.0
+        return good / self.makespan_s
+
     def metrics(self) -> Dict[str, float]:
         """Flat metric dict for the sweep harness / BENCH artifacts."""
-        completed = self.completed
-        lats = sorted(r.latency_s for r in completed)
+        answered = self.answered
+        lats = sorted(r.latency_s for r in answered)
         mean = sum(lats) / len(lats) if lats else 0.0
+        bounds = [
+            r.residual_bound
+            for r in self.degraded
+            if r.residual_bound is not None
+        ]
         return {
             "queries_total": float(len(self.results)),
-            "queries_completed": float(len(completed)),
+            "queries_completed": float(len(self.completed)),
+            "queries_degraded": float(len(self.degraded)),
             "queries_failed": float(len(self.failed)),
+            "queries_shed": float(len(self.shed)),
+            "queries_rejected": float(len(self.rejected)),
             "queries_replayed": float(
                 sum(1 for r in self.results if r.replayed)
             ),
+            "deadline_misses": float(
+                sum(1 for r in self.results if r.deadline_missed)
+            ),
+            "goodput_queries": float(len(self.goodput)),
+            "goodput_per_s": self.goodput_per_s,
+            "residual_bound_max": max(bounds) if bounds else 0.0,
             "queries_per_s": self.queries_per_s,
             "latency_p50_s": _percentile(lats, 0.50),
             "latency_p99_s": _percentile(lats, 0.99),
@@ -185,28 +292,39 @@ class QueryServer:
     # the event loop
     # ------------------------------------------------------------------
     def serve(
-        self, trace: Sequence[Query], strict: bool = False
+        self,
+        trace: Union[Sequence[Query], ClosedLoopTrace],
+        strict: bool = False,
     ) -> ServeReport:
         """Run the trace to completion and return the report.
 
         ``strict`` raises the first failed batch's
         :class:`~repro.errors.QueryAbortedError` instead of returning a
-        report containing failed queries.
+        report containing failed queries (shed/rejected/degraded
+        outcomes are policy, not failures — strict mode reports them).
         """
         cfg = self.config
-        trace = sorted(trace, key=lambda q: (q.arrival_s, q.query_id))
+        closed = isinstance(trace, ClosedLoopTrace)
+        if closed:
+            sessions = trace.sessions
+            all_queries = [t for session in sessions for t in session]
+        else:
+            all_queries = sorted(
+                trace, key=lambda q: (q.arrival_s, q.query_id)
+            )
         seen_ids = set()
-        for query in trace:
+        for query in all_queries:
             if query.query_id in seen_ids:
                 raise ConfigurationError(
                     f"duplicate query_id {query.query_id} in trace"
                 )
             seen_ids.add(query.query_id)
-        tenants = sorted({q.tenant for q in trace})
+        tenants = sorted({q.tenant for q in all_queries})
         tenant_index = {t: i for i, t in enumerate(tenants)}
 
-        # per-(tenant, algorithm) FIFO queues: unbounded arrival backlog,
-        # then the bounded admitted pool batches are drawn from.
+        # per-(tenant, algorithm) FIFO queues: the arrival backlog
+        # (bounded by max_queue when set), then the bounded admitted
+        # pool batches are drawn from.
         backlog: Dict[str, Dict[str, Deque[Query]]] = {
             t: {} for t in tenants
         }
@@ -231,11 +349,93 @@ class QueryServer:
         # (priority 0) beat simultaneous arrivals so capacity frees first.
         events: List = []
         seq = 0
-        for query in trace:
+
+        # closed-loop session bookkeeping: each session holds one query
+        # in flight; the next template arrives think_s after the
+        # previous query's terminal event.
+        session_next: List[int] = [0] * (len(sessions) if closed else 0)
+        query_session: Dict[int, int] = {}
+
+        def push_arrival(query: Query) -> None:
+            nonlocal seq
             heapq.heappush(
                 events, (query.arrival_s, 1, seq, "arrival", query)
             )
             seq += 1
+
+        def schedule_session(s_idx: int, now: float) -> None:
+            pos = session_next[s_idx]
+            if pos >= len(sessions[s_idx]):
+                return
+            session_next[s_idx] = pos + 1
+            template = sessions[s_idx][pos]
+            query = template.materialize(now + template.think_s)
+            query_session[query.query_id] = s_idx
+            push_arrival(query)
+
+        if closed:
+            for s_idx in range(len(sessions)):
+                schedule_session(s_idx, 0.0)
+        else:
+            for query in all_queries:
+                push_arrival(query)
+
+        def record_result(qr: QueryResult) -> None:
+            """Every terminal outcome funnels through here, so the
+            closed-loop think-time clock ticks on *any* terminal state,
+            answers and sheds alike."""
+            results.append(qr)
+            if closed:
+                s_idx = query_session.get(qr.query.query_id)
+                if s_idx is not None:
+                    schedule_session(s_idx, qr.completion_s)
+
+        def shed_excess(now: float) -> None:
+            # Deterministic tenant-fair shedding: victim tenant is the
+            # one with the largest backlog; victim query is the newest
+            # of the tied tenants' backlogs (oldest-shed-last). The
+            # just-arrived query is a candidate like any other.
+            nonlocal waiting
+            while cfg.max_queue is not None and waiting > cfg.max_queue:
+                counts = {
+                    t: sum(len(q) for q in backlog[t].values())
+                    for t in tenants
+                }
+                top = max(counts.values())
+                victim = None  # ((arrival_s, query_id), tenant, algo)
+                for tenant in tenants:
+                    if counts[tenant] != top:
+                        continue
+                    for algo, queue in backlog[tenant].items():
+                        if not queue:
+                            continue
+                        tail = queue[-1]
+                        key = (tail.arrival_s, tail.query_id)
+                        if victim is None or key > victim[0]:
+                            victim = (key, tenant, algo)
+                assert victim is not None
+                _, tenant, algo = victim
+                query = backlog[tenant][algo].pop()
+                waiting -= 1
+                err = QueryShedError(
+                    "queue full, query shed",
+                    query_id=query.query_id,
+                    tenant=query.tenant,
+                    queue_depth=waiting + 1,
+                )
+                record_result(
+                    QueryResult(
+                        query=query,
+                        status="shed",
+                        digest=None,
+                        start_s=now,
+                        completion_s=now,
+                        batch_id=-1,
+                        lanes=0,
+                        rounds=0,
+                        error=str(err),
+                    )
+                )
 
         def dispatch(batch: List[Query], now: float) -> None:
             nonlocal gpu_free, batch_id, gpu_busy, launches
@@ -248,56 +448,125 @@ class QueryServer:
                 fault_hook=self._fault_hook,
             )
             start = max(now, gpu_free)
+            deadlines = [
+                q.deadline_at(cfg.deadline_s)
+                for q in batch
+            ]
+            budget: Optional[float] = None
+            if cfg.brownout:
+                firm = [d for d in deadlines if d is not None]
+                if firm:
+                    # The batch's tightest deadline sets the compute
+                    # budget; a stale batch (already past deadline)
+                    # still gets its mandatory first round.
+                    budget = max(min(firm) - start, 0.0)
             wasted = 0.0
+            backoff_total = 0.0
+            attempts = 0
             result = None
             replayed = False
             error: Optional[QueryAbortedError] = None
-            try:
-                result = solver.solve()
-            except GPULostError as exc:
-                wasted = float(
-                    getattr(exc, "modeled_seconds_completed", 0.0)
-                )
-                if cfg.replay_on_fault:
-                    try:
-                        result = solver.solve()
-                        replayed = True
-                        replays += len(batch)
-                    except GPULostError as exc2:
-                        wasted += float(
-                            getattr(exc2, "modeled_seconds_completed", 0.0)
-                        )
+            while True:
+                attempts += 1
+                try:
+                    result = solver.solve(time_budget_s=budget)
+                    break
+                except GPULostError as exc:
+                    wasted += float(
+                        getattr(exc, "modeled_seconds_completed", 0.0)
+                    )
+                    if not cfg.replay_on_fault or cfg.max_replays == 0:
                         error = QueryAbortedError(
-                            "batch killed again during replay",
+                            "batch killed mid-solve, replay disabled",
                             query_ids=[q.query_id for q in batch],
                             tenants=[q.tenant for q in batch],
                             batch_id=batch_id,
                             launch_index=getattr(
-                                exc2, "launches_completed", None
+                                exc, "launches_completed", None
                             ),
                         )
-                else:
-                    error = QueryAbortedError(
-                        "batch killed mid-solve, replay disabled",
-                        query_ids=[q.query_id for q in batch],
-                        tenants=[q.tenant for q in batch],
-                        batch_id=batch_id,
-                        launch_index=getattr(
-                            exc, "launches_completed", None
-                        ),
+                        break
+                    if attempts > cfg.max_replays:
+                        error = QueryAbortedError(
+                            f"batch replay budget exhausted after "
+                            f"{attempts} attempts",
+                            query_ids=[q.query_id for q in batch],
+                            tenants=[q.tenant for q in batch],
+                            batch_id=batch_id,
+                            launch_index=getattr(
+                                exc, "launches_completed", None
+                            ),
+                        )
+                        break
+                    backoff_total += cfg.replay_backoff_s * (
+                        cfg.backoff_multiplier ** (attempts - 1)
                     )
             if result is not None:
+                replayed = attempts > 1
+                replays += len(batch) * (attempts - 1)
                 service = wasted + result.modeled_seconds
                 launches += result.launches
                 edge_lane_work += result.edge_lane_work
             else:
                 service = wasted
-            completion = start + service
+            # Backoff is wall time the GPU sits idle between attempts:
+            # it delays completion but is not busy time.
+            completion = start + service + backoff_total
             gpu_free = completion
             gpu_busy += service
             batch_results = []
             for lane, query in enumerate(batch):
-                if result is not None:
+                deadline = deadlines[lane]
+                missed = deadline is not None and completion > deadline
+                if result is None:
+                    status = (
+                        "failed"
+                        if not cfg.replay_on_fault or cfg.max_replays == 0
+                        else "aborted"
+                    )
+                    batch_results.append(
+                        QueryResult(
+                            query=query,
+                            status=status,
+                            digest=None,
+                            start_s=start,
+                            completion_s=completion,
+                            batch_id=batch_id,
+                            lanes=len(batch),
+                            rounds=0,
+                            replayed=False,
+                            error=str(error),
+                            attempts=attempts,
+                            deadline_missed=missed,
+                        )
+                    )
+                    continue
+                if missed and cfg.deadline_policy == "abort":
+                    miss_err = DeadlineExceededError(
+                        "answer completed after deadline, discarded",
+                        query_id=query.query_id,
+                        tenant=query.tenant,
+                        deadline_s=deadline,
+                        detected_s=completion,
+                    )
+                    batch_results.append(
+                        QueryResult(
+                            query=query,
+                            status="aborted",
+                            digest=None,
+                            start_s=start,
+                            completion_s=completion,
+                            batch_id=batch_id,
+                            lanes=len(batch),
+                            rounds=result.lane_rounds[lane],
+                            replayed=replayed,
+                            error=str(miss_err),
+                            attempts=attempts,
+                            deadline_missed=True,
+                        )
+                    )
+                    continue
+                if result.lane_converged[lane]:
                     batch_results.append(
                         QueryResult(
                             query=query,
@@ -309,23 +578,43 @@ class QueryServer:
                             lanes=len(batch),
                             rounds=result.lane_rounds[lane],
                             replayed=replayed,
+                            attempts=attempts,
+                            deadline_missed=missed,
                         )
                     )
-                else:
-                    batch_results.append(
-                        QueryResult(
-                            query=query,
-                            status="failed",
-                            digest=None,
-                            start_s=start,
-                            completion_s=completion,
-                            batch_id=batch_id,
-                            lanes=len(batch),
-                            rounds=0,
-                            replayed=False,
-                            error=str(error),
-                        )
+                    continue
+                kind = residual_bound_kind(query.algorithm)
+                bound: Optional[float] = None
+                if kind == "l1":
+                    program = programs[lane]
+                    damping = float(program.damping)
+                    tolerance = float(program.tolerance)
+                    n = self.context.graph.num_vertices
+                    # ‖x_ref − x‖₁ ≤ (‖r_meas‖₁ + 2·n·tol)/(1−d):
+                    # r_meas misses up to tol per vertex (write-gate
+                    # discards sub-tolerance drift) and the exact
+                    # reference itself converges only to tol.
+                    bound = (
+                        result.lane_residuals[lane] + 2.0 * n * tolerance
+                    ) / (1.0 - damping)
+                batch_results.append(
+                    QueryResult(
+                        query=query,
+                        status="degraded",
+                        digest=result.digests[lane],
+                        start_s=start,
+                        completion_s=completion,
+                        batch_id=batch_id,
+                        lanes=len(batch),
+                        rounds=result.lane_rounds[lane],
+                        replayed=replayed,
+                        attempts=attempts,
+                        bound_kind=kind,
+                        residual_bound=bound,
+                        deadline_missed=missed,
+                        states=result.states[lane].copy(),
                     )
+                )
             if error is not None and strict:
                 raise error
             heapq.heappush(
@@ -335,9 +624,11 @@ class QueryServer:
             seq += 1
             batch_id += 1
 
-        def admit() -> None:
+        def admit(now: float) -> None:
             # Move backlogged queries into the admitted pool, globally
             # oldest first, honoring max_concurrent and tenant_quota.
+            # Queries whose deadline already passed (strictly) are
+            # rejected here instead of occupying a lane.
             nonlocal waiting, num_admitted, in_flight, peak_concurrency
             while waiting > 0 and in_flight < cfg.max_concurrent:
                 oldest = None
@@ -355,8 +646,32 @@ class QueryServer:
                     return
                 _, tenant, algo = oldest
                 query = backlog[tenant][algo].popleft()
-                admitted[tenant].setdefault(algo, deque()).append(query)
                 waiting -= 1
+                deadline = query.deadline_at(cfg.deadline_s)
+                if deadline is not None and now > deadline:
+                    err = DeadlineExceededError(
+                        "deadline passed before admission",
+                        query_id=query.query_id,
+                        tenant=query.tenant,
+                        deadline_s=deadline,
+                        detected_s=now,
+                    )
+                    record_result(
+                        QueryResult(
+                            query=query,
+                            status="rejected",
+                            digest=None,
+                            start_s=now,
+                            completion_s=now,
+                            batch_id=-1,
+                            lanes=0,
+                            rounds=0,
+                            error=str(err),
+                            deadline_missed=True,
+                        )
+                    )
+                    continue
+                admitted[tenant].setdefault(algo, deque()).append(query)
                 num_admitted += 1
                 in_flight += 1
                 tenant_inflight[tenant] += 1
@@ -403,13 +718,14 @@ class QueryServer:
                     query.algorithm, deque()
                 ).append(query)
                 waiting += 1
+                shed_excess(now)
             else:
                 batch_results = payload
                 for qr in batch_results:
-                    results.append(qr)
+                    record_result(qr)
                     tenant_inflight[qr.query.tenant] -= 1
                 in_flight -= len(batch_results)
-            admit()
+            admit(now)
             form_batch(now)
 
         results.sort(key=lambda r: r.query.query_id)
@@ -417,11 +733,21 @@ class QueryServer:
         per_tenant: Dict[str, Dict[str, float]] = {}
         for tenant in tenants:
             rows = [r for r in results if r.query.tenant == tenant]
-            done = [r for r in rows if r.status == "ok"]
+            done = [r for r in rows if r.status in ("ok", "degraded")]
+            good = [r for r in done if not r.deadline_missed]
             lats = sorted(r.latency_s for r in done)
             per_tenant[tenant] = {
                 "queries": float(len(rows)),
-                "completed": float(len(done)),
+                "completed": float(
+                    sum(1 for r in rows if r.status == "ok")
+                ),
+                "degraded": float(
+                    sum(1 for r in rows if r.status == "degraded")
+                ),
+                "shed": float(
+                    sum(1 for r in rows if r.status == "shed")
+                ),
+                "goodput": float(len(good)),
                 "latency_p50_s": _percentile(lats, 0.50),
                 "latency_p99_s": _percentile(lats, 0.99),
                 "latency_max_s": lats[-1] if lats else 0.0,

@@ -60,6 +60,30 @@ def lane_digest(states: np.ndarray) -> str:
     ).hexdigest()
 
 
+#: Certified bound kind per servable algorithm for partial answers.
+#: ``"l1"``: the true fixed point is within ``residual_bound`` of the
+#: partial state in L1 norm (contraction argument). ``"upper"``: the
+#: partial state is a pointwise upper bound on the true values (monotone
+#: decreasing relaxation). ``"lower"``: pointwise lower bound (monotone
+#: increasing saturation — reachability under-approximation).
+RESIDUAL_BOUND_KINDS = {
+    "ppr": "l1",
+    "sssp": "upper",
+    "bfs": "upper",
+    "reachability": "lower",
+}
+
+
+def residual_bound_kind(algorithm: str) -> str:
+    """The certificate kind a partial answer of ``algorithm`` carries."""
+    try:
+        return RESIDUAL_BOUND_KINDS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"no degraded-answer certificate for {algorithm!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class SolveResult:
     """Outcome of one multi-source solve.
@@ -68,6 +92,17 @@ class SolveResult:
     equal to the rounds a standalone run of query i would take.
     ``edge_lane_work`` counts (edge, lane) gather pairs; ``launches``
     counts layer-batch kernel launches.
+
+    A budgeted solve (``time_budget_s``) may stop before every lane
+    converges: ``lane_converged[i]`` says whether lane i reached its
+    fixed point, and for unconverged lanes ``lane_residuals[i]`` is the
+    exact L1 norm of that lane's true residual ``F(x) - x`` (measured by
+    a read-only recompute pass over the frontier; deltas from or to
+    non-finite values are excluded, so the number is always finite).
+    For contraction algorithms (ppr, damping d) this certifies
+    ``‖x* − x‖₁ ≤ lane_residuals[i] / (1 − d)``; for monotone
+    algorithms the partial state itself is the certificate (see
+    :data:`RESIDUAL_BOUND_KINDS`).
     """
 
     states: np.ndarray
@@ -77,6 +112,9 @@ class SolveResult:
     launches: int
     edge_lane_work: int
     modeled_seconds: float
+    converged: bool = True
+    lane_converged: Tuple[bool, ...] = ()
+    lane_residuals: Tuple[float, ...] = ()
 
     @property
     def num_lanes(self) -> int:
@@ -116,8 +154,22 @@ class MultiSourceSolver:
     # ------------------------------------------------------------------
     # vectorized lane solve
     # ------------------------------------------------------------------
-    def solve(self) -> SolveResult:
-        """Run all lanes to convergence with the registered lane kernel."""
+    def solve(self, time_budget_s: Optional[float] = None) -> SolveResult:
+        """Run all lanes to convergence with the registered lane kernel.
+
+        With ``time_budget_s`` the solve becomes a **brownout** solve:
+        before each round it estimates the round's cost from the
+        previous round and stops at the round boundary if finishing
+        would overshoot the budget (at least one round always runs).
+        Unconverged lanes then get an exact residual measurement via a
+        read-only recompute pass over the union frontier — the write-
+        gate invariant makes the true residual ``F(x) − x`` supported
+        exactly on the active set, so one frontier pass measures it in
+        full. The pass is charged as real launches on the modeled
+        clock, and a budgeted solve never raises
+        :class:`ConvergenceError` — hitting ``max_rounds`` degrades
+        instead.
+        """
         graph = self.context.graph
         kernel = resolve_lane_kernel(self.programs, graph)
         states = kernel.initial_states()
@@ -129,14 +181,21 @@ class MultiSourceSolver:
         edge_lane_work = 0
         modeled = 0.0
         rounds = 0
+        round_cost = 0.0
         while active.any():
-            if rounds >= self.max_rounds:
+            if time_budget_s is not None and rounds >= 1:
+                if modeled + round_cost > time_budget_s:
+                    break
+                if rounds >= self.max_rounds:
+                    break
+            elif rounds >= self.max_rounds:
                 raise ConvergenceError(
                     f"multi-source {kernel.name} did not converge",
                     rounds=rounds,
                     active_vertices=int(active.any(axis=0).sum()),
                 )
             rounds += 1
+            round_start_s = modeled
             for batch in self.context.layer_batches:
                 hit = active[:, batch].any(axis=0)
                 if not hit.any():
@@ -177,6 +236,44 @@ class MultiSourceSolver:
                 if not lane_done[i] and not active[i].any():
                     lane_done[i] = True
                     lane_rounds[i] = rounds
+            round_cost = modeled - round_start_s
+        lane_converged = tuple(not active[i].any() for i in range(k))
+        residuals = [0.0] * k
+        if not all(lane_converged):
+            # Read-only residual pass: recompute the union frontier
+            # once without applying writes. For a lane where a selected
+            # vertex is inactive the recompute is a bitwise no-op
+            # (changed=False), so the per-lane sum over the union
+            # frontier is exactly that lane's own residual.
+            for batch in self.context.layer_batches:
+                hit = active[:, batch].any(axis=0)
+                if not hit.any():
+                    continue
+                sel = batch[hit]
+                if self.fault_hook is not None:
+                    try:
+                        self.fault_hook(launches)
+                    except GPULostError as exc:
+                        exc.modeled_seconds_completed = (
+                            modeled + KERNEL_LAUNCH_OVERHEAD_S
+                        )
+                        exc.launches_completed = launches
+                        raise
+                work = k * int(self._in_degree[sel].sum())
+                launches += 1
+                edge_lane_work += work
+                modeled += self._launch_seconds(work)
+                old = states[:, sel]
+                new, changed = kernel.lane_update(sel, states, old)
+                finite = changed & np.isfinite(old) & np.isfinite(new)
+                delta = np.zeros_like(old)
+                np.subtract(new, old, out=delta, where=finite)
+                for i in range(k):
+                    residuals[i] += float(np.abs(delta[i]).sum())
+            lane_rounds = [
+                lane_rounds[i] if lane_converged[i] else rounds
+                for i in range(k)
+            ]
         return SolveResult(
             states=states,
             digests=tuple(lane_digest(states[i]) for i in range(k)),
@@ -185,6 +282,9 @@ class MultiSourceSolver:
             launches=launches,
             edge_lane_work=edge_lane_work,
             modeled_seconds=modeled,
+            converged=all(lane_converged),
+            lane_converged=lane_converged,
+            lane_residuals=tuple(residuals),
         )
 
     # ------------------------------------------------------------------
@@ -250,4 +350,7 @@ class MultiSourceSolver:
             launches=launches,
             edge_lane_work=edge_lane_work,
             modeled_seconds=modeled,
+            converged=True,
+            lane_converged=tuple(True for _ in range(k)),
+            lane_residuals=tuple(0.0 for _ in range(k)),
         )

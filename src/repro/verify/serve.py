@@ -15,6 +15,13 @@ solve changes **no** served answer:
   :class:`~repro.serve.server.ServeReport` as a standalone
   single-source golden run and requires each served digest to match —
   the end-to-end check ``repro serve --strict`` runs.
+- :func:`verify_degraded_answer` checks a brownout partial answer's
+  **certificate** against the exact solo run: the partial states must
+  match the reported digest, and the certified bound must hold —
+  within ``residual_bound`` in L1 for contraction algorithms
+  (``bound_kind="l1"``), a pointwise upper bound for monotone
+  relaxations (sssp/bfs), a pointwise under-approximation for
+  reachability.
 """
 
 from __future__ import annotations
@@ -22,11 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.model.gas import VertexProgram
 from repro.serve.context import ServingContext
-from repro.serve.query import make_query_program
+from repro.serve.query import QueryResult, make_query_program
 from repro.serve.server import ServeReport
-from repro.serve.solver import MultiSourceSolver
+from repro.serve.solver import MultiSourceSolver, lane_digest
 from repro.verify.report import CheckResult
 
 
@@ -121,4 +130,114 @@ def verify_serve_report(
             if not failures
             else f"{len(failures)}/{checked} mismatches"
         ),
+    )
+
+
+def verify_degraded_answer(
+    context: ServingContext,
+    result: QueryResult,
+    max_rounds: int = 100000,
+) -> CheckResult:
+    """Certify one brownout partial answer against the exact solo run.
+
+    Recomputes the query to convergence through the independent scalar
+    reference path, then checks the certificate the serving layer
+    attached:
+
+    - the partial states hash to the reported digest (the certificate
+      covers what was actually returned);
+    - ``bound_kind="l1"``: ``‖exact − partial‖₁ ≤ residual_bound``
+      (small relative float slack only — the bound is derived in exact
+      arithmetic from the contraction factor);
+    - ``bound_kind="upper"``: partial values are pointwise ≥ exact
+      (monotone relaxation never undershoots; ``inf`` = not yet
+      reached is a valid upper bound);
+    - ``bound_kind="lower"``: partial values are pointwise ≤ exact
+      (every claimed-reachable vertex really is reachable).
+    """
+    name = "serve.degraded-answer"
+    if result.status != "degraded":
+        return CheckResult(
+            name=name,
+            passed=False,
+            detail=f"result status is {result.status!r}, not 'degraded'",
+        )
+    if result.states is None or result.bound_kind is None:
+        return CheckResult(
+            name=name,
+            passed=False,
+            detail="degraded result carries no states/certificate",
+        )
+    partial = np.asarray(result.states, dtype=np.float64)
+    if lane_digest(partial) != result.digest:
+        return CheckResult(
+            name=name,
+            passed=False,
+            detail="partial states do not hash to the reported digest",
+        )
+    solo = MultiSourceSolver(
+        context,
+        [make_query_program(result.query)],
+        max_rounds=max_rounds,
+    ).solve_reference()
+    exact = solo.states[0]
+    qid = result.query.query_id
+    if result.bound_kind == "l1":
+        if result.residual_bound is None:
+            return CheckResult(
+                name=name,
+                passed=False,
+                detail=f"query {qid}: l1 certificate missing its bound",
+            )
+        distance = float(np.abs(exact - partial).sum())
+        slack = 1e-9 * (1.0 + result.residual_bound)
+        passed = distance <= result.residual_bound + slack
+        return CheckResult(
+            name=name,
+            passed=passed,
+            detail=(
+                f"query {qid}: ‖exact − partial‖₁ = {distance:.6g} "
+                f"{'≤' if passed else '>'} certified bound "
+                f"{result.residual_bound:.6g}"
+            ),
+        )
+    if result.bound_kind == "upper":
+        # inf (unreached) is a valid upper bound; exact may not exceed
+        # the partial anywhere. A finite partial where exact is inf is
+        # a violation too (a reported path to an unreachable vertex),
+        # and the zero slack there makes `partial < inf` catch it.
+        slack = np.where(
+            np.isfinite(exact),
+            1e-12
+            * np.maximum(
+                np.abs(np.where(np.isfinite(exact), exact, 0.0)), 1.0
+            ),
+            0.0,
+        )
+        bad = int(np.sum(partial < exact - slack))
+        return CheckResult(
+            name=name,
+            passed=bad == 0,
+            detail=(
+                f"query {qid}: partial is a pointwise upper bound"
+                if bad == 0
+                else f"query {qid}: {bad} vertices undershoot the exact value"
+            ),
+        )
+    if result.bound_kind == "lower":
+        bad = int(np.sum(partial > exact + 1e-12))
+        return CheckResult(
+            name=name,
+            passed=bad == 0,
+            detail=(
+                f"query {qid}: partial under-approximates the exact answer"
+                if bad == 0
+                else f"query {qid}: {bad} vertices claimed beyond the exact "
+                "answer"
+            ),
+        )
+    return CheckResult(
+        name=name,
+        passed=False,
+        detail=f"unknown bound_kind {result.bound_kind!r}",
     )

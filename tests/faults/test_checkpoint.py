@@ -395,3 +395,136 @@ class TestBaselineRecovery:
                 make_program("wcc", medium_graph),
                 fault_injector=FaultInjector(kill_plan(at_round=2)),
             )
+
+
+class TestOverlapSpill:
+    """Double-buffered checkpoint spill: the PCIe drain hides under the
+    compute that follows, semantics (restores, digests) unchanged."""
+
+    def _run(self, medium_graph, overlap, fault=True):
+        return DiGraphEngine(SPEC).run(
+            medium_graph,
+            make_program("wcc", medium_graph),
+            fault_injector=(
+                FaultInjector(kill_plan(at_round=2)) if fault else None
+            ),
+            recovery=RecoveryPolicy(
+                checkpoint_interval=2,
+                overlap_checkpoint_spill=overlap,
+            ),
+        )
+
+    def test_overlap_hides_spill_and_stays_bit_exact(self, medium_graph):
+        serial = self._run(medium_graph, overlap=False)
+        overlapped = self._run(medium_graph, overlap=True)
+        assert overlapped.converged
+        assert np.array_equal(serial.states, overlapped.states)
+        assert serial.stats.checkpoint_hidden_time_s == 0.0
+        hidden = overlapped.stats.checkpoint_hidden_time_s
+        assert hidden > 0.0
+        assert hidden <= overlapped.stats.checkpoint_time_s
+        # Identical spill ledgers, but the hidden part never serialized.
+        assert (
+            overlapped.stats.checkpoint_bytes_spilled
+            == serial.stats.checkpoint_bytes_spilled
+        )
+        assert (
+            overlapped.stats.total_time_s
+            == pytest.approx(serial.stats.total_time_s - hidden)
+        )
+
+    def test_fault_free_run_hides_spill_too(self, medium_graph):
+        overlapped = self._run(medium_graph, overlap=True, fault=False)
+        assert overlapped.stats.checkpoint_hidden_time_s > 0.0
+
+    def test_records_settle_with_hidden_fraction(self, medium_graph):
+        machine, run = make_run(
+            medium_graph,
+            SPEC,
+            checkpoint_interval=2,
+            overlap_checkpoint_spill=True,
+        )
+        manager = run.checkpoints
+        first = manager.checkpoint(0)
+        assert first.time_s > 0.0
+        assert first.hidden_time_s == 0.0      # not settled yet
+        # Plenty of compute runs before the next checkpoint: the whole
+        # drain hides.
+        machine.stats.compute_time_s += 1.0
+        manager.checkpoint(2)
+        settled = manager.records[0]
+        assert settled.hidden_time_s == pytest.approx(first.time_s)
+        assert settled.hidden_fraction == pytest.approx(1.0)
+
+    def test_finish_drains_the_last_pending_spill(self, medium_graph):
+        machine, run = make_run(
+            medium_graph,
+            SPEC,
+            checkpoint_interval=2,
+            overlap_checkpoint_spill=True,
+        )
+        manager = run.checkpoints
+        record = manager.checkpoint(0)
+        spill = record.time_s
+        # Only half the drain window is covered by compute: half hides,
+        # the exposed half serializes at finish() like a stream flush.
+        machine.stats.compute_time_s += spill / 2
+        before_transfer = machine.stats.transfer_time_s
+        manager.finish()
+        assert machine.stats.checkpoint_hidden_time_s == pytest.approx(
+            spill / 2
+        )
+        assert machine.stats.transfer_time_s - before_transfer == (
+            pytest.approx(spill / 2)
+        )
+        settled = manager.records[0]
+        assert settled.hidden_fraction == pytest.approx(0.5)
+        # finish() is idempotent: nothing left to settle.
+        manager.finish()
+        assert machine.stats.checkpoint_hidden_time_s == pytest.approx(
+            spill / 2
+        )
+
+    def test_serialized_spill_records_report_zero_hidden(
+        self, medium_graph
+    ):
+        machine, run = make_run(
+            medium_graph, SPEC, checkpoint_interval=2
+        )
+        manager = run.checkpoints
+        manager.checkpoint(0)
+        machine.stats.compute_time_s += 1.0
+        manager.checkpoint(2)
+        manager.finish()
+        assert machine.stats.checkpoint_hidden_time_s == 0.0
+        assert all(r.hidden_time_s == 0.0 for r in manager.records)
+        assert all(r.hidden_fraction == 0.0 for r in manager.records)
+
+    def test_rollback_settles_exposed_spill_as_overhead_not_lost_work(
+        self, medium_graph
+    ):
+        """An in-flight spill settled by rollback is checkpoint
+        overhead: recovery_time_s must match the non-overlapped run's
+        (same restores, no exposed-spill leakage into lost work)."""
+        charges = {}
+        for overlap in (False, True):
+            machine, run = make_run(
+                medium_graph,
+                SPEC,
+                checkpoint_interval=2,
+                overlap_checkpoint_spill=overlap,
+            )
+            manager = run.checkpoints
+            manager.checkpoint(0)
+            # No compute since the checkpoint: the whole spill is
+            # exposed in the overlap case.
+            manager.rollback(1)
+            stats = machine.stats
+            charges[overlap] = (
+                stats.recovery_time_s,
+                stats.transfer_time_s,
+                stats.checkpoint_hidden_time_s,
+            )
+        assert charges[True][0] == pytest.approx(charges[False][0])
+        assert charges[True][1] == pytest.approx(charges[False][1])
+        assert charges[True][2] == 0.0

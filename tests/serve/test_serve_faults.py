@@ -154,10 +154,12 @@ class TestCleanFailure:
         report = server.serve(trace)
         assert report.faults_injected == 2
         assert report.failed
+        assert all(r.status == "aborted" for r in report.failed)
         assert all(
-            "killed again during replay" in r.error
+            "replay budget exhausted" in r.error
             for r in report.failed
         )
+        assert all(r.attempts == 2 for r in report.failed)
 
     def test_bad_kill_launch_rejected(self, graph):
         with pytest.raises(ConfigurationError, match="kill_launch"):
