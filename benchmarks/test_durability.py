@@ -1,0 +1,58 @@
+"""Durable checkpointing benchmark: crash-restart certification plus
+the modeled cost of durability.
+
+Every (algorithm, engine, crash point) cell kills the job at an
+injected crash point, restarts it from the durable on-disk store, and
+must finish bit-identical to the uninterrupted golden run — including
+the serve-journal restart cell. The overhead half must show compaction
+really shrinking the cold pages and the durability tax staying small
+(host-side disk writes ride outside the modeled GPU timeline).
+"""
+
+from repro.bench import experiments
+from repro.bench.schema import validate_artifact_file
+
+from conftest import save_and_show
+
+#: Durable runs may not inflate modeled end-to-end time by more than
+#: this fraction over the in-memory baseline.
+OVERHEAD_CEILING = 0.05
+
+
+def test_durability_crash_restart(benchmark, results_dir):
+    out_path = str(results_dir / "BENCH_durability.json")
+    result = benchmark.pedantic(
+        experiments.durability_crash_restart,
+        kwargs=dict(out_path=out_path),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_show(results_dir, "durability_crash_restart",
+                  result["table"])
+
+    cells = result["results"]
+    assert cells, "crash-restart sweep produced no cells"
+    failed = [c for c in cells if not c["passed"]]
+    assert not failed, [c["detail"] for c in failed]
+    assert all(c["digest_match"] for c in cells)
+    # The grid really covered the serve-journal restart cell too.
+    assert any(c["engine"] == "serve" for c in cells)
+    assert all(c["checkpoints_taken"] >= 0 for c in cells)
+
+    for engine, legs in result["overhead"].items():
+        for durability in ("durable", "durable-verify"):
+            leg = legs[durability]
+            assert leg["store_raw_bytes"] > 0
+            assert 0 < leg["store_stored_bytes"] <= (
+                leg["store_raw_bytes"]
+            )
+            # Cold-page compaction really bites on the retained window.
+            assert leg["compaction_ratio"] < 1.0, (
+                f"{engine}/{durability}: no compaction"
+            )
+            assert leg["store_overhead_fraction"] <= OVERHEAD_CEILING
+
+    # The committed artifact round-trips the schema validator.
+    assert validate_artifact_file(
+        out_path, kind="repro-durability"
+    ) == "repro-durability"

@@ -81,6 +81,7 @@ class AsyncEngine:
         strict_convergence: bool = True,
         fault_injector=None,
         recovery=None,
+        resume: bool = False,
     ) -> ExecutionResult:
         started = time.perf_counter()
         machine = Machine(
@@ -111,8 +112,9 @@ class AsyncEngine:
         harness = BaselineFaultHarness(
             machine, recovery, partitions, states, round_records
         )
-
-        round_index = 0
+        # Whole-job restart: reload the newest durable checkpoint and
+        # replay from its round (see docs/robustness.md).
+        round_index = harness.resume_from_store() if resume else 0
         while round_index < self.config.max_rounds:
             if not states.any_active():
                 converged = True

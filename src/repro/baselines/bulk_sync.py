@@ -90,6 +90,7 @@ class BulkSyncEngine:
         strict_convergence: bool = True,
         fault_injector=None,
         recovery=None,
+        resume: bool = False,
     ) -> ExecutionResult:
         started = time.perf_counter()
         machine = Machine(
@@ -122,16 +123,19 @@ class BulkSyncEngine:
         harness = BaselineFaultHarness(
             machine, recovery, partitions, states, round_records
         )
+        # Whole-job restart: reload the newest durable checkpoint and
+        # replay from its round (see docs/robustness.md).
+        start_round = harness.resume_from_store() if resume else 0
 
         if self.config.use_vectorized_kernels:
             converged = self._run_vectorized(
                 graph, program, machine, partitions, states, round_records,
-                harness, faulted,
+                harness, faulted, start_round,
             )
         else:
             converged = self._run_scalar(
                 graph, program, machine, partitions, states, round_records,
-                harness, faulted,
+                harness, faulted, start_round,
             )
 
         if not converged and strict_convergence:
@@ -186,11 +190,12 @@ class BulkSyncEngine:
         round_records: List[RoundRecord],
         harness: BaselineFaultHarness,
         faulted: bool,
+        start_round: int = 0,
     ) -> bool:
         """The per-vertex round loop (the original code path)."""
         stats = machine.stats
         converged = False
-        round_index = 0
+        round_index = start_round
         while round_index < self.config.max_rounds:
             frontier = Frontier.from_mask(states.active)
             if not frontier:
@@ -352,6 +357,7 @@ class BulkSyncEngine:
         round_records: List[RoundRecord],
         harness: BaselineFaultHarness,
         faulted: bool,
+        start_round: int = 0,
     ) -> bool:
         """Batched round loop: one kernel call per round.
 
@@ -368,7 +374,7 @@ class BulkSyncEngine:
         # recovery may re-place partitions mid-run.
         part_lo = np.array([p.lo for p in partitions], dtype=np.int64)
         converged = False
-        round_index = 0
+        round_index = start_round
         while round_index < self.config.max_rounds:
             frontier = np.flatnonzero(states.active)
             if frontier.size == 0:

@@ -195,6 +195,28 @@ class BaselineFaultHarness:
         if self.manager is not None:
             self.manager.finish()
 
+    def resume_from_store(self) -> int:
+        """Whole-job restart: reload the last durable checkpoint.
+
+        Returns the round index the engine loop should resume from.
+        Requires a recovery policy with ``durability != "none"`` (the
+        manager then owns a :class:`~repro.faults.store.CheckpointStore`
+        under ``run_dir``); the placement restored by the scalar state
+        may reference GPUs that were already dead at the crash — those
+        deaths are replayed by the manager, and the normal ``recover``
+        path's redistribution logic never runs because the checkpointed
+        placement already post-dates it.
+        """
+        if self.manager is None or self.manager.store is None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "resume requires a recovery policy with "
+                "durability != 'none' and a run_dir"
+            )
+        loaded = self.manager.resume_from_store()
+        return int(loaded.round_index)
+
     def recover(self, exc: Exception, round_index: int) -> int:
         """Roll back after a GPU loss; returns the round to resume from.
 

@@ -1030,3 +1030,150 @@ def overload_resilience(
         "sweep": report,
         "table": table,
     }
+
+
+def durability_crash_restart(
+    scale: float = DEFAULT_SCALE,
+    graph_name: str = "cnr",
+    algorithms: Sequence[str] = ("pagerank", "wcc"),
+    engines: Sequence[str] = ("digraph", "bulk-sync"),
+    out_path: Optional[str] = "BENCH_durability.json",
+) -> dict:
+    """Durable checkpointing: restart certification + overhead.
+
+    Two halves, one ``repro-durability`` artifact:
+
+    - **cells** — the whole-job crash-restart grid
+      (:func:`repro.faults.chaos.crash_restart_sweep`): every
+      (algorithm, engine, crash point) cell kills the job at a round
+      boundary, mid-spill, or mid-manifest-commit, restarts it from the
+      durable store, and must match the uninterrupted golden run bit
+      for bit, plus one serve-journal restart cell;
+    - **overhead** — per engine, the modeled end-to-end time under
+      ``durability`` none / durable / durable-verify and the on-disk
+      store footprint (raw vs stored bytes; the gap is the cold-page
+      compaction the retention window applies).
+    """
+    import json as _json
+    import os as _os
+    import shutil as _shutil
+    import tempfile as _tempfile
+
+    from repro.algorithms import make_program as _make_program
+    from repro.bench.runner import make_engine
+    from repro.bench.schema import validate_artifact
+    from repro.faults.chaos import crash_restart_sweep
+    from repro.faults.recovery import RecoveryPolicy
+    from repro.faults.store import CheckpointStore
+
+    graph = load_graph(graph_name, tuple(algorithms)[0], scale)
+    cells = []
+    for cell in crash_restart_sweep(
+        graph,
+        algorithms=tuple(algorithms),
+        engine_names=tuple(engines),
+        graph_name=graph_name,
+        include_serve=True,
+    ):
+        cells.append(
+            {
+                "algorithm": cell.algorithm,
+                "engine": cell.engine,
+                "passed": cell.passed,
+                "digest_match": cell.digest_match,
+                "detail": cell.detail,
+                "checkpoints_taken": cell.checkpoints_taken,
+                "checkpoint_time_s": cell.checkpoint_time_s,
+                "golden_time_s": cell.golden_time_s,
+                "recovered_time_s": cell.recovered_time_s,
+            }
+        )
+
+    overhead: Dict[str, Dict[str, object]] = {}
+    overhead_algo = tuple(algorithms)[0]
+    for engine_name in engines:
+        legs: Dict[str, Dict[str, object]] = {}
+        for durability in ("none", "durable", "durable-verify"):
+            run_dir = _tempfile.mkdtemp(prefix="repro-durbench-")
+            try:
+                policy = RecoveryPolicy(
+                    durability=durability,
+                    run_dir=run_dir if durability != "none" else "",
+                )
+                engine = make_engine(engine_name, SCALED_MACHINE)
+                program = _make_program(overhead_algo, graph)
+                result = engine.run(
+                    graph, program, graph_name=graph_name,
+                    recovery=policy,
+                )
+                leg = {
+                    "total_time_s": result.stats.total_time_s,
+                    "checkpoint_time_s": result.stats.checkpoint_time_s,
+                    "checkpoints_taken": result.stats.checkpoints_taken,
+                }
+                if durability != "none":
+                    payload = CheckpointStore(run_dir).load_manifest()
+                    raw = stored = 0
+                    for entry in payload["checkpoints"]:
+                        pages = list(entry["pages"].values())
+                        pages.append(entry["scalars"])
+                        for page in pages:
+                            raw += int(page["raw_bytes"])
+                            stored += int(page["stored_bytes"])
+                    leg["store_raw_bytes"] = raw
+                    leg["store_stored_bytes"] = stored
+                    leg["compaction_ratio"] = (
+                        stored / raw if raw else 1.0
+                    )
+                legs[durability] = leg
+            finally:
+                _shutil.rmtree(run_dir, ignore_errors=True)
+        base = legs["none"]["total_time_s"]
+        for leg in legs.values():
+            leg["store_overhead_fraction"] = (
+                (leg["total_time_s"] - base) / base if base else 0.0
+            )
+        overhead[engine_name] = legs
+
+    rows = []
+    for cell in cells:
+        rows.append(
+            [
+                cell["algorithm"],
+                cell["engine"],
+                "PASS" if cell["passed"] else "FAIL",
+                "bit-exact" if cell["digest_match"] else "MISMATCH",
+                cell["checkpoints_taken"],
+            ]
+        )
+    table = format_table(
+        f"Crash-restart certification on {graph_name} "
+        f"(scale={scale:g}; every cell restarts from the durable store)",
+        ["cell", "engine", "status", "digests", "ckpts"],
+        rows,
+    )
+    artifact = {
+        "schema": "repro-durability",
+        "schema_version": 1,
+        "config": {
+            "graph": graph_name,
+            "scale": scale,
+            "algorithms": list(algorithms),
+            "engines": list(engines),
+        },
+        "cells": cells,
+        "overhead": overhead,
+    }
+    validate_artifact(
+        artifact, kind="repro-durability", path=out_path or "<artifact>"
+    )
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            _json.dump(artifact, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return {
+        "results": cells,
+        "overhead": overhead,
+        "artifact": artifact,
+        "table": table,
+    }

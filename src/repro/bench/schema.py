@@ -33,6 +33,16 @@ REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
         "machine",
         "results",
     ),
+    # Durability benchmark: crash-restart certification cells plus the
+    # modeled cost of durable vs in-memory checkpointing and the
+    # on-disk store/compaction footprint (BENCH_durability.json).
+    "repro-durability": (
+        "schema",
+        "schema_version",
+        "config",
+        "cells",
+        "overhead",
+    ),
 }
 
 #: Key suffixes whose float/int values must be non-negative — timings,
@@ -102,6 +112,12 @@ NON_NEGATIVE_KEYS = frozenset(
         "capacity_per_s",
         "goodput_fraction",
         "on_time_fraction",
+        # durability cells: store footprint and checkpoint lifecycle.
+        "checkpoints_taken",
+        "pages_written",
+        "manifest_commits",
+        "store_overhead_fraction",
+        "compaction_ratio",
     }
 )
 

@@ -93,6 +93,54 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _durable_run_policy(args):
+    """Build the durable :class:`RecoveryPolicy` for ``repro run`` and
+    commit the run header (the workload metadata ``repro resume``
+    rebuilds the job from)."""
+    from dataclasses import asdict
+
+    from repro.errors import ConfigurationError
+    from repro.faults.recovery import RecoveryPolicy
+    from repro.faults.store import CheckpointStore
+
+    if not args.run_dir:
+        raise ConfigurationError(
+            f"--durability {args.durability} requires --run-dir"
+        )
+    if args.edge_list:
+        raise ConfigurationError(
+            "--durability requires a named --dataset (an --edge-list "
+            "workload cannot be rebuilt by `repro resume`)"
+        )
+    policy = RecoveryPolicy(
+        durability=args.durability,
+        run_dir=args.run_dir,
+        store_retain=args.store_retain,
+        store_compact=not args.no_compact,
+        checkpoint_interval=args.checkpoint_interval,
+        incremental_checkpoints=args.incremental_checkpoints,
+    )
+    header_policy = {
+        k: v for k, v in asdict(policy).items() if k != "run_dir"
+    }
+    CheckpointStore(
+        args.run_dir, retain=policy.store_retain,
+        compact=policy.store_compact,
+    ).write_header(
+        {
+            "mode": "engine",
+            "engine": args.engine,
+            "vectorized": bool(args.vectorized),
+            "algorithm": args.algorithm,
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "gpus": args.gpus,
+            "policy": header_policy,
+        }
+    )
+    return policy
+
+
 def cmd_run(args) -> int:
     graph = _load(args)
     spec = SCALED_MACHINE
@@ -100,8 +148,14 @@ def cmd_run(args) -> int:
         spec = spec.scaled(args.gpus)
     engine = make_engine(args.engine, spec, vectorized=args.vectorized)
     program = make_program(args.algorithm, graph)
+    recovery = None
+    if args.durability != "none":
+        recovery = _durable_run_policy(args)
     result = engine.run(
-        graph, program, graph_name=args.edge_list or args.dataset
+        graph,
+        program,
+        graph_name=args.edge_list or args.dataset,
+        recovery=recovery,
     )
     print(result.summary())
     breakdown = result.breakdown()
@@ -115,6 +169,36 @@ def cmd_run(args) -> int:
 
         print(round_trace_summary(result))
     return 0
+
+
+def cmd_resume(args) -> int:
+    from repro.faults.chaos import resume_run
+
+    result = resume_run(args.run_dir)
+    print(f"resumed from {args.run_dir}")
+    print(result.summary())
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    from repro.faults.store import CheckpointStore
+
+    report = CheckpointStore(args.run_dir).scrub(repair=args.repair)
+    print(
+        f"{args.run_dir}: {len(report.intact_rounds)} intact "
+        f"checkpoint(s) {report.intact_rounds}, "
+        f"{len(report.findings)} finding(s)"
+    )
+    for finding in report.findings:
+        print(f"  {finding.kind}: {finding}", file=sys.stderr)
+    if report.repaired:
+        print(
+            f"repaired: dropped round(s) {report.dropped_rounds}, "
+            "manifest recommitted"
+        )
+    if report.clean or report.repaired:
+        return 0
+    return 1
 
 
 def cmd_compare(args) -> int:
@@ -270,7 +354,27 @@ def cmd_chaos(args) -> int:
             storm=args.storm,
         )
 
-    results = sweep(args.redistribution)
+    if args.crash_restart:
+        from repro.faults import crash_restart_sweep
+
+        recovery = RecoveryPolicy(
+            checkpoint_interval=args.checkpoint_interval,
+            incremental_checkpoints=args.incremental_checkpoints,
+            full_checkpoint_period=args.full_checkpoint_period,
+            overlap_checkpoint_spill=args.overlap_spill,
+            redistribution_policy=args.redistribution,
+        )
+        results = crash_restart_sweep(
+            graph,
+            algorithms=tuple(args.algorithms),
+            engine_names=tuple(args.engines),
+            machine=spec,
+            recovery=recovery,
+            graph_name=name,
+            include_serve=args.include_serve,
+        )
+    else:
+        results = sweep(args.redistribution)
     all_passed = True
     for cell in results:
         all_passed = all_passed and cell.passed
@@ -302,7 +406,11 @@ def cmd_chaos(args) -> int:
         if not cell.passed or (args.strict_digests and not cell.digest_match):
             print(f"  {cell.error or cell.detail}", file=sys.stderr)
 
-    if args.compare_redistribution and not args.no_recovery:
+    if (
+        args.compare_redistribution
+        and not args.no_recovery
+        and not args.crash_restart
+    ):
         other = (
             "edge-balance"
             if args.redistribution == "locality"
@@ -663,7 +771,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the batched vertex-update kernels (bulk-sync and the "
         "DiGraph family; same modeled cost, faster simulation)",
     )
+    run.add_argument(
+        "--durability",
+        choices=("none", "durable", "durable-verify"),
+        default="none",
+        help="commit checkpoints to a durable on-disk store under "
+        "--run-dir so a killed job can `repro resume` (default: none)",
+    )
+    run.add_argument(
+        "--run-dir",
+        default="",
+        help="run directory for the durable checkpoint store "
+        "(required with --durability)",
+    )
+    run.add_argument(
+        "--store-retain",
+        type=int,
+        default=2,
+        help="durable checkpoints retained before GC (default: 2)",
+    )
+    run.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="disable zlib compression of cold durable pages",
+    )
+    run.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="checkpoint every K rounds when durable (default: 1)",
+    )
+    run.add_argument(
+        "--incremental-checkpoints",
+        action="store_true",
+        help="spill per-round dirty deltas instead of full snapshots",
+    )
     run.set_defaults(func=cmd_run)
+
+    rs = sub.add_parser(
+        "resume",
+        help="restart a killed durable run from its last intact "
+        "checkpoint (bit-identical to the uninterrupted run)",
+    )
+    rs.add_argument(
+        "--run-dir", required=True, help="durable run directory"
+    )
+    rs.set_defaults(func=cmd_resume)
+
+    sc = sub.add_parser(
+        "scrub",
+        help="walk a durable run directory verifying every checksum; "
+        "exits 1 on unrepaired corruption",
+    )
+    sc.add_argument(
+        "--run-dir", required=True, help="durable run directory"
+    )
+    sc.add_argument(
+        "--repair",
+        action="store_true",
+        help="drop damaged checkpoints from the manifest (falling back "
+        "to the newest intact one) and GC orphaned files",
+    )
+    sc.set_defaults(func=cmd_scrub)
 
     compare = sub.add_parser("compare", help="run every engine on a workload")
     _add_workload_args(compare)
@@ -1144,6 +1313,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="inject faults with recovery disabled (cells are expected "
         "to FAIL; demonstrates the faults are real)",
+    )
+    ch.add_argument(
+        "--crash-restart",
+        action="store_true",
+        help="sweep whole-job crash points (round boundary, mid-spill, "
+        "mid-manifest-commit) instead of runtime faults: each cell "
+        "kills the job, restarts it from the durable store, and must "
+        "match the uninterrupted golden run bit for bit",
     )
     ch.add_argument(
         "--verbose",

@@ -199,6 +199,7 @@ class DiGraphEngine:
         recovery=None,
         initial_values=None,
         initial_active=None,
+        resume: bool = False,
     ) -> ExecutionResult:
         """Run ``program`` to convergence and return the result record.
 
@@ -215,6 +216,12 @@ class DiGraphEngine:
         reactivated. The run's rounds are then accounted as
         ``incremental_rounds`` and the activation count as
         ``vertices_reactivated``.
+
+        ``resume=True`` is the whole-job restart path: ``recovery``
+        must carry ``durability != "none"`` and a ``run_dir`` holding a
+        durable checkpoint store; the run reloads the newest intact
+        checkpoint (checksums verified) and replays from its round —
+        bit-identical to never having crashed.
         """
         cfg = self.config
         started = time.perf_counter()
@@ -237,7 +244,7 @@ class DiGraphEngine:
             machine.stats.vertices_reactivated += int(
                 np.count_nonzero(np.asarray(initial_active, dtype=bool))
             )
-        converged = run.execute()
+        converged = run.execute(resume=resume)
         if initial_values is not None or initial_active is not None:
             machine.stats.incremental_rounds += machine.stats.rounds
         if not converged and strict_convergence:
@@ -566,7 +573,7 @@ class _Run:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def execute(self) -> bool:
+    def execute(self, resume: bool = False) -> bool:
         """Run topological sweeps until no vertex is active.
 
         One *round* is one sweep: the dependency frontier is processed,
@@ -585,10 +592,22 @@ class _Run:
         the convergence budget (they are bounded separately by
         ``max_gpu_loss_recoveries``).
         """
-        self._process_isolated_vertices()
         stats = self.machine.stats
         manager = self.checkpoints
-        self._rounds_done = 0
+        if resume:
+            if manager is None or manager.store is None:
+                raise ConfigurationError(
+                    "resume requires a recovery policy with "
+                    "durability != 'none' and a run_dir"
+                )
+            # Every durable checkpoint was taken *after* the isolated-
+            # vertex preamble, so its effects are already in the
+            # restored state — re-running it would double-apply.
+            loaded = manager.resume_from_store()
+            self._rounds_done = int(loaded.round_index)
+        else:
+            self._process_isolated_vertices()
+            self._rounds_done = 0
         try:
             while self._rounds_done < self.cfg.max_rounds:
                 if not self.states.any_active():

@@ -230,3 +230,69 @@ class ArtifactError(ReproError):
     """A benchmark artifact (``BENCH_*.json``) is missing, unreadable,
     or violates its schema (wrong keys, bad version, NaN/negative
     measurements)."""
+
+
+class CheckpointStoreError(ReproError):
+    """A durable checkpoint store is missing, corrupt, or inconsistent.
+
+    Structured fields name the damage without message parsing: the
+    ``run_dir`` holding the store, the ``checkpoint`` (round index)
+    involved, the ``page`` file if a specific page is at fault, and the
+    corruption ``kind`` (``"torn"``, ``"bitrot"``, ``"manifest-lost"``,
+    ``"orphan"``, ``"missing-page"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        run_dir=None,
+        checkpoint=None,
+        page=None,
+        kind=None,
+    ) -> None:
+        details = []
+        if run_dir is not None:
+            details.append(f"run_dir={run_dir}")
+        if checkpoint is not None:
+            details.append(f"checkpoint={checkpoint}")
+        if page is not None:
+            details.append(f"page={page}")
+        if kind is not None:
+            details.append(f"kind={kind}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.run_dir = str(run_dir) if run_dir is not None else None
+        self.checkpoint = checkpoint
+        self.page = str(page) if page is not None else None
+        self.kind = kind
+
+
+class InjectedCrashError(SimulationError):
+    """A fault plan crashed the whole job at an injected crash point.
+
+    This models a process death (power loss, OOM-kill): nothing
+    in-process survives, only what the durable checkpoint store already
+    committed. Recovery is whole-job restart (``repro resume``), never
+    an in-run rollback, so engines must *not* catch this.
+
+    ``crash_point`` names where the plan struck: ``"round-boundary"``,
+    ``"mid-spill"``, or ``"mid-manifest"``.
+    """
+
+    def __init__(
+        self,
+        message: str = "injected whole-job crash",
+        crash_point=None,
+        round_index=None,
+    ) -> None:
+        details = []
+        if crash_point is not None:
+            details.append(f"crash_point={crash_point}")
+        if round_index is not None:
+            details.append(f"round={round_index}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.crash_point = crash_point
+        self.round_index = round_index

@@ -19,6 +19,9 @@ seeded cell must produce identical digests (the determinism contract).
 from __future__ import annotations
 
 import hashlib
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -29,9 +32,16 @@ from repro.baselines.async_engine import AsyncEngine
 from repro.baselines.bulk_sync import BulkSyncConfig, BulkSyncEngine
 from repro.core.engine import DiGraphConfig, DiGraphEngine
 from repro.core.variants import digraph_t, digraph_w
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, InjectedCrashError, ReproError
 from repro.faults.injector import FaultInjector, TraceEvent
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (
+    STORAGE_CRASH,
+    STORE_OP_MANIFEST,
+    STORE_OP_PAGE,
+    ComputeFault,
+    FaultPlan,
+    StorageFault,
+)
 from repro.faults.recovery import RecoveryPolicy
 from repro.gpu.config import MachineSpec
 from repro.verify.oracle import (
@@ -509,6 +519,392 @@ def run_serve_storm_cell(
             else stormed.failed[0].error
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# whole-job crash / restart certification
+# ---------------------------------------------------------------------------
+
+#: Crash points swept by the crash-restart cells — the values
+#: :class:`~repro.errors.InjectedCrashError` carries in ``crash_point``.
+CRASH_POINTS = ("round-boundary", "mid-spill", "mid-manifest")
+
+
+def _pages_per_checkpoint(engine_name: str) -> int:
+    """Durable pages one checkpoint commit writes (incl. the scalars
+    page): the DiGraph family spills six vertex arrays, the
+    range-partitioned baselines two."""
+    return 7 if engine_name in CHAOS_ENGINES else 3
+
+
+def crash_plan(
+    crash_point: str,
+    engine_name: str = "digraph",
+    crash_round: int = 1,
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` that kills the whole job at
+    ``crash_point``.
+
+    ``"round-boundary"`` crashes at compute round ``crash_round`` (which
+    must exist: the run has to take more than ``crash_round`` rounds or
+    the plan is vacuous). ``"mid-spill"`` crashes on the second page of
+    the *second* checkpoint commit and ``"mid-manifest"`` on its
+    manifest commit — the first commit is deliberately spared, because a
+    crash before anything durable exists leaves nothing to resume from
+    (that case is the structured-error path, not a restart cell).
+    """
+    if crash_point == "round-boundary":
+        if crash_round < 0:
+            raise ConfigurationError("crash_round must be >= 0")
+        return FaultPlan(
+            compute_faults={int(crash_round): ComputeFault(crash=True)}
+        )
+    if crash_point == "mid-spill":
+        index = _pages_per_checkpoint(engine_name) + 1
+        return FaultPlan(
+            storage_faults={
+                index: StorageFault(STORAGE_CRASH, op=STORE_OP_PAGE)
+            }
+        )
+    if crash_point == "mid-manifest":
+        return FaultPlan(
+            storage_faults={
+                1: StorageFault(STORAGE_CRASH, op=STORE_OP_MANIFEST)
+            }
+        )
+    raise ConfigurationError(
+        f"crash_point must be one of {CRASH_POINTS}, got {crash_point!r}"
+    )
+
+
+def _durable_policy(
+    recovery: Optional[RecoveryPolicy], run_dir: str
+) -> RecoveryPolicy:
+    base = recovery if recovery is not None else RecoveryPolicy()
+    durability = (
+        base.durability if base.durability != "none" else "durable"
+    )
+    return replace(base, durability=durability, run_dir=run_dir)
+
+
+def run_crash_restart_cell(
+    graph,
+    algorithm: str,
+    run_dir: str,
+    crash_point: str = "round-boundary",
+    engine_name: str = "digraph",
+    machine: Optional[MachineSpec] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    graph_name: str = "crash-restart",
+    program_kwargs: Optional[Dict] = None,
+    crash_round: int = 1,
+) -> ChaosCellResult:
+    """Kill the whole job at an injected crash point, restart it from
+    the durable store under ``run_dir``, and certify the resumed run
+    **bit-identical** to the uninterrupted golden run.
+
+    Three legs: (1) golden — same engine, same recovery policy but
+    ``durability="none"``, no faults; (2) crashed — durable policy +
+    :func:`crash_plan`, which must die with
+    :class:`~repro.errors.InjectedCrashError` (completing instead fails
+    the cell as vacuous); (3) resumed — a fresh engine with
+    ``resume=True`` and *no* fault plan, restarting from the last intact
+    durable checkpoint.
+
+    Unlike :func:`run_chaos_cell`'s GPU-kill cells (where
+    redistribution reorders float summation and contraction algorithms
+    only match within the equivalence band), the resumed trajectory
+    here *is* the golden trajectory — restart replays from a checkpoint
+    of that same trajectory with identical placement — so the digest
+    comparison is band 0 (bit-exact) for **every** algorithm.
+    """
+    durable = _durable_policy(recovery, run_dir)
+    golden_policy = replace(durable, durability="none", run_dir="")
+    kwargs = dict(program_kwargs or {})
+    cell_algorithm = f"{algorithm}@{crash_point}"
+
+    def fail(detail: str, error: Optional[str] = None) -> ChaosCellResult:
+        return ChaosCellResult(
+            algorithm=cell_algorithm,
+            engine=engine_name,
+            seed=None,
+            passed=False,
+            detail=detail,
+            error=error,
+        )
+
+    golden_engine = _chaos_engine(engine_name, machine)
+    golden_program = make_program(algorithm, graph, **kwargs)
+    golden = golden_engine.run(
+        graph, golden_program, graph_name=graph_name,
+        recovery=golden_policy,
+    )
+
+    plan = crash_plan(crash_point, engine_name, crash_round)
+    injector = FaultInjector(plan)
+    engine = _chaos_engine(engine_name, machine)
+    program = make_program(algorithm, graph, **kwargs)
+    try:
+        engine.run(
+            graph, program, graph_name=graph_name,
+            fault_injector=injector, recovery=durable,
+        )
+        return fail(
+            f"vacuous: no crash fired at {crash_point} "
+            f"(golden took {golden.stats.rounds} rounds)"
+        )
+    except InjectedCrashError:
+        pass
+    except ReproError as exc:
+        return fail(
+            f"crashed leg raised {type(exc).__name__} instead of "
+            "InjectedCrashError",
+            str(exc),
+        )
+
+    resume_engine = _chaos_engine(engine_name, machine)
+    resume_program = make_program(algorithm, graph, **kwargs)
+    try:
+        resumed = resume_engine.run(
+            graph, resume_program, graph_name=graph_name,
+            recovery=durable, resume=True,
+        )
+    except ReproError as exc:
+        return fail(f"resume raised {type(exc).__name__}", str(exc))
+
+    fixed = check_fixed_point_reached(
+        resume_program, graph, resumed.states
+    )
+    golden_digest = state_digest(golden.states, 0.0)
+    resumed_digest = state_digest(resumed.states, 0.0)
+    digest_match = golden_digest == resumed_digest
+    passed = bool(resumed.converged and digest_match and fixed.passed)
+    if not resumed.converged:
+        detail = "resumed run did not converge"
+    elif not digest_match:
+        detail = (
+            f"resumed states diverge bit-wise from golden after "
+            f"{crash_point} crash"
+        )
+    elif not fixed.passed:
+        detail = f"fixed point violated: {fixed.detail}"
+    else:
+        detail = (
+            f"{crash_point} crash restarted bit-identical from the "
+            "durable store"
+        )
+    stats = resumed.stats
+    return ChaosCellResult(
+        algorithm=cell_algorithm,
+        engine=engine_name,
+        seed=None,
+        passed=passed,
+        detail=detail,
+        faults_injected=injector.faults_injected,
+        gpu_failures=stats.gpu_failures,
+        rounds_rolled_back=stats.rounds_rolled_back,
+        recovery_time_s=stats.recovery_time_s,
+        trace_digest=recovery_digest(injector.trace, resumed.states),
+        checkpoints_taken=stats.checkpoints_taken,
+        incremental_checkpoints_taken=stats.incremental_checkpoints_taken,
+        checkpoint_bytes_spilled=stats.checkpoint_bytes_spilled,
+        checkpoint_time_s=stats.checkpoint_time_s,
+        checkpoint_hidden_time_s=stats.checkpoint_hidden_time_s,
+        rollback_replay_rounds=stats.rollback_replay_rounds,
+        golden_digest=golden_digest,
+        recovered_digest=resumed_digest,
+        digest_match=digest_match,
+        golden_time_s=golden.stats.total_time_s,
+        recovered_time_s=stats.total_time_s,
+    )
+
+
+def run_serve_crash_restart_cell(
+    graph,
+    run_dir: str,
+    algorithm: str = "mixed",
+    crash_launch: int = 12,
+    seed: int = 0,
+    num_queries: int = 24,
+    machine: Optional[MachineSpec] = None,
+    graph_name: str = "serve-crash",
+) -> ChaosCellResult:
+    """Whole-process crash mid-serve, restarted from the batch journal.
+
+    The crashed leg journals every completed batch into
+    ``run_dir/serve_journal.jsonl`` and dies with
+    :class:`~repro.errors.InjectedCrashError` at serve-wide launch
+    ``crash_launch``; the restarted leg replays journaled batches and
+    re-executes only the tail. Passes when the crash actually fired and
+    the restarted report's serve digest equals the uninterrupted golden
+    run's — admitted-but-unanswered queries resume deterministically.
+    """
+    from repro.faults.store import SERVE_JOURNAL_NAME
+    from repro.serve.runner import run_serve_cell, serve_digest
+
+    journal_path = os.path.join(run_dir, SERVE_JOURNAL_NAME)
+    common = dict(
+        seed=seed,
+        num_queries=num_queries,
+        machine=machine,
+        graph=graph,
+        use_cache=False,
+    )
+    golden = run_serve_cell(algorithm, graph_name, **common)
+    plan = FaultPlan(
+        compute_faults={int(crash_launch): ComputeFault(crash=True)}
+    )
+    crashed = False
+    try:
+        run_serve_cell(
+            algorithm, graph_name, fault_plan=plan,
+            journal_path=journal_path, **common,
+        )
+    except InjectedCrashError:
+        crashed = True
+    if not crashed:
+        return ChaosCellResult(
+            algorithm=f"serve-crash-{algorithm}",
+            engine="serve",
+            seed=seed,
+            passed=False,
+            detail=(
+                f"vacuous: no crash fired at launch {crash_launch} "
+                f"(golden took {golden.launches} launches)"
+            ),
+        )
+    resumed = run_serve_cell(
+        algorithm, graph_name, journal_path=journal_path, **common
+    )
+    golden_digest = serve_digest(golden)
+    resumed_digest = serve_digest(resumed)
+    digest_match = golden_digest == resumed_digest
+    passed = bool(digest_match and not resumed.failed)
+    if not digest_match:
+        detail = "restarted serve run diverges from golden"
+    elif resumed.failed:
+        detail = f"{len(resumed.failed)} queries failed after restart"
+    else:
+        from repro.faults.store import ServeJournal
+
+        replayed = len(ServeJournal(journal_path).load())
+        detail = (
+            f"restart replayed {replayed} journaled batches and "
+            f"re-served the tail bit-identical to golden"
+        )
+    return ChaosCellResult(
+        algorithm=f"serve-crash-{algorithm}",
+        engine="serve",
+        seed=seed,
+        passed=passed,
+        detail=detail,
+        faults_injected=1,
+        trace_digest=resumed_digest,
+        golden_digest=golden_digest,
+        recovered_digest=resumed_digest,
+        digest_match=digest_match,
+        golden_time_s=golden.makespan_s,
+        recovered_time_s=resumed.makespan_s,
+    )
+
+
+def resume_run(run_dir: str, machine: Optional[MachineSpec] = None):
+    """Whole-job restart from a durable run directory (``repro
+    resume``).
+
+    Reads the run header ``repro run --durability`` committed, rebuilds
+    the workload it describes, and re-runs the engine with
+    ``resume=True`` so execution restarts from the last intact durable
+    checkpoint instead of round 0. Returns the engine's
+    ``ExecutionResult``.
+    """
+    from repro.bench.runner import make_engine
+    from repro.faults.store import CheckpointStore
+    from repro.graph import datasets
+    from repro.gpu.config import SCALED_MACHINE
+
+    header = CheckpointStore(run_dir).read_header()
+    if header.get("mode", "engine") != "engine":
+        raise ConfigurationError(
+            f"run header mode {header.get('mode')!r} is not resumable "
+            "by `repro resume` (only 'engine' runs are)"
+        )
+    graph = datasets.load(
+        header["dataset"],
+        scale=float(header.get("scale", 1.0)),
+        weighted=(header["algorithm"] == "sssp"),
+    )
+    spec = machine or SCALED_MACHINE
+    if header.get("gpus"):
+        spec = spec.scaled(int(header["gpus"]))
+    engine = make_engine(
+        header["engine"], spec,
+        vectorized=bool(header.get("vectorized", False)),
+    )
+    policy = RecoveryPolicy(
+        run_dir=run_dir, **dict(header.get("policy") or {})
+    )
+    program = make_program(header["algorithm"], graph)
+    return engine.run(
+        graph, program, graph_name=header["dataset"],
+        recovery=policy, resume=True,
+    )
+
+
+def crash_restart_sweep(
+    graph,
+    algorithms: Sequence[str],
+    engine_names: Sequence[str] = ("digraph",),
+    crash_points: Sequence[str] = CRASH_POINTS,
+    machine: Optional[MachineSpec] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    graph_name: str = "crash-restart",
+    include_serve: bool = False,
+    serve_crash_launch: int = 12,
+) -> List[ChaosCellResult]:
+    """The crash-restart grid: algorithms x engines x crash points.
+
+    Each cell gets a fresh temporary run directory (removed afterwards).
+    ``include_serve`` appends one journal-restart serve cell
+    (:func:`run_serve_crash_restart_cell`). Pick algorithms that run
+    more than two rounds (pagerank, wcc, ...) — a run that converges
+    before the crash point is flagged as a vacuous failure, not skipped.
+    """
+    results: List[ChaosCellResult] = []
+    for algorithm in algorithms:
+        for engine_name in engine_names:
+            for crash_point in crash_points:
+                cell_dir = tempfile.mkdtemp(prefix="repro-crash-")
+                try:
+                    results.append(
+                        run_crash_restart_cell(
+                            graph,
+                            algorithm,
+                            cell_dir,
+                            crash_point=crash_point,
+                            engine_name=engine_name,
+                            machine=machine,
+                            recovery=recovery,
+                            graph_name=graph_name,
+                        )
+                    )
+                finally:
+                    shutil.rmtree(cell_dir, ignore_errors=True)
+    if include_serve:
+        cell_dir = tempfile.mkdtemp(prefix="repro-crash-")
+        try:
+            results.append(
+                run_serve_crash_restart_cell(
+                    graph,
+                    cell_dir,
+                    crash_launch=serve_crash_launch,
+                    machine=machine,
+                    graph_name=graph_name,
+                )
+            )
+        finally:
+            shutil.rmtree(cell_dir, ignore_errors=True)
+    return results
 
 
 def chaos_sweep(

@@ -51,6 +51,16 @@ the shadow copy *is* the checkpoint, the full/incremental distinction
 only changes the modeled spill cost — which keeps replay determinism
 (recovered state must equal the golden run) trivially independent of
 the cost knobs.
+
+With ``RecoveryPolicy.durability`` set, every checkpoint is *also*
+committed to the durable on-disk store (:mod:`repro.faults.store`)
+under ``RecoveryPolicy.run_dir``: pages + write-ahead manifest,
+checksums, retention/GC and cold-page compaction. ``"durable"`` keeps
+in-run rollbacks on the shadow (the store only buys whole-job restart
+via :meth:`CheckpointManager.resume_from_store`); ``"durable-verify"``
+restores rollbacks from the store's pages too, verifying every
+checksum — and falling back to an older intact checkpoint if the
+newest is damaged.
 """
 
 from __future__ import annotations
@@ -126,6 +136,17 @@ class CheckpointManager:
         self.policy = policy
         self.machine = machine
         self.client = client
+        #: Durable on-disk store (None when ``durability == "none"``).
+        self.store = None
+        if getattr(policy, "durability", "none") != "none":
+            from repro.faults.store import CheckpointStore
+
+            self.store = CheckpointStore(
+                policy.run_dir,
+                retain=getattr(policy, "store_retain", 2),
+                compact=getattr(policy, "store_compact", True),
+                injector=machine._structured_injector,
+            )
         self.records: List[CheckpointRecord] = []
         #: Round index of the live checkpoint (None before the first).
         self.last_checkpoint_round: Optional[int] = None
@@ -251,6 +272,21 @@ class CheckpointManager:
         self._scalars = self.client.capture_scalars()
 
         stats = self.machine.stats
+        if self.store is not None:
+            # Durable commit: pages first, manifest rename last. An
+            # injected mid-spill / mid-manifest crash escapes from here
+            # as InjectedCrashError — deliberately uncaught, the whole
+            # job is dead and only `repro resume` brings it back.
+            self.store.commit_checkpoint(
+                round_index,
+                "full" if full else "incremental",
+                arrays=self._shadow,
+                dirty_by_array=None if full else dirty_by_array,
+                scalars=self._scalars,
+                rounds_mark=stats.rounds,
+                dead_gpus=self.machine.dead_gpus,
+                incrementals_since_full=self._incrementals_since_full,
+            )
         dirty_count = int(np.count_nonzero(dirty))
         scalar_bytes = _modeled_scalar_bytes(self._scalars)
         total_spilled = 0
@@ -331,9 +367,36 @@ class CheckpointManager:
             stats.recovery_time_s += lost
 
         arrays = self.client.vertex_arrays()
+        if (
+            self.store is not None
+            and getattr(self.policy, "durability", "none")
+            == "durable-verify"
+        ):
+            # Restore from the durable pages instead of trusting the
+            # in-memory shadow: every checksum is verified on the way
+            # back in, and a damaged newest checkpoint falls back to
+            # the previous intact one (a deeper rollback).
+            loaded = self.store.load_best()
+            self.last_checkpoint_round = loaded.round_index
+            self._rounds_mark = loaded.rounds_mark
+            self._incrementals_since_full = (
+                loaded.incrementals_since_full
+            )
+            for name in arrays:
+                self._shadow[name] = loaded.arrays[name].copy()
+            self._scalars = loaded.scalars
         for name, arr in arrays.items():
             arr[:] = self._shadow[name]
         self.client.restore_scalars(copy.deepcopy(self._scalars))
+        if (
+            self.store is not None
+            and getattr(self.policy, "durability", "none")
+            == "durable-verify"
+        ):
+            # A deeper fallback may have restored an older placement.
+            self._shadow_vertex_gpu = np.asarray(
+                self.client.vertex_gpu()
+            ).copy()
 
         # Survivors reload their full vertex state from the host copy;
         # a dead GPU's share is gone with it (its partitions' reload is
@@ -362,3 +425,68 @@ class CheckpointManager:
             stats.async_comm_time_s,
         )
         return int(self.last_checkpoint_round)
+
+    # ------------------------------------------------------------------
+    # whole-job restart
+    # ------------------------------------------------------------------
+    def resume_from_store(self):
+        """Reload the last durable checkpoint into a *fresh* run.
+
+        Called once, before the engine's first round, in a new process
+        standing in for the crashed one: verifies and materializes the
+        newest intact checkpoint from the durable store, installs it as
+        the live in-memory checkpoint (shadow + scalars), restores the
+        client's arrays and scalar state, re-kills the GPUs that were
+        already dead, and charges the survivors' h2d state reload.
+        Returns the :class:`~repro.faults.store.LoadedCheckpoint`; the
+        engine resumes its round loop at ``loaded.round_index``
+        (``due`` is False there, so the reloaded state is not
+        redundantly re-spilled).
+        """
+        if self.store is None:
+            raise SimulationError(
+                "resume_from_store requires durability != 'none'"
+            )
+        loaded = self.store.load_best()
+        arrays = self.client.vertex_arrays()
+        for name, arr in arrays.items():
+            if name not in loaded.arrays:
+                from repro.errors import CheckpointStoreError
+
+                raise CheckpointStoreError(
+                    f"store has no page for array {name!r}",
+                    run_dir=self.store.run_dir,
+                    checkpoint=loaded.round_index,
+                    kind="missing-page",
+                )
+            arr[:] = loaded.arrays[name]
+            self._shadow[name] = loaded.arrays[name].copy()
+        self.client.restore_scalars(copy.deepcopy(loaded.scalars))
+        self._scalars = loaded.scalars
+        self.last_checkpoint_round = loaded.round_index
+        self._incrementals_since_full = loaded.incrementals_since_full
+        for gpu in loaded.dead_gpus:
+            if gpu not in self.machine.dead_gpus:
+                self.machine.kill_gpu(gpu)
+        stats = self.machine.stats
+        stats.rounds = loaded.rounds_mark
+        self._rounds_mark = loaded.rounds_mark
+        # Survivors reload their state h2d, same accounting as an
+        # in-run rollback restore.
+        vertex_gpu = np.asarray(self.client.vertex_gpu())
+        self._shadow_vertex_gpu = vertex_gpu.copy()
+        bytes_per_vertex = sum(
+            arr.itemsize for arr in arrays.values()
+        )
+        for gpu in self.machine.live_gpu_ids():
+            owned = int(np.count_nonzero(vertex_gpu == gpu))
+            if owned:
+                self.machine.checkpoint_restore(
+                    gpu, owned * bytes_per_vertex
+                )
+        self._time_mark = (
+            stats.compute_time_s,
+            stats.transfer_time_s,
+            stats.async_comm_time_s,
+        )
+        return loaded

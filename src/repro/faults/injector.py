@@ -14,6 +14,9 @@ so plain-callable legacy injectors keep working):
 - :meth:`FaultInjector.on_replica_flush` — per replica-batch delivery
   attempt (retries consume fresh indices, so a resend can fail again);
 - :meth:`FaultInjector.on_compute_round` — per kernel wave;
+- :meth:`FaultInjector.on_store_write` — per durable checkpoint-store
+  write (separate monotone counters per op: page writes vs manifest
+  commits);
 - :meth:`FaultInjector.note_recovery` — recovery code reporting what it
   did, for the trace.
 """
@@ -31,6 +34,7 @@ from repro.faults.plan import (
     ComputeFault,
     FaultPlan,
     PERMANENT,
+    StorageFault,
     SyncFault,
     TRANSIENT,
     TransferFault,
@@ -75,6 +79,8 @@ class FaultInjector:
         self.transfer_calls = 0
         self.sync_calls = 0
         self.compute_calls = 0
+        #: per-op durable-store write counters (``op`` -> count).
+        self.store_calls = {"page": 0, "manifest": 0}
         self.faults_injected = 0
         self.trace: List[TraceEvent] = []
 
@@ -153,7 +159,7 @@ class FaultInjector:
             for gpu, factor in fault.slowdowns.items()
             if gpu in live
         }
-        if kill is None and not slowdowns:
+        if kill is None and not slowdowns and not fault.crash:
             return None
         self.faults_injected += 1
         self._note(
@@ -161,8 +167,36 @@ class FaultInjector:
             index=index,
             kill_gpu=kill,
             slowdowns=tuple(sorted(slowdowns.items())),
+            crash=fault.crash,
         )
-        return ComputeFault(kill_gpu=kill, slowdowns=slowdowns)
+        return ComputeFault(
+            kill_gpu=kill, slowdowns=slowdowns, crash=fault.crash
+        )
+
+    def on_store_write(self, op: str, path: str) -> Optional[StorageFault]:
+        """Consult the plan for one durable-store write.
+
+        ``op`` is ``"page"`` or ``"manifest"``; each op has its own
+        monotone counter, so a plan entry with ``op="manifest"`` at
+        index 0 strikes the first manifest commit regardless of how many
+        pages were written before it. Returns the fault for the store to
+        apply (the store owns the file, so it applies the damage) or
+        ``None``.
+        """
+        index = self.store_calls.setdefault(op, 0)
+        self.store_calls[op] = index + 1
+        fault = self.plan.storage_faults.get(index)
+        if fault is None or fault.op != op:
+            return None
+        self.faults_injected += 1
+        self._note(
+            "storage_fault",
+            index=index,
+            op=op,
+            fault=fault.kind,
+            path=path,
+        )
+        return fault
 
     # -- recovery reporting --------------------------------------------
     def note_recovery(self, kind: str, **detail) -> None:

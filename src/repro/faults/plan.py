@@ -16,7 +16,11 @@ Fault kinds (ISSUE-3 fault model):
 - **replica-sync faults** — a :class:`SyncFault` drops or corrupts one
   batched replica-update flush between two GPUs;
 - **compute faults** — a :class:`ComputeFault` kills a GPU at a kernel
-  wave boundary or slows chosen GPUs down (stragglers).
+  wave boundary, slows chosen GPUs down (stragglers), or crashes the
+  whole job at a round boundary (``crash=True``, whole-process death);
+- **storage faults** — a :class:`StorageFault` tears, rots, loses, or
+  crashes one durable checkpoint-store write (page or manifest), keyed
+  by the store's per-op write counters.
 """
 
 from __future__ import annotations
@@ -38,6 +42,16 @@ CORRUPT = "corrupt"
 
 #: Deterministic garbage written by an undetected corrupted replica push.
 DEFAULT_POISON = 2.0 ** 60
+
+#: Storage-fault kinds (durable checkpoint store, ISSUE-9 fault model).
+STORAGE_TORN = "torn"
+STORAGE_BITROT = "bitrot"
+STORAGE_LOST = "lost"
+STORAGE_CRASH = "crash"
+
+#: Store-write ops a :class:`StorageFault` can target.
+STORE_OP_PAGE = "page"
+STORE_OP_MANIFEST = "manifest"
 
 
 @dataclass(frozen=True)
@@ -87,10 +101,14 @@ class ComputeFault:
     ``kill_gpu`` names a GPU that dies at this wave; ``slowdowns`` maps
     GPU id -> elapsed-time multiplier (stragglers). A dead target or an
     unknown GPU id in a generated plan is skipped at injection time.
+    ``crash=True`` kills the *whole job* at this wave boundary
+    (process death — only the durable checkpoint store survives;
+    recovery is ``repro resume``, never an in-run rollback).
     """
 
     kill_gpu: Optional[int] = None
     slowdowns: Mapping[int, float] = field(default_factory=dict)
+    crash: bool = False
 
     def __post_init__(self) -> None:
         for gpu, factor in self.slowdowns.items():
@@ -98,6 +116,45 @@ class ComputeFault:
                 raise ConfigurationError(
                     f"straggler factor for GPU {gpu} must be >= 1"
                 )
+
+
+@dataclass(frozen=True)
+class StorageFault:
+    """One scheduled durable-store write fault.
+
+    ``op`` selects which store write stream the fault targets —
+    :data:`STORE_OP_PAGE` (an array/scalar page) or
+    :data:`STORE_OP_MANIFEST` (the write-ahead manifest commit); the
+    plan keys storage faults by the store's *per-op* monotone write
+    counter, so ``storage_faults[2]`` with ``op="manifest"`` strikes the
+    third manifest commit. Kinds:
+
+    - :data:`STORAGE_TORN` — the file is truncated mid-write (torn
+      write) and the run continues; checksum verification must catch it;
+    - :data:`STORAGE_BITROT` — one byte is flipped after the write (bit
+      rot), silently; again the checksum must catch it;
+    - :data:`STORAGE_LOST` — the file vanishes after the write
+      (manifest loss / lost page);
+    - :data:`STORAGE_CRASH` — the whole job dies *during* this write: a
+      page is left torn, a manifest commit is left as an uncommitted
+      temp file, and :class:`~repro.errors.InjectedCrashError` is
+      raised (mid-spill / mid-manifest-commit crash points).
+    """
+
+    kind: str
+    op: str = STORE_OP_PAGE
+
+    def __post_init__(self) -> None:
+        if self.kind not in (
+            STORAGE_TORN, STORAGE_BITROT, STORAGE_LOST, STORAGE_CRASH
+        ):
+            raise ConfigurationError(
+                f"unknown storage-fault kind {self.kind!r}"
+            )
+        if self.op not in (STORE_OP_PAGE, STORE_OP_MANIFEST):
+            raise ConfigurationError(
+                f"unknown storage-fault op {self.op!r}"
+            )
 
 
 @dataclass
@@ -110,6 +167,13 @@ class FaultPlan:
     sync_faults: Dict[int, SyncFault] = field(default_factory=dict)
     #: kernel-wave (compute_round call) index -> fault.
     compute_faults: Dict[int, ComputeFault] = field(default_factory=dict)
+    #: per-op store-write index -> fault. The injector keeps a separate
+    #: monotone counter per store op (page writes, manifest commits) and
+    #: an entry fires only when its ``op`` matches the stream at that
+    #: index — so ``{0: StorageFault("crash", op="manifest")}`` strikes
+    #: the first manifest commit and leaves page writes alone. One entry
+    #: per index; to fault both streams use different indices.
+    storage_faults: Dict[int, StorageFault] = field(default_factory=dict)
     #: Seed the plan was generated from (None for hand-written plans).
     seed: Optional[int] = None
 
@@ -119,6 +183,7 @@ class FaultPlan:
             len(self.transfer_faults)
             + len(self.sync_faults)
             + len(self.compute_faults)
+            + len(self.storage_faults)
         )
 
     @classmethod
@@ -137,6 +202,7 @@ class FaultPlan:
         kill_gpu: Optional[int] = None,
         kill_at_round: int = 1,
         kill_schedule: Optional[Sequence[Tuple[int, int]]] = None,
+        crash_at_round: Optional[int] = None,
         link_flap_at: Optional[int] = None,
         link_flap_length: int = 3,
         transfer_horizon: int = 5000,
@@ -161,6 +227,11 @@ class FaultPlan:
         again. Because each retry consumes a fresh transfer index, a
         flap is survived exactly when the retry budget covers the flap
         length — the deterministic analogue of waiting out a bounce.
+
+        ``crash_at_round`` schedules a **whole-job crash** at that
+        kernel-wave boundary (``ComputeFault(crash=True)``): the process
+        dies, only the durable checkpoint store survives, and the only
+        recovery is a whole-job restart (``repro resume``).
         """
         for name, rate in (
             ("transfer_fault_rate", transfer_fault_rate),
@@ -255,6 +326,15 @@ class FaultPlan:
             compute_faults[at_round] = ComputeFault(
                 kill_gpu=gpu,
                 slowdowns=existing.slowdowns if existing else {},
+            )
+        if crash_at_round is not None:
+            if crash_at_round < 0:
+                raise ConfigurationError("crash_at_round must be >= 0")
+            existing = compute_faults.get(crash_at_round)
+            compute_faults[crash_at_round] = ComputeFault(
+                kill_gpu=existing.kill_gpu if existing else None,
+                slowdowns=existing.slowdowns if existing else {},
+                crash=True,
             )
 
         return cls(

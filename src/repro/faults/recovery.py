@@ -66,6 +66,26 @@ class RecoveryPolicy:
     #: only changes how much spill cost the timeline hides
     #: (``checkpoint_hidden_time_s``).
     overlap_checkpoint_spill: bool = False
+    #: Durable checkpointing (see :mod:`repro.faults.store`):
+    #: ``"none"`` keeps checkpoints in the in-memory host shadow only
+    #: (a whole-process crash loses the run); ``"durable"`` additionally
+    #: commits every checkpoint to the on-disk store under ``run_dir``
+    #: (rollbacks still restore from the shadow; whole-job restart via
+    #: ``repro resume`` becomes possible); ``"durable-verify"`` also
+    #: restores *rollbacks* from the store's pages, verifying every
+    #: checksum on the way back in.
+    durability: str = "none"
+    #: Run directory holding the durable store (required when
+    #: ``durability`` is not ``"none"``).
+    run_dir: str = ""
+    #: Durable checkpoints retained before GC (the window stretches
+    #: back to the nearest full checkpoint so delta chains stay
+    #: restorable).
+    store_retain: int = 2
+    #: Compress cold durable pages (every checkpoint but the newest)
+    #: with zlib, recommitted in the same manifest commit — the
+    #: "checkpoint compaction" cost model.
+    store_compact: bool = True
     #: How a dead GPU's partitions are re-placed: ``"locality"`` keeps
     #: each dependency-connected cluster co-resident on the survivor
     #: with the highest inter-group edge cut to its resident partitions;
@@ -93,6 +113,17 @@ class RecoveryPolicy:
             raise ConfigurationError(
                 "full_checkpoint_period must be >= 1"
             )
+        if self.durability not in ("none", "durable", "durable-verify"):
+            raise ConfigurationError(
+                "durability must be 'none', 'durable', or "
+                f"'durable-verify', got {self.durability!r}"
+            )
+        if self.durability != "none" and not self.run_dir:
+            raise ConfigurationError(
+                f"durability={self.durability!r} requires run_dir"
+            )
+        if self.store_retain < 1:
+            raise ConfigurationError("store_retain must be >= 1")
         if self.redistribution_policy not in (
             "locality",
             "edge-balance",

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     GPULostError,
+    InjectedCrashError,
     PermanentInterconnectFault,
     SimulationError,
 )
@@ -418,6 +419,14 @@ class Machine:
         if injector is not None:
             fault = injector.on_compute_round(self.live_gpu_ids())
             if fault is not None:
+                # `crash` is duck-typed (getattr) so gpu/ keeps working
+                # with legacy plans whose ComputeFault predates it.
+                if getattr(fault, "crash", False):
+                    raise InjectedCrashError(
+                        "whole-job crash at a kernel-wave boundary",
+                        crash_point="round-boundary",
+                        round_index=injector.compute_calls - 1,
+                    )
                 if fault.kill_gpu is not None:
                     self.kill_gpu(fault.kill_gpu)
                     raise GPULostError(

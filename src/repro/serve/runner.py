@@ -111,6 +111,7 @@ def run_serve_cell(
     arrival_model: str = "open",
     mean_think_time_us: float = 100.0,
     fault_plan: Optional[FaultPlan] = None,
+    journal_path: Optional[str] = None,
 ) -> ServeReport:
     """Serve one deterministic trace; memoized like a batch cell.
 
@@ -129,6 +130,11 @@ def run_serve_cell(
     ``max_replays`` + ``replay_backoff_us`` (retry budget), and
     ``arrival_model`` (``"open"``/``"closed"`` with
     ``mean_think_time_us``). All of them are part of the memo key.
+
+    ``journal_path`` points the server at a durable
+    :class:`~repro.faults.store.ServeJournal`: completed batches are
+    journaled, and a re-run over the same trace replays them instead of
+    re-solving (crash-restart recovery). Bypasses the memo cache.
     """
     if algorithm != "mixed" and algorithm not in SERVE_ALGORITHMS:
         raise ConfigurationError(
@@ -151,6 +157,7 @@ def run_serve_cell(
         or tenant_weights is not None
         or strict
         or fault_plan is not None
+        or journal_path is not None
     )
     key = (
         "serve", algorithm, graph_name, scale, num_gpus, None, False, spec,
@@ -201,6 +208,7 @@ def run_serve_cell(
             replay_backoff_s=replay_backoff_us * 1e-6,
         ),
         fault_plan=fault_plan,
+        journal_path=journal_path,
     )
     report = server.serve(trace, strict=strict)
     if use_cache and not custom:

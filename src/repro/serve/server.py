@@ -57,13 +57,16 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
+    CheckpointStoreError,
     ConfigurationError,
     DeadlineExceededError,
     GPULostError,
+    InjectedCrashError,
     QueryAbortedError,
     QueryShedError,
 )
 from repro.faults.plan import FaultPlan
+from repro.faults.store import ServeJournal
 from repro.serve.context import ServingContext
 from repro.serve.query import (
     ClosedLoopTrace,
@@ -265,6 +268,7 @@ class QueryServer:
         context: ServingContext,
         config: Optional[ServeConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        journal_path: Optional[str] = None,
     ) -> None:
         self.context = context
         self.config = config or ServeConfig()
@@ -273,6 +277,14 @@ class QueryServer:
         )
         self._launch_counter = 0
         self._faults_injected = 0
+        #: Durable completion journal (see
+        #: :class:`~repro.faults.store.ServeJournal`): every completed
+        #: batch is appended; on restart, journaled batches replay their
+        #: recorded outcome instead of re-solving, so the admitted-but-
+        #: unanswered tail resumes deterministically.
+        self._journal = (
+            ServeJournal(journal_path) if journal_path else None
+        )
 
     # ------------------------------------------------------------------
     # fault injection (serve-wide launch counter)
@@ -281,7 +293,16 @@ class QueryServer:
         index = self._launch_counter
         self._launch_counter += 1
         fault = self._compute_faults.get(index)
-        if fault is not None and fault.kill_gpu is not None:
+        if fault is None:
+            return
+        if getattr(fault, "crash", False):
+            self._faults_injected += 1
+            raise InjectedCrashError(
+                f"whole-job crash at serve launch {index}",
+                crash_point="serve-launch",
+                round_index=index,
+            )
+        if fault.kill_gpu is not None:
             self._faults_injected += 1
             raise GPULostError(
                 f"GPU {fault.kill_gpu} lost at serve launch {index}",
@@ -343,6 +364,13 @@ class QueryServer:
         launches = 0
         edge_lane_work = 0
         replays = 0
+        # Journaled outcomes from a previous (crashed) run of this
+        # trace: batch_id -> verified record. The admission loop is
+        # deterministic, so batch N re-forms with the same queries and
+        # short-circuits to the recorded outcome.
+        journal_replay = (
+            self._journal.load() if self._journal is not None else {}
+        )
         results: List[QueryResult] = []
 
         # event heap: (time, priority, seq, kind, payload); completions
@@ -440,6 +468,54 @@ class QueryServer:
         def dispatch(batch: List[Query], now: float) -> None:
             nonlocal gpu_free, batch_id, gpu_busy, launches
             nonlocal edge_lane_work, replays, seq
+            record = journal_replay.get(batch_id)
+            if record is not None:
+                ids = [q.query_id for q in batch]
+                if list(record["query_ids"]) != ids:
+                    raise CheckpointStoreError(
+                        "serve journal batch does not match the "
+                        f"re-formed batch (journal {record['query_ids']}"
+                        f" vs {ids})",
+                        checkpoint=batch_id,
+                        kind="journal-mismatch",
+                    )
+                completion = float(record["completion"])
+                gpu_free = completion
+                gpu_busy += float(record["service"])
+                launches += int(record["launches"])
+                edge_lane_work += record["edge_lane_work"]
+                replays += int(record["replays"])
+                batch_results = []
+                for query, rec in zip(batch, record["results"]):
+                    # Degraded states are not journaled: the recorded
+                    # digest still certifies the answer, but the vector
+                    # itself must be re-derived if needed.
+                    batch_results.append(
+                        QueryResult(
+                            query=query,
+                            status=rec["status"],
+                            digest=rec["digest"],
+                            start_s=float(record["start"]),
+                            completion_s=completion,
+                            batch_id=batch_id,
+                            lanes=len(batch),
+                            rounds=int(rec["rounds"]),
+                            replayed=bool(rec["replayed"]),
+                            error=rec["error"],
+                            attempts=int(rec["attempts"]),
+                            bound_kind=rec["bound_kind"],
+                            residual_bound=rec["residual_bound"],
+                            deadline_missed=bool(rec["deadline_missed"]),
+                        )
+                    )
+                heapq.heappush(
+                    events,
+                    (completion, 0, seq, "completion",
+                     tuple(batch_results)),
+                )
+                seq += 1
+                batch_id += 1
+                return
             programs = [make_query_program(q) for q in batch]
             solver = MultiSourceSolver(
                 self.context,
@@ -617,6 +693,44 @@ class QueryServer:
                 )
             if error is not None and strict:
                 raise error
+            if self._journal is not None:
+                self._journal.append(
+                    {
+                        "batch_id": batch_id,
+                        "query_ids": [q.query_id for q in batch],
+                        "start": start,
+                        "completion": completion,
+                        "service": service,
+                        "launches": (
+                            result.launches if result is not None else 0
+                        ),
+                        "edge_lane_work": (
+                            result.edge_lane_work
+                            if result is not None
+                            else 0
+                        ),
+                        "replays": (
+                            len(batch) * (attempts - 1)
+                            if result is not None
+                            else 0
+                        ),
+                        "results": [
+                            {
+                                "query_id": r.query.query_id,
+                                "status": r.status,
+                                "digest": r.digest,
+                                "rounds": r.rounds,
+                                "replayed": r.replayed,
+                                "error": r.error,
+                                "attempts": r.attempts,
+                                "bound_kind": r.bound_kind,
+                                "residual_bound": r.residual_bound,
+                                "deadline_missed": r.deadline_missed,
+                            }
+                            for r in batch_results
+                        ],
+                    }
+                )
             heapq.heappush(
                 events,
                 (completion, 0, seq, "completion", tuple(batch_results)),

@@ -50,6 +50,32 @@ def minimal_sweep():
     }
 
 
+def minimal_durability():
+    return {
+        "schema": "repro-durability",
+        "schema_version": 1,
+        "config": {"graph": "cnr", "scale": 0.2},
+        "cells": [
+            {
+                "algorithm": "pagerank@mid-spill",
+                "engine": "digraph",
+                "passed": True,
+                "digest_match": True,
+                "checkpoints_taken": 3,
+            }
+        ],
+        "overhead": {
+            "digraph": {
+                "durable": {
+                    "total_time_s": 0.1,
+                    "store_overhead_fraction": 0.0,
+                    "compaction_ratio": 0.6,
+                }
+            }
+        },
+    }
+
+
 class TestCommittedArtifacts:
     """Every benchmark JSON the repo commits must carry a valid schema."""
 
@@ -83,6 +109,11 @@ class TestValidArtifacts:
 
     def test_minimal_sweep_passes(self):
         assert validate_artifact(minimal_sweep()) == "repro-sweep"
+
+    def test_minimal_durability_passes(self):
+        assert validate_artifact(minimal_durability()) == (
+            "repro-durability"
+        )
 
     def test_kind_pinning(self):
         validate_artifact(minimal_sweep(), kind="repro-sweep")
@@ -124,6 +155,7 @@ class TestRejections:
         builders = {
             "repro-bench-kernels": minimal_kernels,
             "repro-sweep": minimal_sweep,
+            "repro-durability": minimal_durability,
         }
         for key in REQUIRED_KEYS[kind]:
             if key in ("schema", "schema_version"):

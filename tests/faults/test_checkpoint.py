@@ -528,3 +528,76 @@ class TestOverlapSpill:
         assert charges[True][0] == pytest.approx(charges[False][0])
         assert charges[True][1] == pytest.approx(charges[False][1])
         assert charges[True][2] == 0.0
+
+
+class TestSettlementEdgeCases:
+    """CheckpointRecord / _settle_pending boundary conditions."""
+
+    def test_zero_duration_record_hidden_fraction_is_zero(self):
+        from repro.faults.checkpoint import CheckpointRecord
+
+        record = CheckpointRecord(
+            round_index=0, kind="full", bytes_spilled=0,
+            dirty_vertices=0, time_s=0.0,
+        )
+        assert record.hidden_fraction == 0.0  # no ZeroDivisionError
+
+    def test_finish_with_no_pending_spill_is_a_noop(self, medium_graph):
+        machine, run = make_run(
+            medium_graph, SPEC, checkpoint_interval=2,
+            overlap_checkpoint_spill=True,
+        )
+        manager = run.checkpoints
+        # finish() before any checkpoint: nothing to drain, nothing
+        # charged, no records invented.
+        before = (
+            machine.stats.transfer_time_s,
+            machine.stats.checkpoint_hidden_time_s,
+        )
+        manager.finish()
+        assert (
+            machine.stats.transfer_time_s,
+            machine.stats.checkpoint_hidden_time_s,
+        ) == before
+        assert manager.records == []
+
+    def test_settle_with_no_pending_returns_zeros(self, medium_graph):
+        _, run = make_run(
+            medium_graph, SPEC, checkpoint_interval=2,
+            overlap_checkpoint_spill=True,
+        )
+        assert run.checkpoints._settle_pending() == (0.0, 0.0)
+
+    def test_rollback_exactly_on_pending_checkpoint_round(
+        self, medium_graph
+    ):
+        """Failure lands on the very round whose checkpoint spill is
+        still in flight: the spill belongs to the checkpoint being
+        restored, settles fully exposed (no compute ran since issue),
+        and the exposed seconds are checkpoint overhead — not lost
+        work double-counted into recovery_time_s."""
+        charges = {}
+        for overlap in (False, True):
+            machine, run = make_run(
+                medium_graph, SPEC, checkpoint_interval=2,
+                overlap_checkpoint_spill=overlap,
+            )
+            manager = run.checkpoints
+            record = manager.checkpoint(2)
+            assert record.time_s > 0.0
+            restored = manager.rollback(2)
+            assert restored == 2
+            settled = manager.records[-1]
+            assert settled.round_index == 2
+            assert settled.hidden_time_s == 0.0
+            assert settled.hidden_fraction == 0.0
+            assert machine.stats.rollback_replay_rounds == 1
+            charges[overlap] = (
+                machine.stats.recovery_time_s,
+                machine.stats.transfer_time_s,
+            )
+        # The exposed spill serialized as transfer and was carved out
+        # of the lost-work delta: recovery and transfer charges match
+        # the serialized run exactly — no spill leakage into recovery.
+        assert charges[True][0] == pytest.approx(charges[False][0])
+        assert charges[True][1] == pytest.approx(charges[False][1])

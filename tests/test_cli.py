@@ -192,3 +192,94 @@ class TestTraceFlag:
         assert code == 0
         out = capsys.readouterr().out
         assert "processed" in out and "|" in out
+
+
+class TestDurabilityCommands:
+    """`repro run --durability` + `repro resume` + `repro scrub`."""
+
+    def _durable_run(self, run_dir, capsys):
+        code = main(
+            ["run", "--dataset", "cnr", "--scale", "0.2",
+             "--algorithm", "pagerank", "--engine", "digraph",
+             "--durability", "durable", "--run-dir", run_dir]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_run_resume_scrub_round_trip(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        out = self._durable_run(run_dir, capsys)
+        assert "converged" in out
+
+        code = main(["resume", "--run-dir", run_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "converged" in out
+
+        code = main(["scrub", "--run-dir", run_dir])
+        assert code == 0
+        assert "intact" in capsys.readouterr().out
+
+    def test_run_dir_required_for_durable(self, capsys):
+        code = main(
+            ["run", "--dataset", "cnr", "--scale", "0.2",
+             "--algorithm", "pagerank", "--durability", "durable"]
+        )
+        assert code == 1
+        assert "error: " in capsys.readouterr().err
+
+    def test_scrub_detects_corruption_and_repairs(
+        self, tmp_path, capsys
+    ):
+        import os
+
+        run_dir = str(tmp_path / "run")
+        self._durable_run(run_dir, capsys)
+        # Bitrot one page of the newest checkpoint.
+        dirs = sorted(
+            d for d in os.listdir(run_dir) if d.startswith("ckpt-")
+        )
+        pages = [
+            f for f in os.listdir(os.path.join(run_dir, dirs[-1]))
+            if f.endswith(".page")
+        ]
+        path = os.path.join(run_dir, dirs[-1], pages[0])
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+
+        code = main(["scrub", "--run-dir", run_dir])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "bitrot" in captured.err
+
+        code = main(["scrub", "--run-dir", run_dir, "--repair"])
+        assert code == 0
+        assert "repaired" in capsys.readouterr().out
+
+        code = main(["scrub", "--run-dir", run_dir])
+        assert code == 0
+
+    def test_resume_missing_dir_structured_error(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["resume", "--run-dir", str(tmp_path / "nope")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: " in err
+        assert "header" in err
+        assert "Traceback" not in err
+
+    def test_chaos_crash_restart_flag(self, capsys):
+        code = main(
+            ["chaos", "--crash-restart", "--dataset", "cnr",
+             "--scale", "0.2", "--algorithms", "pagerank",
+             "--engines", "digraph", "--strict-digests"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
