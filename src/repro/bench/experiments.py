@@ -1177,3 +1177,226 @@ def durability_crash_restart(
         "artifact": artifact,
         "table": table,
     }
+
+
+# ----------------------------------------------------------------------
+# Out-of-core storage scaling (PR 10)
+# ----------------------------------------------------------------------
+def storage_scaling(
+    scale: float = DEFAULT_SCALE,
+    policy: str = "affinity",
+    seed: int = 17,
+    chunk_edges: int = 16_384,
+    cache_bytes: int = 1 << 21,
+    out_path: Optional[str] = "BENCH_storage.json",
+) -> dict:
+    """Out-of-core storage: bounded memory + bit-identity certification.
+
+    Three halves, one ``repro-storage`` artifact (``BENCH_storage.json``):
+
+    - **cells** — a ladder of synthetic graphs whose edge count scales
+      ~100x while the vertex count scales only ~10x (never materialized
+      in RAM: :func:`repro.storage.synthetic_chunk_source` regenerates
+      chunks per pass). Each size is streamed through
+      :func:`repro.storage.partition_graph` into a shard store with
+      ``edges / parts`` held constant, then every page is re-verified
+      through a *fixed-size* shard cache; both phases report their
+      modeled peak resident bytes. The small sizes also run the
+      shard-at-a-time path decomposition (full edge coverage checked).
+    - **identity** — on the overlap sizes (small enough to hold in
+      RAM), the store's :meth:`~repro.storage.ShardedGraph.materialize`
+      must reproduce the in-RAM
+      :class:`~repro.graph.builder.GraphBuilder` result **bit for
+      bit**, under both partition policies.
+    - **scaling** — the certification summary: ``edge_growth`` (~100x),
+      ``memory_growth`` (peak resident, partition+scan), and
+      ``sublinearity = memory_growth / edge_growth``. ``bounded`` is
+      the CI gate: memory must grow strictly sublinearly in edges.
+    """
+    import hashlib as _hashlib
+    import json as _json
+    import shutil as _shutil
+    import tempfile as _tempfile
+
+    from repro.bench.schema import validate_artifact
+    from repro.graph.builder import GraphBuilder
+    from repro.storage import (
+        ShardedGraph,
+        partition_graph,
+        synthetic_chunk_source,
+    )
+
+    # Edges scale 100x, vertices only 10x, so the O(V) bookkeeping the
+    # partitioner is allowed to hold stays far below O(E).
+    base_sizes = (
+        (2_000, 12_000),
+        (5_000, 60_000),
+        (10_000, 240_000),
+        (20_000, 1_200_000),
+    )
+    sizes = [
+        (max(64, int(n * scale)), max(256, int(m * scale)))
+        for n, m in base_sizes
+    ]
+    per_part_edges = max(1, sizes[0][1])
+    identity_sizes = sizes[:2]
+    decompose_edge_cap = sizes[1][1]
+
+    def _graph_digest(graph) -> str:
+        h = _hashlib.sha256()
+        for arr in (graph.indptr, graph.indices, graph.weights):
+            arr = np.ascontiguousarray(arr)
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    cells = []
+    for n, m in sizes:
+        num_parts = max(2, round(m / per_part_edges))
+        source = synthetic_chunk_source(
+            n, m, seed=seed, chunk_edges=chunk_edges
+        )
+        out_dir = _tempfile.mkdtemp(prefix="repro-storage-")
+        try:
+            report = partition_graph(
+                source, num_parts, out_dir, policy=policy, seed=seed
+            )
+            sharded = ShardedGraph(
+                out_dir, max_resident_bytes=cache_bytes
+            )
+            scan_stats = sharded.scan()
+            cell = {
+                "num_vertices": report.num_vertices,
+                "num_edges": report.num_edges,
+                "num_parts": report.num_parts,
+                "policy": report.policy,
+                "chunk_edges": chunk_edges,
+                "edge_cut": report.edge_cut,
+                "edge_cut_fraction": report.edge_cut_fraction,
+                "clusters": report.clusters,
+                "store_bytes": report.store_bytes,
+                "partition_peak_resident_bytes": (
+                    report.peak_resident_bytes
+                ),
+                "scan_peak_resident_bytes": (
+                    sharded.peak_resident_bytes
+                ),
+                "peak_resident_bytes": max(
+                    report.peak_resident_bytes,
+                    sharded.peak_resident_bytes,
+                ),
+                "shard_loads": scan_stats["shard_loads"],
+                "shard_evictions": scan_stats["shard_evictions"],
+                "partition_wall_s": report.wall_seconds,
+            }
+            if m <= decompose_edge_cap:
+                decomposition = sharded.decompose_paths()
+                cell["num_paths"] = decomposition["num_paths"]
+                cell["covered_edges"] = decomposition["covered_edges"]
+            cells.append(cell)
+        finally:
+            _shutil.rmtree(out_dir, ignore_errors=True)
+
+    identity = []
+    for n, m in identity_sizes:
+        source = synthetic_chunk_source(
+            n, m, seed=seed, chunk_edges=chunk_edges
+        )
+        builder = GraphBuilder()
+        for src, dst, weight in source():
+            builder.add_edge_arrays(src, dst, weight)
+        ram_graph = builder.build()
+        ram_digest = _graph_digest(ram_graph)
+        for identity_policy in ("affinity", "random"):
+            out_dir = _tempfile.mkdtemp(prefix="repro-storage-id-")
+            try:
+                partition_graph(
+                    source,
+                    max(2, round(m / per_part_edges)),
+                    out_dir,
+                    policy=identity_policy,
+                    seed=seed,
+                )
+                store_graph = ShardedGraph(
+                    out_dir, max_resident_bytes=cache_bytes
+                ).materialize()
+                store_digest = _graph_digest(store_graph)
+                identity.append(
+                    {
+                        "num_vertices": n,
+                        "num_edges": m,
+                        "policy": identity_policy,
+                        "digest_ram": ram_digest,
+                        "digest_store": store_digest,
+                        "identical": store_digest == ram_digest,
+                    }
+                )
+            finally:
+                _shutil.rmtree(out_dir, ignore_errors=True)
+
+    first, last = cells[0], cells[-1]
+    edge_growth = last["num_edges"] / first["num_edges"]
+    memory_growth = (
+        last["peak_resident_bytes"] / first["peak_resident_bytes"]
+        if first["peak_resident_bytes"]
+        else 0.0
+    )
+    scaling = {
+        "edge_growth": edge_growth,
+        "memory_growth": memory_growth,
+        "sublinearity": memory_growth / edge_growth,
+        "bounded": memory_growth < edge_growth,
+        "all_identical": all(row["identical"] for row in identity),
+    }
+
+    rows = []
+    for cell in cells:
+        rows.append(
+            [
+                cell["num_vertices"],
+                cell["num_edges"],
+                cell["num_parts"],
+                f"{cell['edge_cut_fraction']:.1%}",
+                f"{cell['partition_peak_resident_bytes'] / 1e6:.2f}",
+                f"{cell['scan_peak_resident_bytes'] / 1e6:.2f}",
+                f"{cell['store_bytes'] / 1e6:.2f}",
+            ]
+        )
+    table = format_table(
+        f"Out-of-core storage scaling (policy={policy}, "
+        f"edges x{edge_growth:.0f}, peak memory x{memory_growth:.1f}, "
+        f"identity={'PASS' if scaling['all_identical'] else 'FAIL'})",
+        ["|V|", "|E|", "parts", "cut", "part MB", "scan MB", "store MB"],
+        rows,
+    )
+    artifact = {
+        "schema": "repro-storage",
+        "schema_version": 1,
+        "config": {
+            "scale": scale,
+            "policy": policy,
+            "seed": seed,
+            "chunk_edges": chunk_edges,
+            "cache_bytes": cache_bytes,
+            "sizes": [list(size) for size in sizes],
+            "per_part_edges": per_part_edges,
+        },
+        "cells": cells,
+        "identity": identity,
+        "scaling": scaling,
+    }
+    validate_artifact(
+        artifact, kind="repro-storage", path=out_path or "<artifact>"
+    )
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            _json.dump(artifact, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return {
+        "results": cells,
+        "identity": identity,
+        "scaling": scaling,
+        "artifact": artifact,
+        "table": table,
+    }

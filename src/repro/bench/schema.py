@@ -43,6 +43,18 @@ REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
         "cells",
         "overhead",
     ),
+    # Out-of-core storage scaling: per-size partition/scan cells proving
+    # peak resident bytes stay bounded while edges scale ~100x, plus
+    # bit-identity certification vs the in-RAM path on overlap sizes
+    # (BENCH_storage.json).
+    "repro-storage": (
+        "schema",
+        "schema_version",
+        "config",
+        "cells",
+        "identity",
+        "scaling",
+    ),
 }
 
 #: Key suffixes whose float/int values must be non-negative — timings,
@@ -118,6 +130,21 @@ NON_NEGATIVE_KEYS = frozenset(
         "manifest_commits",
         "store_overhead_fraction",
         "compaction_ratio",
+        # out-of-core storage cells: partitioner/shard-cache counters
+        # and the memory-growth certification ratios.
+        "num_parts",
+        "edge_cut",
+        "edge_cut_fraction",
+        "chunk_edges",
+        "clusters",
+        "shard_loads",
+        "shard_evictions",
+        "cache_hits",
+        "edge_growth",
+        "memory_growth",
+        "sublinearity",
+        "num_paths",
+        "covered_edges",
     }
 )
 

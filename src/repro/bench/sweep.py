@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import os
 import platform
 import sys
 import time
@@ -352,17 +353,23 @@ class SweepConfig:
                 )
             else:
                 spec_dict = dict(spec)
-                _require(
-                    spec_dict.get("generator") == "random_directed",
-                    "generator graph specs must set "
-                    "generator='random_directed'",
-                )
-                _require(
-                    int(spec_dict.get("num_vertices", 0)) > 0
-                    and int(spec_dict.get("num_edges", 0)) > 0,
-                    "generator graph specs need positive num_vertices "
-                    "and num_edges",
-                )
+                if "graph_dir" in spec_dict:
+                    _require(
+                        bool(str(spec_dict["graph_dir"]).strip()),
+                        "graph_dir graph specs need a non-empty path",
+                    )
+                else:
+                    _require(
+                        spec_dict.get("generator") == "random_directed",
+                        "graph specs must set "
+                        "generator='random_directed' or graph_dir=...",
+                    )
+                    _require(
+                        int(spec_dict.get("num_vertices", 0)) > 0
+                        and int(spec_dict.get("num_edges", 0)) > 0,
+                        "generator graph specs need positive "
+                        "num_vertices and num_edges",
+                    )
         _require(
             isinstance(self.scale, (int, float)) and self.scale > 0,
             f"scale must be positive, got {self.scale!r}",
@@ -451,6 +458,11 @@ class CellSpec:
         if isinstance(self.graph, str):
             return self.graph
         spec = dict(self.graph)
+        if "graph_dir" in spec:
+            base = os.path.basename(
+                str(spec["graph_dir"]).rstrip("/")
+            )
+            return f"dir:{base}"
         label = (
             f"{spec['generator']}"
             f"[v={spec['num_vertices']},e={spec['num_edges']}"
@@ -481,13 +493,33 @@ def _state_digest(states: np.ndarray) -> str:
     return h.hexdigest()
 
 
+#: Materialized ``graph_dir`` stores, keyed by absolute path — a sweep
+#: runs many cells over the same store; materialize it once.
+_GRAPH_DIR_CACHE: Dict[str, object] = {}
+
+
 def _resolve_graph(spec: CellSpec, seed: int):
-    """Built-in stand-in (seed-insensitive) or seeded generator draw."""
+    """Built-in stand-in (seed-insensitive), sharded store, or seeded
+    generator draw."""
     if isinstance(spec.graph, str):
         return runner.load_graph(spec.graph, spec.algorithm, spec.scale)
+    raw = dict(spec.graph)
+    if "graph_dir" in raw:
+        from repro.storage import ShardedGraph
+
+        key = os.path.abspath(str(raw["graph_dir"]))
+        if key not in _GRAPH_DIR_CACHE:
+            _GRAPH_DIR_CACHE[key] = ShardedGraph(
+                key,
+                max_resident_bytes=(
+                    int(raw["cache_bytes"])
+                    if raw.get("cache_bytes") is not None
+                    else None
+                ),
+            ).materialize()
+        return _GRAPH_DIR_CACHE[key]
     from repro.graph.generators import random_directed
 
-    raw = dict(spec.graph)
     graph_seed = raw.get("seed")
     return random_directed(
         int(raw["num_vertices"]),

@@ -61,10 +61,22 @@ ALGORITHMS = (
 
 
 def _load(args) -> object:
+    if getattr(args, "graph_dir", None):
+        return _open_graph_dir(args).materialize()
     if args.edge_list:
         return read_edge_list(args.edge_list)
     return datasets.load(
         args.dataset, scale=args.scale, weighted=(args.algorithm == "sssp")
+    )
+
+
+def _open_graph_dir(args):
+    """Open ``--graph-dir`` as a :class:`~repro.storage.ShardedGraph`."""
+    from repro.storage import ShardedGraph
+
+    return ShardedGraph(
+        args.graph_dir,
+        max_resident_bytes=getattr(args, "graph_cache_bytes", None),
     )
 
 
@@ -107,10 +119,11 @@ def _durable_run_policy(args):
         raise ConfigurationError(
             f"--durability {args.durability} requires --run-dir"
         )
-    if args.edge_list:
+    if args.edge_list and not getattr(args, "graph_dir", None):
         raise ConfigurationError(
-            "--durability requires a named --dataset (an --edge-list "
-            "workload cannot be rebuilt by `repro resume`)"
+            "--durability requires a named --dataset or a --graph-dir "
+            "store (an --edge-list workload cannot be rebuilt by "
+            "`repro resume`)"
         )
     policy = RecoveryPolicy(
         durability=args.durability,
@@ -135,6 +148,7 @@ def _durable_run_policy(args):
             "dataset": args.dataset,
             "scale": args.scale,
             "gpus": args.gpus,
+            "graph_dir": getattr(args, "graph_dir", None) or None,
             "policy": header_policy,
         }
     )
@@ -142,7 +156,12 @@ def _durable_run_policy(args):
 
 
 def cmd_run(args) -> int:
-    graph = _load(args)
+    sharded = None
+    if args.graph_dir:
+        sharded = _open_graph_dir(args)
+        graph = sharded.materialize()
+    else:
+        graph = _load(args)
     spec = SCALED_MACHINE
     if args.gpus:
         spec = spec.scaled(args.gpus)
@@ -154,10 +173,15 @@ def cmd_run(args) -> int:
     result = engine.run(
         graph,
         program,
-        graph_name=args.edge_list or args.dataset,
+        graph_name=args.graph_dir or args.edge_list or args.dataset,
         recovery=recovery,
     )
     print(result.summary())
+    if sharded is not None:
+        print(
+            f"graph-dir: {sharded.num_parts} shard(s), "
+            f"peak_resident_bytes={sharded.peak_resident_bytes}"
+        )
     breakdown = result.breakdown()
     print(
         f"breakdown: preprocess={breakdown['preprocess_s'] * 1e3:.3f}ms "
@@ -174,9 +198,61 @@ def cmd_run(args) -> int:
 def cmd_resume(args) -> int:
     from repro.faults.chaos import resume_run
 
-    result = resume_run(args.run_dir)
-    print(f"resumed from {args.run_dir}")
+    result = resume_run(args.run_dir, gpus=args.gpus)
+    if args.gpus:
+        print(f"resumed from {args.run_dir} onto {args.gpus} GPU(s)")
+    else:
+        print(f"resumed from {args.run_dir}")
     print(result.summary())
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from repro.graph.io import edge_list_chunk_source
+    from repro.storage import (
+        graph_chunk_source,
+        partition_graph,
+        synthetic_chunk_source,
+    )
+
+    if args.synthetic:
+        from repro.errors import ConfigurationError
+
+        try:
+            v, e = (int(x) for x in args.synthetic.split(","))
+        except ValueError:
+            raise ConfigurationError(
+                f"--synthetic expects 'VERTICES,EDGES', got "
+                f"{args.synthetic!r}"
+            ) from None
+        source = synthetic_chunk_source(
+            v, e, seed=args.seed, chunk_edges=args.chunk_edges
+        )
+    elif args.edge_list:
+        source = edge_list_chunk_source(
+            args.edge_list, chunk_edges=args.chunk_edges
+        )
+    elif getattr(args, "npz", None):
+        from repro.graph.io import npz_chunk_source
+
+        source = npz_chunk_source(args.npz, chunk_edges=args.chunk_edges)
+    else:
+        graph = datasets.load(
+            args.dataset, scale=args.scale, weighted=args.weighted
+        )
+        source = graph_chunk_source(graph, chunk_edges=args.chunk_edges)
+    report = partition_graph(
+        source,
+        args.num_parts,
+        args.out_dir,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    print(report.summary())
+    print(
+        f"parts: vertices={report.part_num_vertices} "
+        f"edges={report.part_num_edges}"
+    )
     return 0
 
 
@@ -726,7 +802,10 @@ def cmd_experiment(args) -> int:
         names = [
             name
             for name in dir(experiments)
-            if name.startswith(("fig", "table", "ablation", "stream", "serve"))
+            if name.startswith(
+                ("fig", "table", "ablation", "stream", "serve",
+                 "durability", "storage")
+            )
         ]
         print(
             f"unknown experiment {args.name!r}; available: "
@@ -754,6 +833,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one engine on one workload")
     _add_workload_args(run)
+    run.add_argument(
+        "--graph-dir",
+        default="",
+        help="sharded on-disk graph store built by `repro partition` "
+        "(overrides --dataset/--edge-list; opened through the bounded "
+        "shard cache)",
+    )
+    run.add_argument(
+        "--graph-cache-bytes",
+        type=int,
+        default=None,
+        help="shard-cache bound while opening --graph-dir "
+        "(default: unbounded)",
+    )
     run.add_argument(
         "--engine",
         choices=ENGINE_NAMES,
@@ -816,7 +909,77 @@ def build_parser() -> argparse.ArgumentParser:
     rs.add_argument(
         "--run-dir", required=True, help="durable run directory"
     )
+    rs.add_argument(
+        "--gpus",
+        type=int,
+        default=None,
+        help="resume onto a different simulated GPU count: the restart "
+        "is re-partitioned (warm-started from the newest intact "
+        "checkpoint's vertex state) instead of refused",
+    )
     rs.set_defaults(func=cmd_resume)
+
+    pt = sub.add_parser(
+        "partition",
+        help="build a sharded on-disk graph store (bounded-memory "
+        "streaming preprocessing)",
+    )
+    pt.add_argument(
+        "--out-dir", required=True, help="store directory to create"
+    )
+    pt.add_argument(
+        "--dataset",
+        choices=datasets.DATASET_NAMES,
+        default="cnr",
+        help="built-in dataset stand-in to shard (default: cnr)",
+    )
+    pt.add_argument(
+        "--edge-list",
+        help="stream a 'src dst [weight]' file instead of --dataset "
+        "(never materialized in RAM)",
+    )
+    pt.add_argument(
+        "--npz",
+        help="stream a save_npz archive instead of --dataset "
+        "(decompressed once, chunked in CSR order)",
+    )
+    pt.add_argument(
+        "--synthetic",
+        metavar="VERTICES,EDGES",
+        help="stream a deterministic synthetic graph of this size "
+        "instead of --dataset (never materialized in RAM)",
+    )
+    pt.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+    pt.add_argument(
+        "--weighted",
+        action="store_true",
+        help="load the --dataset with generated edge weights (use when "
+        "the store will serve sssp runs)",
+    )
+    pt.add_argument(
+        "--num-parts",
+        type=int,
+        default=4,
+        help="shard count (one per target GPU; default: 4)",
+    )
+    pt.add_argument(
+        "--policy",
+        choices=("affinity", "random"),
+        default="affinity",
+        help="partition policy: dependency-cluster affinity (edge-cut "
+        "minimizing METIS stand-in) or hashed random baseline",
+    )
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=65_536,
+        help="edges per streamed chunk (the resident unit; "
+        "default: 65536)",
+    )
+    pt.set_defaults(func=cmd_partition)
 
     sc = sub.add_parser(
         "scrub",

@@ -21,7 +21,40 @@ class PartitioningError(ReproError):
 
 
 class StorageError(ReproError):
-    """The path storage arrays (Fig. 4 layout) are inconsistent."""
+    """Storage arrays or the on-disk shard store are inconsistent.
+
+    Covers both the in-memory path storage arrays (Fig. 4 layout) and
+    the sharded on-disk graph store (:mod:`repro.storage`). For on-disk
+    damage the structured fields name the casualty without message
+    parsing: the ``path`` of the file at fault, the ``shard`` (part id)
+    it belongs to when one is involved, and the damage ``kind``
+    (``"torn"``, ``"bitrot"``, ``"missing-page"``, ``"manifest-lost"``,
+    ``"manifest-torn"``, ``"manifest-corrupt"``, ``"manifest-format"``,
+    ``"stale-manifest"``, ``"inconsistent"``, ...). All fields default
+    to ``None`` so message-only raises (the in-memory arrays) are
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path=None,
+        shard=None,
+        kind=None,
+    ) -> None:
+        details = []
+        if path is not None:
+            details.append(f"path={path}")
+        if shard is not None:
+            details.append(f"shard={shard}")
+        if kind is not None:
+            details.append(f"kind={kind}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.shard = shard
+        self.kind = kind
 
 
 class SchedulingError(ReproError):

@@ -808,35 +808,75 @@ def run_serve_crash_restart_cell(
     )
 
 
-def resume_run(run_dir: str, machine: Optional[MachineSpec] = None):
+def _load_header_graph(header: Dict):
+    """The graph a run header describes — sharded store or dataset."""
+    from repro.graph import datasets
+
+    graph_dir = header.get("graph_dir")
+    if graph_dir:
+        from repro.storage import ShardedGraph
+
+        return ShardedGraph(graph_dir).materialize()
+    return datasets.load(
+        header["dataset"],
+        scale=float(header.get("scale", 1.0)),
+        weighted=(header["algorithm"] == "sssp"),
+    )
+
+
+def resume_run(
+    run_dir: str,
+    machine: Optional[MachineSpec] = None,
+    gpus: Optional[int] = None,
+):
     """Whole-job restart from a durable run directory (``repro
     resume``).
 
     Reads the run header ``repro run --durability`` committed, rebuilds
-    the workload it describes, and re-runs the engine with
+    the workload it describes (from the sharded ``--graph-dir`` store
+    when the header names one), and re-runs the engine with
     ``resume=True`` so execution restarts from the last intact durable
     checkpoint instead of round 0. Returns the engine's
     ``ExecutionResult``.
+
+    ``gpus`` resumes onto a *different* GPU count than the header's
+    (``repro resume --gpus N``): instead of refusing — the checkpointed
+    scalars (partition placement, per-GPU ledgers) are only meaningful
+    on the original machine shape — the run is **re-partitioned on
+    restart**: the newest intact checkpoint's vertex values and active
+    set warm-start a fresh run on the new machine (the delta-recompute
+    mechanism), and a header ``graph_dir`` store is re-sharded for the
+    new count through the streaming partitioner first. For monotone
+    programs (wcc, bfs, sssp) the fixed point is placement-independent,
+    so the resumed digest still matches the uninterrupted run — the
+    repartition crash-restart test certifies exactly that.
     """
     from repro.bench.runner import make_engine
     from repro.faults.store import CheckpointStore
-    from repro.graph import datasets
     from repro.gpu.config import SCALED_MACHINE
 
-    header = CheckpointStore(run_dir).read_header()
+    store = CheckpointStore(run_dir)
+    header = store.read_header()
     if header.get("mode", "engine") != "engine":
         raise ConfigurationError(
             f"run header mode {header.get('mode')!r} is not resumable "
             "by `repro resume` (only 'engine' runs are)"
         )
-    graph = datasets.load(
-        header["dataset"],
-        scale=float(header.get("scale", 1.0)),
-        weighted=(header["algorithm"] == "sssp"),
-    )
+    header_gpus = int(header["gpus"]) if header.get("gpus") else None
+    if (
+        gpus is not None
+        and header_gpus is not None
+        and int(gpus) != header_gpus
+    ):
+        return _resume_repartitioned(
+            run_dir, store, header, machine, int(gpus)
+        )
+
+    graph = _load_header_graph(header)
     spec = machine or SCALED_MACHINE
-    if header.get("gpus"):
-        spec = spec.scaled(int(header["gpus"]))
+    target_gpus = int(gpus) if gpus is not None else header_gpus
+    if target_gpus:
+        spec = spec.scaled(target_gpus)
     engine = make_engine(
         header["engine"], spec,
         vectorized=bool(header.get("vectorized", False)),
@@ -848,6 +888,71 @@ def resume_run(run_dir: str, machine: Optional[MachineSpec] = None):
     return engine.run(
         graph, program, graph_name=header["dataset"],
         recovery=policy, resume=True,
+    )
+
+
+def _resume_repartitioned(
+    run_dir: str,
+    store,
+    header: Dict,
+    machine: Optional[MachineSpec],
+    gpus: int,
+):
+    """Resume onto a different GPU count by re-partitioning the restart.
+
+    The durable scalars are bound to the original machine shape, so
+    they are deliberately *not* restored; only the vertex state is: the
+    newest intact checkpoint's ``values``/``active`` arrays warm-start
+    a fresh engine on the ``gpus``-GPU machine, whose preprocessing
+    re-partitions the path DAG for the new shape. A sharded
+    ``graph_dir`` store is additionally re-sharded on disk for the new
+    count (bit-identical by construction) under the run directory.
+    """
+    from repro.bench.runner import make_engine
+    from repro.gpu.config import SCALED_MACHINE
+
+    if gpus < 1:
+        raise ConfigurationError(f"--gpus must be >= 1, got {gpus}")
+    if not str(header.get("engine", "")).startswith("digraph"):
+        raise ConfigurationError(
+            f"engine {header.get('engine')!r} cannot resume onto a "
+            "different GPU count (warm-start restart needs the digraph "
+            "family)"
+        )
+    loaded = store.load_best()
+    values = np.asarray(loaded.arrays["values"], dtype=np.float64)
+    active = np.asarray(loaded.arrays["active"], dtype=bool)
+
+    graph_dir = header.get("graph_dir")
+    if graph_dir:
+        from repro.storage import ShardedGraph, partition_graph
+
+        old = ShardedGraph(graph_dir)
+        new_dir = os.path.join(run_dir, f"repartition-{gpus}gpus")
+        partition_graph(
+            old.edge_chunk_source(),
+            gpus,
+            new_dir,
+            policy=old.store.policy,
+            num_vertices=old.num_vertices,
+            seed=int(old.store.manifest.get("seed", 0)),
+        )
+        graph = ShardedGraph(new_dir).materialize()
+    else:
+        graph = _load_header_graph(header)
+
+    spec = (machine or SCALED_MACHINE).scaled(gpus)
+    engine = make_engine(
+        header["engine"], spec,
+        vectorized=bool(header.get("vectorized", False)),
+    )
+    program = make_program(header["algorithm"], graph)
+    return engine.run(
+        graph,
+        program,
+        graph_name=header["dataset"],
+        initial_values=values,
+        initial_active=active,
     )
 
 

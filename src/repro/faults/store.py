@@ -58,7 +58,6 @@ whole-job crash).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pickle
@@ -70,6 +69,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import CheckpointStoreError, InjectedCrashError
+from repro.storage import pages as pagelib
 
 #: Manifest format version (bumped on layout changes).
 STORE_FORMAT = 1
@@ -80,16 +80,6 @@ SCALARS_NAME = "scalars.pkl"
 
 #: Serve-journal file (append-only, one JSON line per completed batch).
 SERVE_JOURNAL_NAME = "serve_journal.jsonl"
-
-
-def _sha256(data: bytes) -> str:
-    return hashlib.sha256(data).hexdigest()
-
-
-def _canonical_json(payload) -> bytes:
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
 
 
 def _ckpt_dirname(round_index: int) -> str:
@@ -159,7 +149,9 @@ class ServeJournal:
                 wrapper = json.loads(line.decode("utf-8"))
                 record = wrapper["record"]
                 recorded = wrapper["sha256"]
-                ok = _sha256(_canonical_json(record)) == recorded
+                ok = pagelib.sha256_hex(
+                    pagelib.canonical_json(record)
+                ) == recorded
             except (
                 json.JSONDecodeError, KeyError, TypeError,
                 UnicodeDecodeError,
@@ -178,8 +170,8 @@ class ServeJournal:
         return records
 
     def append(self, record: Dict) -> None:
-        wrapper = {"record": record, "sha256": _sha256(
-            _canonical_json(record)
+        wrapper = {"record": record, "sha256": pagelib.sha256_hex(
+            pagelib.canonical_json(record)
         )}
         line = json.dumps(wrapper, sort_keys=True) + "\n"
         with open(self.path, "a", encoding="utf-8") as fh:
@@ -242,41 +234,27 @@ class CheckpointStore:
             fh.write(data)
         fault = self._consult_injector("page", relpath)
         if fault is not None:
-            self._apply_file_fault(path, fault)
+            pagelib.apply_file_fault(path, fault)
             if fault.kind == "crash":
                 raise InjectedCrashError(
                     "whole-job crash during a checkpoint page spill",
                     crash_point="mid-spill",
                 )
 
-    @staticmethod
-    def _apply_file_fault(path: str, fault) -> None:
-        if fault.kind in ("torn", "crash"):
-            size = os.path.getsize(path)
-            with open(path, "r+b") as fh:
-                fh.truncate(size // 2)
-        elif fault.kind == "bitrot":
-            with open(path, "r+b") as fh:
-                data = bytearray(fh.read())
-                if data:
-                    data[len(data) // 2] ^= 0xFF
-                fh.seek(0)
-                fh.write(bytes(data))
-                fh.truncate(len(data))
-        elif fault.kind == "lost":
-            os.unlink(path)
-
     def _commit_manifest(self, payload: Dict) -> None:
         """Atomically commit the manifest (temp file + rename).
 
-        The rename is the commit point; a scheduled ``crash`` fault
-        leaves the temp file in place and skips the rename — exactly
-        the mid-manifest-commit crash the restart tests sweep.
+        The wrap/temp-write/rename discipline is the shared one from
+        :mod:`repro.storage.pages`; it is inlined here (rather than
+        calling :func:`~repro.storage.pagelib.commit_json`) because the
+        fault injector hooks *between* the temp write and the rename —
+        a scheduled ``crash`` fault leaves the temp file in place and
+        skips the rename, exactly the mid-manifest-commit crash the
+        restart tests sweep.
         """
-        wrapper = {"payload": payload, "sha256": _sha256(
-            _canonical_json(payload)
-        )}
-        data = json.dumps(wrapper, sort_keys=True, indent=1).encode("utf-8")
+        data = json.dumps(
+            pagelib.wrap_payload(payload), sort_keys=True, indent=1
+        ).encode("utf-8")
         final = os.path.join(self.run_dir, MANIFEST_NAME)
         tmp = final + ".tmp"
         with open(tmp, "wb") as fh:
@@ -288,7 +266,7 @@ class CheckpointStore:
                 crash_point="mid-manifest",
             )
         if fault is not None and fault.kind in ("torn", "bitrot"):
-            self._apply_file_fault(tmp, fault)
+            pagelib.apply_file_fault(tmp, fault)
         os.replace(tmp, final)
         if fault is not None and fault.kind == "lost":
             os.unlink(final)
@@ -299,45 +277,35 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     def write_header(self, header: Dict) -> None:
         """Commit the run header (workload metadata) atomically."""
-        path = os.path.join(self.run_dir, HEADER_NAME)
-        tmp = path + ".tmp"
-        wrapper = {"payload": header, "sha256": _sha256(
-            _canonical_json(header)
-        )}
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(wrapper, fh, sort_keys=True, indent=1)
-        os.replace(tmp, path)
+        pagelib.commit_json(
+            os.path.join(self.run_dir, HEADER_NAME), header
+        )
 
     def read_header(self) -> Dict:
         path = os.path.join(self.run_dir, HEADER_NAME)
-        if not os.path.exists(path):
+        try:
+            return pagelib.read_wrapped_json(path)
+        except FileNotFoundError:
             raise CheckpointStoreError(
                 "run header missing",
                 run_dir=self.run_dir,
                 page=HEADER_NAME,
                 kind="header-lost",
-            )
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                wrapper = json.load(fh)
-            payload = wrapper["payload"]
-            recorded = wrapper["sha256"]
-        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
-                TypeError) as exc:
+            ) from None
+        except pagelib.PageIntegrityError as exc:
+            if exc.reason == "checksum":
+                raise CheckpointStoreError(
+                    "run header checksum mismatch",
+                    run_dir=self.run_dir,
+                    page=HEADER_NAME,
+                    kind="header-corrupt",
+                ) from None
             raise CheckpointStoreError(
                 f"run header unreadable: {exc}",
                 run_dir=self.run_dir,
                 page=HEADER_NAME,
                 kind="header-torn",
-            ) from exc
-        if _sha256(_canonical_json(payload)) != recorded:
-            raise CheckpointStoreError(
-                "run header checksum mismatch",
-                run_dir=self.run_dir,
-                page=HEADER_NAME,
-                kind="header-corrupt",
-            )
-        return payload
+            ) from None
 
     # ------------------------------------------------------------------
     # manifest
@@ -348,33 +316,29 @@ class CheckpointStore:
     def load_manifest(self) -> Dict:
         """Read and verify the committed manifest payload."""
         path = os.path.join(self.run_dir, MANIFEST_NAME)
-        if not os.path.exists(path):
+        try:
+            payload = pagelib.read_wrapped_json(path)
+        except FileNotFoundError:
             raise CheckpointStoreError(
                 "manifest missing (lost, or no checkpoint ever committed)",
                 run_dir=self.run_dir,
                 page=MANIFEST_NAME,
                 kind="manifest-lost",
-            )
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                wrapper = json.load(fh)
-            payload = wrapper["payload"]
-            recorded = wrapper["sha256"]
-        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
-                TypeError) as exc:
+            ) from None
+        except pagelib.PageIntegrityError as exc:
+            if exc.reason == "checksum":
+                raise CheckpointStoreError(
+                    "manifest checksum mismatch (bit rot)",
+                    run_dir=self.run_dir,
+                    page=MANIFEST_NAME,
+                    kind="manifest-corrupt",
+                ) from None
             raise CheckpointStoreError(
                 f"manifest unreadable (torn write?): {exc}",
                 run_dir=self.run_dir,
                 page=MANIFEST_NAME,
                 kind="manifest-torn",
-            ) from exc
-        if _sha256(_canonical_json(payload)) != recorded:
-            raise CheckpointStoreError(
-                "manifest checksum mismatch (bit rot)",
-                run_dir=self.run_dir,
-                page=MANIFEST_NAME,
-                kind="manifest-corrupt",
-            )
+            ) from None
         if payload.get("format") != STORE_FORMAT:
             raise CheckpointStoreError(
                 f"unsupported manifest format {payload.get('format')!r}",
@@ -445,7 +409,7 @@ class CheckpointStore:
             self.page_bytes_stored += len(data)
             pages[name] = {
                 "file": fname,
-                "sha256": _sha256(data),
+                "sha256": pagelib.sha256_hex(data),
                 "dtype": str(arr.dtype),
                 "shape": [int(s) for s in arr.shape],
                 "page_kind": page_kind,
@@ -472,7 +436,7 @@ class CheckpointStore:
             "pages": pages,
             "scalars": {
                 "file": SCALARS_NAME,
-                "sha256": _sha256(scalar_bytes),
+                "sha256": pagelib.sha256_hex(scalar_bytes),
                 "raw_bytes": len(scalar_bytes),
                 "stored_bytes": len(scalar_bytes),
                 "compressed": False,
@@ -548,7 +512,7 @@ class CheckpointStore:
                     continue  # damaged/missing page: scrub's problem
                 if (
                     len(raw) != page["raw_bytes"]
-                    or _sha256(raw) != page["sha256"]
+                    or pagelib.sha256_hex(raw) != page["sha256"]
                 ):
                     continue  # never compact (and re-bless) a bad page
                 packed = zlib.compress(raw, 6)
@@ -613,7 +577,7 @@ class CheckpointStore:
                 page=rel,
                 kind="torn",
             )
-        if _sha256(data) != page["sha256"]:
+        if pagelib.sha256_hex(data) != page["sha256"]:
             raise CheckpointStoreError(
                 "page checksum mismatch (bit rot)",
                 run_dir=self.run_dir,

@@ -65,6 +65,49 @@ class GraphBuilder:
                 raise GraphError(f"malformed edge tuple of length {len(edge)}")
         return self
 
+    def add_edge_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: Optional[np.ndarray] = None,
+    ) -> "GraphBuilder":
+        """Add one chunk of edges from parallel arrays (vectorized checks).
+
+        The chunked counterpart of :meth:`add_edge` — the streaming I/O
+        path (:func:`repro.graph.io.iter_edge_list_chunks`) and the
+        sharded-store adapters feed edges through here so a large edge
+        list is validated per chunk instead of per Python call.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphError(
+                f"edge arrays must be parallel 1-D arrays, got "
+                f"{src.shape} and {dst.shape}"
+            )
+        if weight is None:
+            wts = np.ones(src.size, dtype=np.float64)
+        else:
+            wts = np.asarray(weight, dtype=np.float64)
+            if wts.shape != src.shape:
+                raise GraphError(
+                    f"weight array shape {wts.shape} does not match "
+                    f"edge arrays {src.shape}"
+                )
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphError("vertex ids must be non-negative")
+        if self._num_vertices is not None and src.size:
+            hi = max(int(src.max()), int(dst.max()))
+            if hi >= self._num_vertices:
+                raise GraphError(
+                    f"edge endpoint {hi} outside fixed vertex count "
+                    f"{self._num_vertices}"
+                )
+        self._srcs.extend(src.tolist())
+        self._dsts.extend(dst.tolist())
+        self._wts.extend(wts.tolist())
+        return self
+
     @property
     def num_staged_edges(self) -> int:
         """Number of edges added so far (before deduplication)."""

@@ -5,15 +5,22 @@ write them so the engines can run on real data:
 
 - :func:`read_edge_list` / :func:`write_edge_list` — whitespace-separated
   ``src dst [weight]`` lines, ``#`` comments (the SNAP/LAW convention);
+- :func:`iter_edge_list_chunks` / :func:`edge_list_chunk_source` — the
+  streaming variant: bounded-memory array chunks for the out-of-core
+  partitioner (:func:`repro.storage.partition_graph`);
 - :func:`save_npz` / :func:`load_npz` — lossless CSR round-trip for
-  preprocessed graphs.
+  preprocessed graphs, with :func:`npz_chunk_source` as the
+  iterator-friendly chunked view of an archive;
+- :func:`validate_csr_arrays` — the one dtype/shape/CSR-structure
+  validator shared by ``load_npz`` and shard-page loading
+  (:mod:`repro.storage.store`).
 """
 
 from __future__ import annotations
 
 import zipfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,49 +30,91 @@ from repro.graph.digraph import DiGraphCSR
 
 PathLike = Union[str, Path]
 
+#: One streamed edge chunk: parallel (src, dst, weight) arrays.
+EdgeChunk = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
-def read_edge_list(
-    path: PathLike,
+#: Default edges per streamed chunk (~1.5 MB of int64/float64 triples).
+DEFAULT_CHUNK_EDGES = 65_536
+
+
+def validate_csr_arrays(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: Optional[np.ndarray] = None,
     num_vertices: Optional[int] = None,
-    deduplicate: bool = False,
-    comment: str = "#",
-) -> DiGraphCSR:
-    """Parse a ``src dst [weight]`` text file into a graph.
+    source: str = "<arrays>",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and canonicalize one CSR triple; shared by every loader.
 
-    Raises
-    ------
-    GraphError
-        On unreadable or non-text files, and on malformed lines (wrong
-        field count, non-numeric fields, negative ids) with the
-        offending line number. Always carries the file path.
+    Checks dimensionality and dtype kinds, then the structural CSR
+    invariants: ``indptr`` starts at 0, is non-decreasing, and ends at
+    ``len(indices)``; destinations lie in ``[0, num_vertices)`` (the
+    bound defaults to ``len(indptr) - 1``, the local row count — shard
+    loaders pass the *global* vertex count because shard destinations
+    are global ids). Returns ``(indptr int64, indices int64, weights
+    float64)``; a ``None`` weights input becomes unit weights.
+
+    Raises :class:`GraphError` prefixed with ``source`` on any
+    violation, so a bad file in a batch job is identifiable from the
+    error alone.
     """
-    builder = GraphBuilder(num_vertices=num_vertices, deduplicate=deduplicate)
-    try:
-        handle = open(path, "r", encoding="utf-8")
-    except OSError as exc:
-        raise GraphError(f"{path}: cannot read edge list ({exc})") from None
-    with handle:
-        try:
-            lines = enumerate(handle, start=1)
-            for lineno, raw in lines:
-                _parse_edge_line(builder, path, lineno, raw, comment)
-        except UnicodeDecodeError as exc:
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    for name, arr in (("indptr", indptr), ("indices", indices)):
+        if arr.ndim != 1 or arr.dtype.kind not in "iu":
             raise GraphError(
-                f"{path}: not a text edge list ({exc})"
-            ) from None
-    return builder.build()
+                f"{source}: {name!r} must be a 1-D integer array, got "
+                f"{arr.ndim}-D {arr.dtype}"
+            )
+    if weights is not None:
+        weights = np.asarray(weights)
+        if weights.ndim != 1 or weights.dtype.kind not in "fiu":
+            raise GraphError(
+                f"{source}: 'weights' must be a 1-D numeric array, got "
+                f"{weights.ndim}-D {weights.dtype}"
+            )
+        if weights.size != indices.size:
+            raise GraphError(
+                f"{source}: {weights.size} weights for "
+                f"{indices.size} edges"
+            )
+    indptr = indptr.astype(np.int64)
+    indices = indices.astype(np.int64)
+    if indptr.size == 0:
+        raise GraphError(f"{source}: 'indptr' must have at least one entry")
+    if indptr[0] != 0 or int(indptr[-1]) != indices.size:
+        raise GraphError(
+            f"{source}: inconsistent CSR arrays: indptr must start at 0 "
+            f"and end at len(indices)={indices.size}, got "
+            f"[{int(indptr[0])}, {int(indptr[-1])}]"
+        )
+    if np.any(np.diff(indptr) < 0):
+        raise GraphError(
+            f"{source}: inconsistent CSR arrays: indptr must be "
+            f"non-decreasing"
+        )
+    bound = int(num_vertices) if num_vertices is not None else indptr.size - 1
+    if indices.size and (
+        int(indices.min()) < 0 or int(indices.max()) >= bound
+    ):
+        raise GraphError(
+            f"{source}: inconsistent CSR arrays: edge destination out of "
+            f"range [0, {bound})"
+        )
+    if weights is None:
+        out_weights = np.ones(indices.size, dtype=np.float64)
+    else:
+        out_weights = weights.astype(np.float64)
+    return indptr, indices, out_weights
 
 
-def _parse_edge_line(
-    builder: GraphBuilder,
-    path: PathLike,
-    lineno: int,
-    raw: str,
-    comment: str,
-) -> None:
+def _parse_edge_fields(
+    path: PathLike, lineno: int, raw: str, comment: str
+) -> Optional[Tuple[int, int, float]]:
+    """One edge-list line -> ``(src, dst, weight)``, or None for blanks."""
     line = raw.strip()
     if not line or line.startswith(comment):
-        return
+        return None
     fields = line.split()
     if len(fields) not in (2, 3):
         raise GraphError(
@@ -79,10 +128,179 @@ def _parse_edge_line(
         raise GraphError(
             f"{path}:{lineno}: non-numeric field ({exc})"
         ) from None
+    if src < 0 or dst < 0:
+        raise GraphError(
+            f"{path}:{lineno}: vertex ids must be non-negative"
+        )
+    return src, dst, weight
+
+
+def iter_edge_list_chunks(
+    path: PathLike,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    comment: str = "#",
+) -> Iterator[EdgeChunk]:
+    """Stream an edge-list file as bounded-size array chunks.
+
+    Yields ``(src, dst, weight)`` int64/int64/float64 array triples of
+    at most ``chunk_edges`` edges each, holding only one chunk in
+    memory — the iterator the out-of-core partitioner consumes. Raises
+    the same structured :class:`GraphError`\\ s as
+    :func:`read_edge_list` (file path + line number on every parse
+    failure).
+    """
+    if chunk_edges < 1:
+        raise GraphError(f"chunk_edges must be >= 1, got {chunk_edges}")
     try:
-        builder.add_edge(src, dst, weight)
-    except GraphError as exc:
-        raise GraphError(f"{path}:{lineno}: {exc}") from None
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise GraphError(f"{path}: cannot read edge list ({exc})") from None
+    srcs: List[int] = []
+    dsts: List[int] = []
+    wts: List[float] = []
+    with handle:
+        try:
+            for lineno, raw in enumerate(handle, start=1):
+                parsed = _parse_edge_fields(path, lineno, raw, comment)
+                if parsed is None:
+                    continue
+                srcs.append(parsed[0])
+                dsts.append(parsed[1])
+                wts.append(parsed[2])
+                if len(srcs) >= chunk_edges:
+                    yield (
+                        np.asarray(srcs, dtype=np.int64),
+                        np.asarray(dsts, dtype=np.int64),
+                        np.asarray(wts, dtype=np.float64),
+                    )
+                    srcs, dsts, wts = [], [], []
+        except UnicodeDecodeError as exc:
+            raise GraphError(
+                f"{path}: not a text edge list ({exc})"
+            ) from None
+    if srcs:
+        yield (
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64),
+            np.asarray(wts, dtype=np.float64),
+        )
+
+
+def edge_list_chunk_source(
+    path: PathLike,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    comment: str = "#",
+):
+    """A re-iterable chunk source over an edge-list file.
+
+    The streaming partitioner makes multiple passes over its input;
+    this returns a zero-argument callable producing a fresh
+    :func:`iter_edge_list_chunks` iterator per call.
+    """
+
+    def chunks() -> Iterator[EdgeChunk]:
+        return iter_edge_list_chunks(
+            path, chunk_edges=chunk_edges, comment=comment
+        )
+
+    return chunks
+
+
+def iter_npz_chunks(
+    path: PathLike, chunk_edges: int = DEFAULT_CHUNK_EDGES
+) -> Iterator[EdgeChunk]:
+    """Stream a ``save_npz`` archive as bounded ``(src, dst, weight)`` chunks.
+
+    The CSR arrays are decompressed and validated once (an ``.npz``
+    member cannot be partially decompressed, so the arrays themselves
+    are O(E) resident — inherent to the format), then yielded as
+    ``chunk_edges``-sized slices with per-chunk source ids recovered
+    from ``indptr`` via ``searchsorted``; no O(E) ``repeat`` of the
+    source column is ever materialized. Chunks arrive in CSR order, so
+    feeding them to :func:`repro.storage.partition_graph` reproduces
+    the original graph bit for bit.
+    """
+    if chunk_edges < 1:
+        raise GraphError(f"chunk_edges must be >= 1, got {chunk_edges}")
+    graph = load_npz(path)
+    indptr = graph.indptr
+    for lo in range(0, graph.num_edges, chunk_edges):
+        hi = min(lo + chunk_edges, graph.num_edges)
+        sources = (
+            np.searchsorted(
+                indptr, np.arange(lo, hi, dtype=np.int64), side="right"
+            )
+            - 1
+        )
+        yield (
+            sources.astype(np.int64, copy=False),
+            graph.indices[lo:hi],
+            graph.weights[lo:hi],
+        )
+
+
+def npz_chunk_source(
+    path: PathLike, chunk_edges: int = DEFAULT_CHUNK_EDGES
+):
+    """A re-iterable chunk source over a ``save_npz`` archive."""
+
+    def chunks() -> Iterator[EdgeChunk]:
+        return iter_npz_chunks(path, chunk_edges=chunk_edges)
+
+    return chunks
+
+
+def read_edge_list(
+    path: PathLike,
+    num_vertices: Optional[int] = None,
+    deduplicate: bool = False,
+    comment: str = "#",
+    chunk_edges: Optional[int] = None,
+) -> DiGraphCSR:
+    """Parse a ``src dst [weight]`` text file into a graph.
+
+    With ``chunk_edges`` set, the file is parsed through
+    :func:`iter_edge_list_chunks` and staged array-chunk-at-a-time —
+    same resulting graph bit for bit (the builder's stable sort makes
+    edge order insensitive to chunk boundaries), much less per-line
+    Python overhead on large files.
+
+    Raises
+    ------
+    GraphError
+        On unreadable or non-text files, and on malformed lines (wrong
+        field count, non-numeric fields, negative ids) with the
+        offending line number. Always carries the file path.
+    """
+    builder = GraphBuilder(num_vertices=num_vertices, deduplicate=deduplicate)
+    if chunk_edges is not None:
+        for src, dst, weight in iter_edge_list_chunks(
+            path, chunk_edges=chunk_edges, comment=comment
+        ):
+            try:
+                builder.add_edge_arrays(src, dst, weight)
+            except GraphError as exc:
+                raise GraphError(f"{path}: {exc}") from None
+        return builder.build()
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise GraphError(f"{path}: cannot read edge list ({exc})") from None
+    with handle:
+        try:
+            for lineno, raw in enumerate(handle, start=1):
+                parsed = _parse_edge_fields(path, lineno, raw, comment)
+                if parsed is None:
+                    continue
+                try:
+                    builder.add_edge(*parsed)
+                except GraphError as exc:
+                    raise GraphError(f"{path}:{lineno}: {exc}") from None
+        except UnicodeDecodeError as exc:
+            raise GraphError(
+                f"{path}: not a text edge list ({exc})"
+            ) from None
+    return builder.build()
 
 
 def write_edge_list(
@@ -124,8 +342,9 @@ def load_npz(path: PathLike) -> DiGraphCSR:
     GraphError
         On unreadable/corrupt archives, missing arrays, wrong
         dimensionality or dtype kind, and structurally inconsistent CSR
-        arrays. Always carries the file path, so a bad file in a batch
-        job is identifiable from the error alone.
+        arrays (via :func:`validate_csr_arrays`). Always carries the
+        file path, so a bad file in a batch job is identifiable from
+        the error alone.
     """
     try:
         archive = np.load(path)
@@ -146,25 +365,14 @@ def load_npz(path: PathLike) -> DiGraphCSR:
             raise GraphError(
                 f"{path}: corrupt array payload ({exc})"
             ) from None
-        for key in ("indptr", "indices"):
-            arr = arrays[key]
-            if arr.ndim != 1 or arr.dtype.kind not in "iu":
-                raise GraphError(
-                    f"{path}: {key!r} must be a 1-D integer array, got "
-                    f"{arr.ndim}-D {arr.dtype}"
-                )
-        weights = arrays["weights"]
-        if weights.ndim != 1 or weights.dtype.kind not in "fiu":
-            raise GraphError(
-                f"{path}: 'weights' must be a 1-D numeric array, got "
-                f"{weights.ndim}-D {weights.dtype}"
-            )
+        indptr, indices, weights = validate_csr_arrays(
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["weights"],
+            source=str(path),
+        )
         try:
-            return DiGraphCSR(
-                arrays["indptr"].astype(np.int64),
-                arrays["indices"].astype(np.int64),
-                weights.astype(np.float64),
-            )
+            return DiGraphCSR(indptr, indices, weights)
         except (GraphError, ValueError, IndexError) as exc:
             raise GraphError(
                 f"{path}: inconsistent CSR arrays ({exc})"

@@ -1,0 +1,51 @@
+"""Out-of-core sharded graph storage (PR 10).
+
+The storage subsystem lets graphs larger than memory be preprocessed
+and executed with bounded resident bytes:
+
+- :mod:`repro.storage.pages` — shared checksummed-page + atomic-commit
+  primitives (also used by the durable checkpoint store);
+- :mod:`repro.storage.partition` — the chunked streaming partitioner
+  (:func:`partition_graph`) building shard directories from any
+  re-iterable edge-chunk source;
+- :mod:`repro.storage.store` — :class:`ShardStore`, the verified,
+  mmap-backed, LRU-bounded read side;
+- :mod:`repro.storage.sharded` — :class:`ShardedGraph`, the execution
+  adapter (bit-identical :meth:`~ShardedGraph.materialize`, streaming
+  re-partition source, shard-at-a-time path decomposition);
+- :mod:`repro.storage.memory` — the deterministic
+  :class:`ResidentTracker` ledger behind every peak-resident claim.
+"""
+
+from repro.storage.memory import ResidentTracker
+from repro.storage.partition import (
+    PARTITION_POLICIES,
+    PartitionReport,
+    graph_chunk_source,
+    partition_graph,
+    synthetic_chunk_source,
+)
+from repro.storage.sharded import ShardedGraph, memory_bound_selftest
+from repro.storage.store import (
+    GRAPH_MANIFEST_NAME,
+    GRAPH_STORE_FORMAT,
+    Shard,
+    ShardStore,
+    shard_dirname,
+)
+
+__all__ = [
+    "GRAPH_MANIFEST_NAME",
+    "GRAPH_STORE_FORMAT",
+    "PARTITION_POLICIES",
+    "PartitionReport",
+    "ResidentTracker",
+    "Shard",
+    "ShardStore",
+    "ShardedGraph",
+    "graph_chunk_source",
+    "memory_bound_selftest",
+    "partition_graph",
+    "shard_dirname",
+    "synthetic_chunk_source",
+]

@@ -1,0 +1,198 @@
+"""Shared on-disk page + atomic-commit primitives.
+
+One on-disk discipline for everything this repo persists — durable
+checkpoints (:mod:`repro.faults.store`) and sharded graph stores
+(:mod:`repro.storage.store`) — extracted here so both layouts stay
+bit-for-bit compatible in their failure semantics:
+
+- **Checksummed pages.** Every page file records the sha256 of its
+  payload in the manifest that references it; torn writes and bit rot
+  are always *detected*, never silently accepted.
+- **Self-checksummed JSON.** Manifests and headers are stored as
+  ``{"payload": ..., "sha256": <hex of canonical payload JSON>}``
+  wrappers, so a manifest that decodes but was corrupted in place still
+  fails verification.
+- **Atomic commit.** JSON documents are written to ``<path>.tmp`` and
+  ``os.replace``'d — the rename *is* the commit. A crash mid-write
+  leaves a stale temp file, never a half-written manifest.
+- **One damage model.** :func:`apply_file_fault` implements the
+  torn/bitrot/lost/crash file damage the storage-fault injector
+  schedules, shared by every store so the fault tests exercise the same
+  failure surface everywhere.
+
+Low-level integrity failures raise :class:`PageIntegrityError` with a
+machine-readable ``reason``; callers translate it into their own
+structured error type (:class:`~repro.errors.CheckpointStoreError`,
+:class:`~repro.errors.StorageError`) with layout-specific context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+#: Stream-hash chunk size; also the default spill/stream buffer unit.
+HASH_CHUNK_BYTES = 1 << 20
+
+
+class PageIntegrityError(Exception):
+    """A page or wrapped-JSON document failed verification.
+
+    ``reason`` is machine-readable: ``"unreadable"`` (missing, torn, or
+    undecodable), ``"checksum"`` (decoded but the recorded sha256 does
+    not match), or ``"format"`` (decoded and checksummed but the wrapper
+    shape is wrong).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex sha256 of an in-memory payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str, chunk_bytes: int = HASH_CHUNK_BYTES) -> Tuple[str, int]:
+    """Streamed ``(hex sha256, size)`` of a file — never loads it whole."""
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+            size += len(chunk)
+    return digest.hexdigest(), size
+
+
+def canonical_json(payload) -> bytes:
+    """The canonical byte form a payload's self-checksum covers."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def wrap_payload(payload) -> Dict:
+    """Wrap a JSON payload with its canonical-form self-checksum."""
+    return {"payload": payload, "sha256": sha256_hex(canonical_json(payload))}
+
+
+def unwrap_payload(wrapper) -> Dict:
+    """Verify a ``{"payload", "sha256"}`` wrapper and return the payload.
+
+    Raises :class:`PageIntegrityError` with reason ``"format"`` on a
+    malformed wrapper and ``"checksum"`` on a self-checksum mismatch.
+    """
+    try:
+        payload = wrapper["payload"]
+        recorded = wrapper["sha256"]
+    except (KeyError, TypeError) as exc:
+        raise PageIntegrityError(
+            "format", f"not a payload/sha256 wrapper: {exc}"
+        ) from exc
+    if sha256_hex(canonical_json(payload)) != recorded:
+        raise PageIntegrityError("checksum", "payload checksum mismatch")
+    return payload
+
+
+def read_wrapped_json(path: str) -> Dict:
+    """Read + verify a self-checksummed JSON document.
+
+    Raises ``FileNotFoundError`` when the file does not exist (callers
+    distinguish "lost" from "damaged"), :class:`PageIntegrityError`
+    reason ``"unreadable"`` on torn/undecodable bytes, ``"checksum"``
+    on verification failure.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            wrapper = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise PageIntegrityError(
+            "unreadable", f"unreadable JSON (torn write?): {exc}"
+        ) from exc
+    return unwrap_payload(wrapper)
+
+
+def commit_json(path: str, payload, indent: int = 1) -> None:
+    """Atomically commit a self-checksummed JSON document.
+
+    Writes the wrapped payload to ``<path>.tmp`` and renames it over
+    ``path``; the ``os.replace`` is the commit point.
+    """
+    data = json.dumps(
+        wrap_payload(payload), sort_keys=True, indent=indent
+    ).encode("utf-8")
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def write_page(path: str, data: bytes) -> Dict:
+    """Write one raw page file; returns its ``{sha256, raw_bytes}`` entry.
+
+    The returned dict is the manifest-entry skeleton; callers add the
+    layout-specific fields (``file``, ``dtype``, ``shape``, ...).
+    """
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return {"sha256": sha256_hex(data), "raw_bytes": len(data)}
+
+
+def verify_page_file(
+    path: str, sha256: str, raw_bytes: int,
+    chunk_bytes: int = HASH_CHUNK_BYTES,
+) -> None:
+    """Verify one uncompressed page file against its manifest entry.
+
+    Hashes in a streamed pass (never holds the page in memory). Raises
+    :class:`PageIntegrityError` reason ``"unreadable"`` on a missing or
+    short/long file and ``"checksum"`` on content mismatch.
+    """
+    if not os.path.exists(path):
+        raise PageIntegrityError("unreadable", "page missing")
+    actual_sha, actual_size = sha256_file(path, chunk_bytes)
+    if actual_size != raw_bytes:
+        raise PageIntegrityError(
+            "unreadable",
+            f"page torn ({actual_size} of {raw_bytes} bytes)",
+        )
+    if actual_sha != sha256:
+        raise PageIntegrityError("checksum", "page checksum mismatch (bit rot)")
+
+
+def apply_file_fault(path: str, fault) -> None:
+    """Apply one scheduled storage fault to a just-written file.
+
+    The damage models what the disk ended up holding: ``torn`` (and
+    ``crash``) truncates the file to half, ``bitrot`` flips one byte,
+    ``lost`` unlinks it. Shared by every on-disk store so the fault
+    injector exercises one failure surface.
+    """
+    if fault.kind in ("torn", "crash"):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+    elif fault.kind == "bitrot":
+        with open(path, "r+b") as fh:
+            data = bytearray(fh.read())
+            if data:
+                data[len(data) // 2] ^= 0xFF
+            fh.seek(0)
+            fh.write(bytes(data))
+            fh.truncate(len(data))
+    elif fault.kind == "lost":
+        os.unlink(path)
+
+
+def stale_tmp_path(path: str) -> Optional[str]:
+    """The stale ``.tmp`` sibling of a committed document, if present."""
+    tmp = path + ".tmp"
+    return tmp if os.path.exists(tmp) else None

@@ -76,6 +76,35 @@ def minimal_durability():
     }
 
 
+def minimal_storage():
+    return {
+        "schema": "repro-storage",
+        "schema_version": 1,
+        "config": {"policy": "affinity", "seed": 17, "per_part_edges": 6000},
+        "cells": [
+            {
+                "num_vertices": 300,
+                "num_edges": 6000,
+                "num_parts": 2,
+                "edge_cut_fraction": 0.4,
+                "store_bytes": 100_000,
+                "peak_resident_bytes": 20_000,
+                "shard_loads": 2,
+            }
+        ],
+        "identity": [
+            {"num_edges": 6000, "policy": "affinity", "identical": True}
+        ],
+        "scaling": {
+            "edge_growth": 100.0,
+            "memory_growth": 15.0,
+            "sublinearity": 0.15,
+            "all_identical": True,
+            "bounded": True,
+        },
+    }
+
+
 class TestCommittedArtifacts:
     """Every benchmark JSON the repo commits must carry a valid schema."""
 
@@ -114,6 +143,9 @@ class TestValidArtifacts:
         assert validate_artifact(minimal_durability()) == (
             "repro-durability"
         )
+
+    def test_minimal_storage_passes(self):
+        assert validate_artifact(minimal_storage()) == "repro-storage"
 
     def test_kind_pinning(self):
         validate_artifact(minimal_sweep(), kind="repro-sweep")
@@ -156,6 +188,7 @@ class TestRejections:
             "repro-bench-kernels": minimal_kernels,
             "repro-sweep": minimal_sweep,
             "repro-durability": minimal_durability,
+            "repro-storage": minimal_storage,
         }
         for key in REQUIRED_KEYS[kind]:
             if key in ("schema", "schema_version"):

@@ -1,0 +1,65 @@
+"""The ``storage_scaling`` experiment: the out-of-core acceptance bar.
+
+A tiny-scale run must still demonstrate the full contract: bit-identity
+vs the in-RAM path on the overlap sizes, bounded (sublinear) peak
+resident bytes while edges scale ~100x, and a schema-valid
+``BENCH_storage.json``.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.schema import validate_artifact
+
+
+@pytest.fixture(scope="module")
+def scaling_result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_storage.json"
+    return (
+        experiments.storage_scaling(scale=0.1, out_path=str(out)),
+        str(out),
+    )
+
+
+class TestStorageScaling:
+    def test_edges_scale_100x(self, scaling_result):
+        result, _path = scaling_result
+        cells = result["results"]
+        assert len(cells) == 4
+        growth = cells[-1]["num_edges"] / cells[0]["num_edges"]
+        assert growth == pytest.approx(100, rel=0.05)
+
+    def test_identity_cells_all_pass(self, scaling_result):
+        result, _path = scaling_result
+        assert result["identity"]
+        assert all(cell["identical"] for cell in result["identity"])
+        policies = {cell["policy"] for cell in result["identity"]}
+        assert policies == {"affinity", "random"}
+
+    def test_memory_growth_sublinear(self, scaling_result):
+        result, _path = scaling_result
+        scaling = result["scaling"]
+        assert scaling["bounded"]
+        assert scaling["memory_growth"] < scaling["edge_growth"]
+        assert 0 < scaling["sublinearity"] < 1
+
+    def test_cells_carry_cache_counters(self, scaling_result):
+        result, _path = scaling_result
+        for cell in result["results"]:
+            assert cell["peak_resident_bytes"] > 0
+            assert cell["shard_loads"] >= cell["num_parts"]
+            assert cell["edge_cut"] >= 0
+
+    def test_artifact_schema_valid(self, scaling_result):
+        _result, path = scaling_result
+        with open(path) as fh:
+            data = json.load(fh)
+        assert validate_artifact(data, kind="repro-storage") == (
+            "repro-storage"
+        )
+
+    def test_table_mentions_ratios(self, scaling_result):
+        result, _path = scaling_result
+        assert "peak" in result["table"].lower()

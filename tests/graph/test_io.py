@@ -166,3 +166,89 @@ class TestStructuredIOErrors:
         with pytest.raises(GraphError, match="inconsistent CSR") as e:
             load_npz(path)
         assert str(path) in str(e.value)
+
+
+class TestChunkedEdgeList:
+    """Streaming chunk mode shared with the out-of-core partitioner."""
+
+    def test_chunked_read_matches_line_read(self, tmp_path):
+        from repro.graph.io import iter_edge_list_chunks
+
+        g = with_random_weights(directed_path(50), seed=3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        whole = read_edge_list(path)
+        chunked = read_edge_list(path, chunk_edges=7)
+        assert np.array_equal(whole.indptr, chunked.indptr)
+        assert np.array_equal(whole.indices, chunked.indices)
+        assert np.array_equal(whole.weights, chunked.weights)
+        sizes = [
+            src.size
+            for src, _dst, _w in iter_edge_list_chunks(path, chunk_edges=7)
+        ]
+        assert sum(sizes) == g.num_edges
+        assert all(size <= 7 for size in sizes)
+
+    def test_chunk_source_is_reiterable(self, tmp_path):
+        from repro.graph.io import edge_list_chunk_source
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        source = edge_list_chunk_source(path, chunk_edges=2)
+        first = [chunk[0].copy() for chunk in source()]
+        second = [chunk[0].copy() for chunk in source()]
+        assert len(first) == len(second) == 2
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_chunked_mode_reports_line_numbers(self, tmp_path):
+        from repro.graph.io import iter_edge_list_chunks
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\nbad line here\n")
+        with pytest.raises(GraphError, match="3"):
+            list(iter_edge_list_chunks(path, chunk_edges=2))
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError, match="chunk_edges"):
+            read_edge_list(path, chunk_edges=0)
+
+
+class TestNpzChunkSource:
+    def test_chunks_cover_archive_in_csr_order(self, tmp_path):
+        from repro.graph.io import npz_chunk_source
+
+        g = with_random_weights(directed_path(40), seed=5)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        source = npz_chunk_source(path, chunk_edges=9)
+        sources = np.concatenate([src for src, _d, _w in source()])
+        dsts = np.concatenate([dst for _s, dst, _w in source()])
+        weights = np.concatenate([w for _s, _d, w in source()])
+        np.testing.assert_array_equal(sources, g.edge_sources())
+        np.testing.assert_array_equal(dsts, g.indices)
+        np.testing.assert_array_equal(weights, g.weights)
+
+    def test_propagates_archive_validation(self, tmp_path):
+        from repro.graph.io import iter_npz_chunks
+
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 5, 2]),
+            indices=np.array([0, 1]),
+            weights=np.array([1.0, 1.0]),
+        )
+        with pytest.raises(GraphError, match="inconsistent CSR"):
+            list(iter_npz_chunks(path))
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        from repro.graph.io import iter_npz_chunks
+
+        g = directed_path(3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        with pytest.raises(GraphError, match="chunk_edges"):
+            list(iter_npz_chunks(path, chunk_edges=0))

@@ -1,0 +1,45 @@
+"""Shared fixtures for the sharded-storage suite."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.storage import graph_chunk_source, partition_graph
+
+
+def graph_digest(graph) -> str:
+    """Bit-exact digest of a CSR triple (dtype + shape + bytes)."""
+    digest = hashlib.sha256()
+    for array in (graph.indptr, graph.indices, graph.weights):
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="session")
+def cnr_graph():
+    """A small structured dataset stand-in (|V|=180, |E|=681)."""
+    return datasets.load("cnr", scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def weighted_graph():
+    return datasets.load("dblp", scale=0.2, weighted=True)
+
+
+@pytest.fixture()
+def store_dir(tmp_path, cnr_graph):
+    """A freshly partitioned 4-part affinity store of ``cnr_graph``."""
+    out = tmp_path / "store"
+    partition_graph(
+        graph_chunk_source(cnr_graph, chunk_edges=100),
+        4,
+        str(out),
+        policy="affinity",
+        seed=7,
+    )
+    return str(out)

@@ -1,0 +1,72 @@
+"""ResidentTracker: the deterministic modeled-memory ledger."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.memory import ResidentTracker
+
+
+class TestTracker:
+    def test_peak_is_high_water_mark(self):
+        tracker = ResidentTracker()
+        tracker.acquire(100, "a")
+        tracker.acquire(50, "b")
+        tracker.release(100, "a")
+        tracker.acquire(20, "b")
+        assert tracker.current_bytes == 70
+        assert tracker.peak_bytes == 150
+
+    def test_hold_is_transient(self):
+        tracker = ResidentTracker()
+        with tracker.hold(1000, "chunk"):
+            assert tracker.current_bytes == 1000
+        assert tracker.current_bytes == 0
+        assert tracker.peak_bytes == 1000
+
+    def test_hold_releases_on_exception(self):
+        tracker = ResidentTracker()
+        with pytest.raises(RuntimeError):
+            with tracker.hold(10):
+                raise RuntimeError("boom")
+        assert tracker.current_bytes == 0
+
+    def test_by_label_accounting(self):
+        tracker = ResidentTracker()
+        tracker.acquire(10, "shard-cache")
+        tracker.acquire(5, "node-map")
+        tracker.release(4, "shard-cache")
+        assert tracker.by_label["shard-cache"] == 6
+        assert tracker.by_label["node-map"] == 5
+
+    def test_advisory_limit_records_overshoot(self):
+        tracker = ResidentTracker(limit_bytes=100)
+        tracker.acquire(60)
+        assert not tracker.over_limit
+        tracker.acquire(60)
+        assert tracker.over_limit
+        # Advisory: nothing was refused.
+        assert tracker.current_bytes == 120
+
+    def test_cannot_release_more_than_held(self):
+        tracker = ResidentTracker()
+        tracker.acquire(10, "a")
+        with pytest.raises(StorageError):
+            tracker.release(20, "a")
+        with pytest.raises(StorageError):
+            tracker.release(10, "b")
+
+    def test_rejects_negative_amounts(self):
+        tracker = ResidentTracker()
+        with pytest.raises(StorageError):
+            tracker.acquire(-1)
+        with pytest.raises(StorageError):
+            ResidentTracker(limit_bytes=-1)
+
+    def test_as_dict(self):
+        tracker = ResidentTracker(limit_bytes=50)
+        tracker.acquire(80)
+        report = tracker.as_dict()
+        assert report["peak_resident_bytes"] == 80
+        assert report["current_resident_bytes"] == 80
+        assert report["limit_bytes"] == 50
+        assert report["over_limit"] is True

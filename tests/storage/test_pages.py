@@ -1,0 +1,159 @@
+"""Shared page/atomic-commit primitives (``repro.storage.pages``).
+
+These helpers are the one on-disk discipline both the durable
+checkpoint store and the sharded graph store build on, so their failure
+semantics — detect every torn write, every flipped byte, every
+malformed wrapper — are tested here once, at the primitive level.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.storage import pages
+
+
+class TestChecksums:
+    def test_sha256_hex_matches_file_hash(self, tmp_path):
+        payload = b"abc" * 1000
+        path = str(tmp_path / "page.bin")
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        hex_digest, size = pages.sha256_file(path)
+        assert hex_digest == pages.sha256_hex(payload)
+        assert size == len(payload)
+
+    def test_sha256_file_streams_in_small_chunks(self, tmp_path):
+        payload = os.urandom(10_000)
+        path = str(tmp_path / "page.bin")
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        hex_small, size = pages.sha256_file(path, chunk_bytes=17)
+        assert hex_small == pages.sha256_hex(payload)
+        assert size == len(payload)
+
+    def test_canonical_json_is_key_order_insensitive(self):
+        a = pages.canonical_json({"x": 1, "y": [2, 3]})
+        b = pages.canonical_json({"y": [2, 3], "x": 1})
+        assert a == b
+
+
+class TestWrappedJson:
+    def test_wrap_unwrap_roundtrip(self):
+        payload = {"format": 1, "values": [1, 2, 3]}
+        assert pages.unwrap_payload(pages.wrap_payload(payload)) == payload
+
+    def test_unwrap_rejects_malformed_wrapper(self):
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.unwrap_payload({"not": "a wrapper"})
+        assert err.value.reason == "format"
+
+    def test_unwrap_rejects_tampered_payload(self):
+        wrapper = pages.wrap_payload({"rounds": 5})
+        wrapper["payload"]["rounds"] = 6
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.unwrap_payload(wrapper)
+        assert err.value.reason == "checksum"
+
+    def test_commit_then_read(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        pages.commit_json(path, {"k": "v"})
+        assert pages.read_wrapped_json(path) == {"k": "v"}
+        assert pages.stale_tmp_path(path) is None
+
+    def test_read_missing_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            pages.read_wrapped_json(str(tmp_path / "absent.json"))
+
+    def test_read_torn_document_is_unreadable(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        pages.commit_json(path, {"k": "v"})
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.read_wrapped_json(path)
+        assert err.value.reason == "unreadable"
+
+    def test_read_corrupted_in_place_fails_checksum(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        pages.commit_json(path, {"count": 10})
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["payload"]["count"] = 11
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.read_wrapped_json(path)
+        assert err.value.reason == "checksum"
+
+    def test_commit_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        pages.commit_json(path, {"v": 1})
+        pages.commit_json(path, {"v": 2})
+        assert pages.read_wrapped_json(path) == {"v": 2}
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestPageFiles:
+    def test_write_page_entry_matches_content(self, tmp_path):
+        path = str(tmp_path / "data.page")
+        entry = pages.write_page(path, b"\x01\x02\x03\x04")
+        assert entry["raw_bytes"] == 4
+        pages.verify_page_file(path, entry["sha256"], entry["raw_bytes"])
+
+    def test_verify_missing_page(self, tmp_path):
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.verify_page_file(str(tmp_path / "gone.page"), "00", 4)
+        assert err.value.reason == "unreadable"
+
+    def test_verify_torn_page(self, tmp_path):
+        path = str(tmp_path / "data.page")
+        entry = pages.write_page(path, b"abcdefgh")
+        with open(path, "r+b") as fh:
+            fh.truncate(4)
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.verify_page_file(path, entry["sha256"], entry["raw_bytes"])
+        assert err.value.reason == "unreadable"
+
+    def test_verify_bitrot_page(self, tmp_path):
+        path = str(tmp_path / "data.page")
+        entry = pages.write_page(path, b"abcdefgh")
+        with open(path, "r+b") as fh:
+            data = bytearray(fh.read())
+            data[3] ^= 0xFF
+            fh.seek(0)
+            fh.write(bytes(data))
+        with pytest.raises(pages.PageIntegrityError) as err:
+            pages.verify_page_file(path, entry["sha256"], entry["raw_bytes"])
+        assert err.value.reason == "checksum"
+
+
+class _Fault:
+    def __init__(self, kind):
+        self.kind = kind
+
+
+class TestApplyFileFault:
+    @pytest.mark.parametrize("kind", ["torn", "crash"])
+    def test_truncating_faults(self, tmp_path, kind):
+        path = str(tmp_path / "f.page")
+        pages.write_page(path, b"x" * 100)
+        pages.apply_file_fault(path, _Fault(kind))
+        assert os.path.getsize(path) == 50
+
+    def test_bitrot_flips_one_byte(self, tmp_path):
+        path = str(tmp_path / "f.page")
+        original = bytes(range(100)) * 2
+        pages.write_page(path, original)
+        pages.apply_file_fault(path, _Fault("bitrot"))
+        damaged = open(path, "rb").read()
+        assert len(damaged) == len(original)
+        diff = [i for i in range(len(original)) if damaged[i] != original[i]]
+        assert diff == [len(original) // 2]
+
+    def test_lost_unlinks(self, tmp_path):
+        path = str(tmp_path / "f.page")
+        pages.write_page(path, b"x")
+        pages.apply_file_fault(path, _Fault("lost"))
+        assert not os.path.exists(path)

@@ -1,0 +1,140 @@
+"""ShardedGraph adapter: rebuild, streaming, shard-at-a-time paths,
+and the bounded-memory self-test the CI gate runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.builder import GraphBuilder
+from repro.storage import (
+    ShardedGraph,
+    graph_chunk_source,
+    memory_bound_selftest,
+    partition_graph,
+)
+
+from tests.storage.conftest import graph_digest
+
+
+class TestMaterialize:
+    def test_materialize_is_bit_identical(self, store_dir, cnr_graph):
+        out = ShardedGraph(store_dir).materialize()
+        assert graph_digest(out) == graph_digest(cnr_graph)
+
+    def test_materialize_under_tiny_cache(self, store_dir, cnr_graph):
+        # Materialization makes two passes over the shards; a one-byte
+        # cache bound forces every shard to be re-read — the result
+        # must not depend on what stayed cached.
+        sharded = ShardedGraph(store_dir, max_resident_bytes=1)
+        out = sharded.materialize()
+        assert graph_digest(out) == graph_digest(cnr_graph)
+        assert sharded.store.stats["shard_evictions"] > 0
+
+    def test_materialize_releases_tracked_output(self, store_dir):
+        sharded = ShardedGraph(store_dir, max_resident_bytes=1)
+        sharded.materialize()
+        # Only the cached shards remain charged afterwards.
+        assert (
+            sharded.tracker.by_label.get("materialized-graph", 0) == 0
+        )
+
+    def test_peak_resident_bytes_exposed(self, store_dir):
+        sharded = ShardedGraph(store_dir, max_resident_bytes=1)
+        assert sharded.peak_resident_bytes == 0
+        sharded.materialize()
+        assert sharded.peak_resident_bytes > 0
+
+
+class TestStreaming:
+    def test_chunks_rebuild_the_graph(self, store_dir, cnr_graph):
+        sharded = ShardedGraph(store_dir, max_resident_bytes=1)
+        builder = GraphBuilder()
+        for src, dst, weight in sharded.iter_edge_chunks(chunk_edges=64):
+            assert src.size <= 64
+            builder.add_edge_arrays(src, dst, weight)
+        assert graph_digest(builder.build()) == graph_digest(cnr_graph)
+
+    def test_edge_chunk_source_is_reiterable(self, store_dir, cnr_graph):
+        source = ShardedGraph(store_dir).edge_chunk_source(chunk_edges=100)
+        first = sum(s.size for s, _d, _w in source())
+        second = sum(s.size for s, _d, _w in source())
+        assert first == second == cnr_graph.num_edges
+
+    def test_rejects_bad_chunk_size(self, store_dir):
+        with pytest.raises(StorageError, match="chunk_edges"):
+            list(ShardedGraph(store_dir).iter_edge_chunks(chunk_edges=0))
+
+
+class TestShardAtATimePaths:
+    def test_every_edge_covered_exactly_once(self, store_dir, cnr_graph):
+        sharded = ShardedGraph(store_dir, max_resident_bytes=1)
+        result = sharded.decompose_paths()
+        assert result["covered_edges"] == cnr_graph.num_edges
+        assert result["num_paths"] == len(result["paths"])
+        assert len(result["per_part"]) == sharded.num_parts
+        assert sum(
+            len(path) - 1 for path in result["paths"]
+        ) == cnr_graph.num_edges
+
+    def test_paths_walk_real_global_edges(self, store_dir, cnr_graph):
+        edges = set(
+            zip(
+                cnr_graph.edge_sources().tolist(),
+                cnr_graph.indices.tolist(),
+            )
+        )
+        result = ShardedGraph(store_dir).decompose_paths()
+        for path in result["paths"]:
+            for a, b in zip(path, path[1:]):
+                assert (a, b) in edges
+
+    def test_average_length_consistent(self, store_dir):
+        result = ShardedGraph(store_dir).decompose_paths()
+        assert result["average_length"] == pytest.approx(
+            result["covered_edges"] / result["num_paths"]
+        )
+
+    def test_d_max_forwarded(self, store_dir):
+        short = ShardedGraph(store_dir).decompose_paths(d_max=2)
+        assert all(len(path) - 1 <= 2 for path in short["paths"])
+
+
+class TestMemoryBoundSelftest:
+    @pytest.fixture()
+    def big_store(self, tmp_path):
+        # Enough parts and edges that total store size clearly exceeds
+        # any single shard.
+        rng = np.random.default_rng(3)
+        builder = GraphBuilder(num_vertices=400)
+        src = rng.integers(0, 400, size=6_000, dtype=np.int64)
+        dst = (src + rng.integers(1, 400, size=6_000)) % 400
+        builder.add_edge_arrays(src, dst, np.ones(6_000))
+        graph = builder.build()
+        out = str(tmp_path / "big")
+        partition_graph(graph_chunk_source(graph), 8, out)
+        return out
+
+    def test_bounded_cache_passes(self, big_store):
+        report = memory_bound_selftest(big_store, 20_000)
+        assert report["ok"]
+        assert not report["cache_disabled"]
+        assert (
+            report["peak_resident_bytes"]
+            <= report["allowed_peak_bytes"]
+        )
+        assert report["shard_evictions"] > 0
+
+    def test_disabled_cache_must_fail(self, big_store):
+        # The CI gate's negative control: with eviction off, the scan
+        # keeps every shard resident and the bound must be broken —
+        # otherwise the bound proves nothing.
+        report = memory_bound_selftest(
+            big_store, 20_000, disable_cache=True
+        )
+        assert not report["ok"]
+        assert report["cache_disabled"]
+        assert report["shard_evictions"] == 0
+
+    def test_generous_bound_passes_either_way(self, big_store):
+        report = memory_bound_selftest(big_store, 1 << 30)
+        assert report["ok"]

@@ -1,0 +1,149 @@
+"""ShardStore read path: manifest, bounded LRU cache, scan, tracking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import ShardStore
+from repro.storage.memory import ResidentTracker
+
+
+class TestManifest:
+    def test_totals_come_from_manifest(self, store_dir, cnr_graph):
+        store = ShardStore(store_dir)
+        assert store.num_vertices == cnr_graph.num_vertices
+        assert store.num_edges == cnr_graph.num_edges
+        assert store.num_parts == 4
+        assert store.policy == "affinity"
+        assert store.edge_cut >= 0
+
+    def test_node_and_edge_maps_are_int32(self, store_dir, cnr_graph):
+        store = ShardStore(store_dir)
+        node_map = store.node_map()
+        edge_map = store.edge_map()
+        assert node_map.dtype == np.int32
+        assert edge_map.dtype == np.int32
+        assert node_map.shape == (cnr_graph.num_vertices,)
+        assert edge_map.shape == (cnr_graph.num_edges,)
+        # Cached after first load — same object back.
+        assert store.node_map() is node_map
+
+
+class TestShardLoading:
+    def test_shards_cover_the_graph_exactly_once(
+        self, store_dir, cnr_graph
+    ):
+        store = ShardStore(store_dir)
+        seen_vertices = []
+        seen_edges = 0
+        for part in range(store.num_parts):
+            shard = store.load_shard(part)
+            assert shard.part == part
+            assert shard.indptr[0] == 0
+            assert int(shard.indptr[-1]) == shard.num_edges
+            seen_vertices.append(np.asarray(shard.vertex_ids))
+            seen_edges += shard.num_edges
+        all_vertices = np.sort(np.concatenate(seen_vertices))
+        np.testing.assert_array_equal(
+            all_vertices, np.arange(cnr_graph.num_vertices)
+        )
+        assert seen_edges == cnr_graph.num_edges
+
+    def test_shard_rows_match_original_rows(self, store_dir, cnr_graph):
+        store = ShardStore(store_dir)
+        for part in range(store.num_parts):
+            shard = store.load_shard(part)
+            for k, vertex in enumerate(np.asarray(shard.vertex_ids)):
+                lo, hi = int(shard.indptr[k]), int(shard.indptr[k + 1])
+                np.testing.assert_array_equal(
+                    np.asarray(shard.indices[lo:hi]),
+                    cnr_graph.indices[
+                        cnr_graph.indptr[vertex]:cnr_graph.indptr[vertex + 1]
+                    ],
+                )
+
+    def test_out_of_range_part(self, store_dir):
+        store = ShardStore(store_dir)
+        with pytest.raises(StorageError, match="out of range"):
+            store.load_shard(99)
+        with pytest.raises(StorageError, match="out of range"):
+            store.load_shard(-1)
+
+    def test_heap_mode_matches_mmap_mode(self, store_dir):
+        mmap_shard = ShardStore(store_dir, use_mmap=True).load_shard(0)
+        heap_shard = ShardStore(store_dir, use_mmap=False).load_shard(0)
+        np.testing.assert_array_equal(
+            np.asarray(mmap_shard.indices), heap_shard.indices
+        )
+        np.testing.assert_array_equal(
+            np.asarray(mmap_shard.weights), heap_shard.weights
+        )
+
+
+class TestCache:
+    def test_cache_hit_counts(self, store_dir):
+        store = ShardStore(store_dir)
+        store.load_shard(0)
+        store.load_shard(0)
+        store.load_shard(1)
+        assert store.stats["shard_loads"] == 2
+        assert store.stats["cache_hits"] == 1
+        assert store.stats["shard_evictions"] == 0
+
+    def test_unbounded_cache_never_evicts(self, store_dir):
+        store = ShardStore(store_dir, max_resident_bytes=None)
+        for part in range(store.num_parts):
+            store.load_shard(part)
+        assert store.stats["shard_evictions"] == 0
+        assert store.resident_bytes > 0
+
+    def test_bounded_cache_evicts_lru(self, store_dir):
+        # A bound of one byte forces every load to evict down to the
+        # single most recently used shard.
+        store = ShardStore(store_dir, max_resident_bytes=1)
+        for part in range(store.num_parts):
+            store.load_shard(part)
+        assert store.stats["shard_evictions"] == store.num_parts - 1
+        assert len(store._cache) == 1
+        assert list(store._cache) == [store.num_parts - 1]
+
+    def test_eviction_keeps_resident_under_bound(self, store_dir):
+        store = ShardStore(store_dir, max_resident_bytes=6000)
+        largest = 0
+        for part in range(store.num_parts):
+            shard = store.load_shard(part)
+            largest = max(largest, shard.nbytes)
+            assert store.resident_bytes <= 6000 + largest
+        assert store.stats["shard_evictions"] > 0
+
+    def test_reload_after_eviction_is_identical(self, store_dir):
+        store = ShardStore(store_dir, max_resident_bytes=1)
+        first = np.asarray(store.load_shard(0).indices).copy()
+        store.load_shard(1)  # evicts part 0
+        again = np.asarray(store.load_shard(0).indices)
+        np.testing.assert_array_equal(first, again)
+
+    def test_drop_cache_releases_tracked_bytes(self, store_dir):
+        tracker = ResidentTracker()
+        store = ShardStore(store_dir, tracker=tracker)
+        store.load_shard(0)
+        store.load_shard(1)
+        assert tracker.current_bytes > 0
+        store.drop_cache()
+        assert tracker.current_bytes == 0
+        assert store.resident_bytes == 0
+
+
+class TestScan:
+    def test_clean_scan_touches_every_shard(self, store_dir):
+        store = ShardStore(store_dir, max_resident_bytes=1)
+        stats = store.scan()
+        assert stats["shard_loads"] == store.num_parts
+
+    def test_scan_does_not_cache_the_edge_map(self, store_dir):
+        # The O(E) maps are verified streamed; a bounded scan must not
+        # leave them resident.
+        store = ShardStore(store_dir, max_resident_bytes=1)
+        store.scan()
+        assert store._edge_map is None
+        assert store._node_map is None

@@ -283,3 +283,72 @@ class TestDurabilityCommands:
         out = capsys.readouterr().out
         assert "PASS" in out
         assert "FAIL" not in out
+
+
+class TestPartitionCommand:
+    def test_partition_then_run_graph_dir(self, tmp_path, capsys):
+        store = str(tmp_path / "shards")
+        assert main(
+            ["partition", "--dataset", "cnr", "--scale", "0.3",
+             "--num-parts", "3", "--out-dir", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 part(s)" in out
+        assert "edge_cut" in out
+        code = main(
+            ["run", "--graph-dir", store,
+             "--algorithm", "pagerank", "--engine", "digraph"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "peak_resident_bytes" in out
+
+    def test_partition_synthetic_stream(self, tmp_path, capsys):
+        store = str(tmp_path / "shards")
+        assert main(
+            ["partition", "--synthetic", "200,1500",
+             "--num-parts", "4", "--policy", "random",
+             "--out-dir", store]
+        ) == 0
+        assert "|E|=1500" in capsys.readouterr().out
+
+    def test_partition_bad_synthetic_spec(self, capsys):
+        assert main(
+            ["partition", "--synthetic", "nope", "--out-dir", "/tmp/x"]
+        ) == 1
+        assert "VERTICES,EDGES" in capsys.readouterr().err
+
+    def test_partition_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(directed_path(30), path)
+        store = str(tmp_path / "shards")
+        assert main(
+            ["partition", "--edge-list", str(path),
+             "--num-parts", "2", "--out-dir", store]
+        ) == 0
+        assert main(
+            ["run", "--graph-dir", store, "--algorithm", "bfs"]
+        ) == 0
+
+    def test_run_rejects_missing_store(self, tmp_path, capsys):
+        code = main(
+            ["run", "--graph-dir", str(tmp_path / "absent"),
+             "--algorithm", "bfs"]
+        )
+        assert code == 1
+        assert "manifest" in capsys.readouterr().err
+
+    def test_graph_cache_bytes_flag(self, tmp_path, capsys):
+        store = str(tmp_path / "shards")
+        main(
+            ["partition", "--dataset", "cnr", "--scale", "0.3",
+             "--num-parts", "4", "--out-dir", store]
+        )
+        capsys.readouterr()
+        code = main(
+            ["run", "--graph-dir", store, "--graph-cache-bytes", "1",
+             "--algorithm", "wcc", "--engine", "digraph"]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
